@@ -1,0 +1,138 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * `unified` vs `round-robin` placement (is unified mapping+routing
+//!   worth it?),
+//! * bandwidth-sorted vs unsorted flow processing,
+//! * grouping (per-use-case states) vs a single shared configuration,
+//! * annealing refinement on/off.
+//!
+//! Besides runtime, each ablation asserts the *quality* relation the
+//! paper's argument depends on (e.g. unified placement must not lose to
+//! round-robin on communication cost) so regressions fail the bench run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_benchgen::SpreadConfig;
+use noc_tdma::TdmaSpec;
+use noc_usecase::UseCaseGroups;
+use nocmap::anneal::{refine, AnnealConfig};
+use nocmap::design::design_smallest_mesh;
+use nocmap::{map_multi_usecase, MapperOptions, Placement};
+
+fn soc5() -> noc_usecase::spec::SocSpec {
+    SpreadConfig::paper(5).generate(11)
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let soc = soc5();
+    let groups = UseCaseGroups::singletons(5);
+    let spec = TdmaSpec::paper_default();
+    let unified = MapperOptions::default();
+    let rr = MapperOptions { placement: Placement::RoundRobin, ..Default::default() };
+
+    // Quality gate: unified placement must not lose on comm cost at the
+    // unified solution's own mesh size.
+    let u = design_smallest_mesh(&soc, &groups, spec, &unified, 400).expect("feasible");
+    if let Ok(r) = map_multi_usecase(&soc, &groups, u.topology(), spec, &rr) {
+        assert!(
+            u.comm_cost() <= r.comm_cost() * 1.05,
+            "unified placement lost to round-robin: {} vs {}",
+            u.comm_cost(),
+            r.comm_cost()
+        );
+    }
+
+    let mut g = c.benchmark_group("ablation/placement");
+    g.sample_size(10);
+    g.bench_function("unified", |b| {
+        b.iter(|| design_smallest_mesh(&soc, &groups, spec, &unified, 400).expect("feasible"))
+    });
+    g.bench_function("round-robin", |b| {
+        b.iter(|| design_smallest_mesh(&soc, &groups, spec, &rr, 400).expect("feasible"))
+    });
+    g.finish();
+}
+
+fn bench_ordering(c: &mut Criterion) {
+    let soc = soc5();
+    let groups = UseCaseGroups::singletons(5);
+    let spec = TdmaSpec::paper_default();
+    let sorted = MapperOptions::default();
+    let unsorted = MapperOptions {
+        sort_by_bandwidth: false,
+        prefer_mapped: false,
+        ..Default::default()
+    };
+
+    // Quality gate: sorted processing must not need a bigger mesh.
+    let a = design_smallest_mesh(&soc, &groups, spec, &sorted, 400).expect("feasible");
+    let b = design_smallest_mesh(&soc, &groups, spec, &unsorted, 400).expect("feasible");
+    assert!(
+        a.switch_count() <= b.switch_count(),
+        "bandwidth-sorted ordering regressed: {} vs {} switches",
+        a.switch_count(),
+        b.switch_count()
+    );
+
+    let mut g = c.benchmark_group("ablation/ordering");
+    g.sample_size(10);
+    g.bench_function("bw-sorted", |bch| {
+        bch.iter(|| design_smallest_mesh(&soc, &groups, spec, &sorted, 400).expect("feasible"))
+    });
+    g.bench_function("unsorted", |bch| {
+        bch.iter(|| design_smallest_mesh(&soc, &groups, spec, &unsorted, 400).expect("feasible"))
+    });
+    g.finish();
+}
+
+fn bench_grouping(c: &mut Criterion) {
+    let soc = soc5();
+    let spec = TdmaSpec::paper_default();
+    let opts = MapperOptions::default();
+    let split = UseCaseGroups::singletons(5);
+    let merged = UseCaseGroups::single_group(5);
+
+    // Quality gate: per-use-case states must not need a bigger mesh than
+    // the shared-configuration (WC-like) alternative.
+    let a = design_smallest_mesh(&soc, &split, spec, &opts, 400).expect("feasible");
+    if let Ok(b) = design_smallest_mesh(&soc, &merged, spec, &opts, 400) {
+        assert!(
+            a.switch_count() <= b.switch_count(),
+            "reconfiguration freedom regressed: {} vs {} switches",
+            a.switch_count(),
+            b.switch_count()
+        );
+    }
+
+    let mut g = c.benchmark_group("ablation/grouping");
+    g.sample_size(10);
+    g.bench_function("singleton-groups", |b| {
+        b.iter(|| design_smallest_mesh(&soc, &split, spec, &opts, 400).expect("feasible"))
+    });
+    g.bench_function("single-group", |b| {
+        b.iter(|| design_smallest_mesh(&soc, &merged, spec, &opts, 400).ok())
+    });
+    g.finish();
+}
+
+fn bench_annealing(c: &mut Criterion) {
+    let soc = soc5();
+    let groups = UseCaseGroups::singletons(5);
+    let spec = TdmaSpec::paper_default();
+    let opts = MapperOptions::default();
+    let initial = design_smallest_mesh(&soc, &groups, spec, &opts, 400).expect("feasible");
+    let cfg = AnnealConfig { iterations: 30, ..Default::default() };
+
+    // Quality gate: refinement never worsens the solution.
+    let refined = refine(&soc, &groups, &opts, &initial, &cfg).expect("refine runs");
+    assert!(refined.comm_cost() <= initial.comm_cost());
+
+    let mut g = c.benchmark_group("ablation/annealing");
+    g.sample_size(10);
+    g.bench_function("refine-30-moves", |b| {
+        b.iter(|| refine(&soc, &groups, &opts, &initial, &cfg).expect("refine runs"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_placement, bench_ordering, bench_grouping, bench_annealing);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion wrappers around the figure-regeneration experiments, so
+//! `cargo bench` exercises every artifact of the paper end to end.
+//!
+//! The heavyweight sweeps (`fig6b+`, `fig6c+`, `fig7a`) run once per
+//! sample with a reduced sample count; the `experiments` binary remains
+//! the tool of record for the actual numbers (see EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_bench::{fig6a, fig7c};
+use noc_benchgen::SocDesign;
+use noc_tdma::TdmaSpec;
+use noc_topology::units::Frequency;
+use noc_topology::DvsModel;
+use noc_usecase::UseCaseGroups;
+use nocmap::design::design_smallest_mesh;
+use nocmap::dvs::dvs_savings;
+use nocmap::MapperOptions;
+
+fn bench_fig6a(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig6a", |b| b.iter(fig6a));
+    g.finish();
+}
+
+/// The DVS study on D1 only — the full fig7b over all four designs is
+/// minutes of work per iteration and is exercised by the `experiments`
+/// binary instead.
+fn bench_fig7b_d1(c: &mut Criterion) {
+    let soc = SocDesign::D1.generate();
+    let groups = UseCaseGroups::singletons(soc.use_case_count());
+    let spec = TdmaSpec::paper_default();
+    let opts = MapperOptions::default();
+    let sol =
+        design_smallest_mesh(&soc, &groups, spec, &opts, 400).expect("D1 maps at 500 MHz");
+    let dvs = DvsModel::cmos130();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig7b-d1", |b| {
+        b.iter(|| {
+            dvs_savings(&soc, &groups, &sol, &opts, &dvs, Frequency::from_mhz(10))
+                .expect("D1 DVS study runs")
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig7c(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig7c", |b| b.iter(|| fig7c().expect("base design maps")));
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig6a, bench_fig7b_d1, bench_fig7c);
+criterion_main!(benches);

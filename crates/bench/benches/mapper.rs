@@ -1,0 +1,39 @@
+//! Criterion benchmarks of the mapping engine itself: runtime of
+//! Algorithm 2 vs use-case count ("both the methods produced the results
+//! in less than few minutes", Section 6.2 — ours runs in milliseconds).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc_benchgen::SpreadConfig;
+use noc_tdma::TdmaSpec;
+use noc_usecase::UseCaseGroups;
+use nocmap::design::design_smallest_mesh;
+use nocmap::MapperOptions;
+
+fn bench_mapper_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("design_smallest_mesh/sp");
+    group.sample_size(10);
+    for use_cases in [2usize, 5, 10] {
+        let soc = SpreadConfig::paper(use_cases).generate(7);
+        let groups = UseCaseGroups::singletons(use_cases);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(use_cases),
+            &use_cases,
+            |b, _| {
+                b.iter(|| {
+                    design_smallest_mesh(
+                        &soc,
+                        &groups,
+                        TdmaSpec::paper_default(),
+                        &MapperOptions::default(),
+                        400,
+                    )
+                    .expect("sp benchmarks are feasible")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapper_scaling);
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p noc-bench --bin experiments -- all
+//! cargo run --release -p noc-bench --bin experiments -- fig6a fig7b
+//! ```
+//!
+//! Valid experiment names: `fig6a`, `fig6b`, `fig6c`, `fig7a`, `fig7b`,
+//! `fig7c`, `headline`, `all`. `fig6b`/`fig6c` accept the paper's prose
+//! 40-use-case extension with `fig6b+` / `fig6c+`.
+
+use noc_bench::{
+    ablations, fig6a, fig6b, fig6c, fig7a, fig7b, fig7c, headline, runtimes, verify_designs,
+    Comparison,
+};
+
+fn print_comparisons(title: &str, comps: &[Comparison]) {
+    println!("\n== {title} ==");
+    println!("{:<8} {:>8} {:>8} {:>12}", "bench", "ours", "WC", "ours/WC");
+    for c in comps {
+        let fmt = |v: Option<usize>| v.map_or("fail".to_string(), |n| n.to_string());
+        let norm = c
+            .normalized()
+            .map_or("-".to_string(), |n| format!("{n:.3}"));
+        println!("{:<8} {:>8} {:>8} {:>12}", c.label, fmt(c.ours), fmt(c.wc), norm);
+    }
+}
+
+fn run(name: &str) {
+    match name {
+        "fig6a" => print_comparisons("Fig 6(a): SoC designs, switch count ours vs WC", &fig6a()),
+        "fig6b" | "fig6b+" => print_comparisons(
+            "Fig 6(b): Sp benchmarks, switch count ours vs WC",
+            &fig6b(name.ends_with('+')),
+        ),
+        "fig6c" | "fig6c+" => print_comparisons(
+            "Fig 6(c): Bot benchmarks, switch count ours vs WC",
+            &fig6c(name.ends_with('+')),
+        ),
+        "fig7a" => {
+            println!("\n== Fig 7(a): area-frequency trade-off, D1 ==");
+            println!("{:>10} {:>10} {:>12}", "MHz", "switches", "area (mm2)");
+            for p in fig7a() {
+                let s = p.switches.map_or("fail".into(), |n: usize| n.to_string());
+                let a = p.area_mm2.map_or("-".into(), |a| format!("{a:.3}"));
+                println!("{:>10} {:>10} {:>12}", p.frequency.as_mhz_f64(), s, a);
+            }
+        }
+        "fig7b" => match fig7b() {
+            Ok(points) => {
+                println!("\n== Fig 7(b): DVS/DFS power savings ==");
+                println!("{:<8} {:>12} per-use-case min MHz", "design", "savings");
+                for p in points {
+                    let mhz: Vec<String> =
+                        p.per_use_case_mhz.iter().map(|f| format!("{f:.0}")).collect();
+                    println!(
+                        "{:<8} {:>11.1}% [{}]",
+                        p.label,
+                        100.0 * p.savings,
+                        mhz.join(", ")
+                    );
+                }
+            }
+            Err(e) => println!("fig7b failed: {e}"),
+        },
+        "fig7c" => match fig7c() {
+            Ok(points) => {
+                println!("\n== Fig 7(c): frequency vs parallel use-cases (Sp, 10 UC) ==");
+                println!("{:>10} {:>14}", "parallel", "min MHz");
+                for p in points {
+                    let f = p
+                        .frequency
+                        .map_or("infeasible".into(), |f| format!("{:.0}", f.as_mhz_f64()));
+                    println!("{:>10} {:>14}", p.parallel, f);
+                }
+            }
+            Err(e) => println!("fig7c failed: {e}"),
+        },
+        "verify" => match verify_designs() {
+            Ok(points) => {
+                println!("\n== Phase-4 verification (analytical + simulation) ==");
+                println!(
+                    "{:<8} {:>10} {:>12} {:>11} {:>11} {:>10}",
+                    "design", "use-cases", "connections", "contention", "late words", "delivered"
+                );
+                for p in points {
+                    println!(
+                        "{:<8} {:>10} {:>12} {:>11} {:>11} {:>10}",
+                        p.label,
+                        p.use_cases,
+                        p.connections,
+                        p.contention,
+                        p.late_words,
+                        if p.all_delivered { "yes" } else { "NO" }
+                    );
+                }
+            }
+            Err(e) => println!("verify failed: {e}"),
+        },
+        "ablation" => {
+            println!("\n== Ablations (Sp, 5 use-cases) ==");
+            println!("{:<24} {:>9} {:>16}", "variant", "switches", "comm cost");
+            for p in ablations() {
+                let s = p.switches.map_or("fail".into(), |n| n.to_string());
+                let cc = p.comm_cost.map_or("-".into(), |v| format!("{v:.0}"));
+                println!("{:<24} {:>9} {:>16}", p.label, s, cc);
+            }
+        }
+        "runtime" => {
+            println!("\n== Runtime (paper: 'less than few minutes' per benchmark) ==");
+            println!("{:<8} {:>12} {:>12}", "bench", "ours", "WC");
+            for r in runtimes() {
+                println!("{:<8} {:>12?} {:>12?}", r.label, r.ours, r.wc);
+            }
+        }
+        "headline" => match headline() {
+            Ok(h) => {
+                println!("\n== Headline numbers (abstract) ==");
+                println!(
+                    "mean NoC area (switch) reduction vs WC: {:.1}% (paper: ~80%)",
+                    100.0 * h.mean_area_reduction
+                );
+                println!(
+                    "mean DVS/DFS power saving:              {:.1}% (paper: ~54%)",
+                    100.0 * h.mean_power_saving
+                );
+            }
+            Err(e) => println!("headline failed: {e}"),
+        },
+        other => eprintln!("unknown experiment '{other}'"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "all") {
+        for name in [
+            "fig6a", "fig6b+", "fig6c+", "fig7a", "fig7b", "fig7c", "verify", "ablation",
+            "runtime", "headline",
+        ] {
+            run(name);
+        }
+    } else {
+        for name in &args {
+            run(name);
+        }
+    }
+}

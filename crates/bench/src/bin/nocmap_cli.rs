@@ -1,0 +1,162 @@
+//! `nocmap-cli` — the design flow as a command-line tool.
+//!
+//! ```text
+//! # generate a benchmark spec file
+//! cargo run --release -p noc-bench --bin nocmap_cli -- gen d1 > d1.spec
+//! cargo run --release -p noc-bench --bin nocmap_cli -- gen sp --use-cases 10 --seed 7 > sp.spec
+//!
+//! # run the design flow on a spec file
+//! cargo run --release -p noc-bench --bin nocmap_cli -- design d1.spec --freq 500 --emit d1.cfg
+//! ```
+//!
+//! Subcommands:
+//!
+//! * `gen {d1|d2|d3|d4|sp|bot} [--use-cases N] [--seed S]` — write a spec
+//!   (text format of `noc_usecase::textio`) to stdout.
+//! * `design SPEC [--freq MHZ] [--slots N] [--max-switches N] [--wc]
+//!   [--emit FILE]` — design the smallest mesh, print the analytic
+//!   report, optionally compare with the worst-case baseline and emit the
+//!   configuration artifact.
+
+use std::process::ExitCode;
+
+use noc_benchgen::{BottleneckConfig, SocDesign, SpreadConfig};
+use noc_tdma::TdmaSpec;
+use noc_topology::units::{Frequency, LinkWidth};
+use noc_usecase::spec::SocSpec;
+use noc_usecase::UseCaseGroups;
+use nocmap::design::design_smallest_mesh;
+use nocmap::emit::emit_text;
+use nocmap::report::SolutionReport;
+use nocmap::wc::design_worst_case;
+use nocmap::MapperOptions;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  nocmap_cli gen {{d1|d2|d3|d4|sp|bot}} [--use-cases N] [--seed S]\n  \
+         nocmap_cli design SPEC [--freq MHZ] [--slots N] [--max-switches N] [--wc] [--emit FILE]"
+    );
+    ExitCode::FAILURE
+}
+
+/// Pulls `--name VALUE` out of `args`, parsing VALUE as `u64`.
+fn take_opt(args: &mut Vec<String>, name: &str) -> Result<Option<u64>, String> {
+    if let Some(pos) = args.iter().position(|a| a == name) {
+        if pos + 1 >= args.len() {
+            return Err(format!("{name} needs a value"));
+        }
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        value.parse::<u64>().map(Some).map_err(|_| format!("invalid {name} '{value}'"))
+    } else {
+        Ok(None)
+    }
+}
+
+fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == name) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+fn take_string(args: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
+    if let Some(pos) = args.iter().position(|a| a == name) {
+        if pos + 1 >= args.len() {
+            return Err(format!("{name} needs a value"));
+        }
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        Ok(Some(value))
+    } else {
+        Ok(None)
+    }
+}
+
+fn cmd_gen(mut args: Vec<String>) -> Result<(), String> {
+    let use_cases = take_opt(&mut args, "--use-cases")?.unwrap_or(5) as usize;
+    let seed = take_opt(&mut args, "--seed")?.unwrap_or(2006);
+    let which = args.first().ok_or("gen needs a benchmark kind")?.as_str();
+    let soc: SocSpec = match which {
+        "d1" => SocDesign::D1.generate(),
+        "d2" => SocDesign::D2.generate(),
+        "d3" => SocDesign::D3.generate(),
+        "d4" => SocDesign::D4.generate(),
+        "sp" => SpreadConfig::paper(use_cases).generate(seed),
+        "bot" => BottleneckConfig::paper(use_cases).generate(seed),
+        other => return Err(format!("unknown benchmark '{other}'")),
+    };
+    print!("{}", noc_usecase::to_text(&soc));
+    Ok(())
+}
+
+fn cmd_design(mut args: Vec<String>) -> Result<(), String> {
+    let freq = take_opt(&mut args, "--freq")?.unwrap_or(500);
+    let slots = take_opt(&mut args, "--slots")?.unwrap_or(128) as usize;
+    let max_switches = take_opt(&mut args, "--max-switches")?.unwrap_or(400) as usize;
+    let compare_wc = take_flag(&mut args, "--wc");
+    let emit_path = take_string(&mut args, "--emit")?;
+    let spec_path = args.first().ok_or("design needs a spec file")?;
+
+    let text = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+    let soc = noc_usecase::from_text(&text).map_err(|e| format!("{spec_path}: {e}"))?;
+    println!(
+        "loaded '{}': {} cores, {} use-cases, {} flows",
+        soc.name(),
+        soc.core_count(),
+        soc.use_case_count(),
+        soc.total_flow_count()
+    );
+
+    let tdma = TdmaSpec::new(slots, Frequency::from_mhz(freq), LinkWidth::BITS_32);
+    let options = MapperOptions::default();
+    let groups = UseCaseGroups::singletons(soc.use_case_count());
+    let solution = design_smallest_mesh(&soc, &groups, tdma, &options, max_switches)
+        .map_err(|e| format!("design failed: {e}"))?;
+    solution
+        .verify(&soc, &groups)
+        .map_err(|e| format!("internal error, produced invalid solution: {e}"))?;
+
+    println!("{}", SolutionReport::analyze(&solution));
+
+    if compare_wc {
+        match design_worst_case(&soc, tdma, &options, max_switches) {
+            Ok(wc) => println!(
+                "worst-case baseline: {} switches ({}x ours)",
+                wc.switch_count(),
+                wc.switch_count() as f64 / solution.switch_count() as f64
+            ),
+            Err(e) => println!("worst-case baseline: infeasible ({e})"),
+        }
+    }
+
+    if let Some(path) = emit_path {
+        let artifact = emit_text(&solution, &soc, &groups);
+        std::fs::write(&path, &artifact).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("configuration artifact written to {path} ({} bytes)", artifact.len());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    let cmd = args.remove(0);
+    let result = match cmd.as_str() {
+        "gen" => cmd_gen(args),
+        "design" => cmd_design(args),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

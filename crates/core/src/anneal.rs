@@ -1,0 +1,209 @@
+//! Simulated-annealing refinement of the core placement.
+//!
+//! "Once the initial mapping step is performed, the solution space can be
+//! explored further by considering swapping of vertices using simulated
+//! annealing or tabu search, as performed in [19]." — Section 5.
+//!
+//! A move swaps the NIs of two cores (or moves a core to a free NI); all
+//! paths and slot tables are rebuilt with the placement fixed. Moves that
+//! lower the bandwidth-weighted hop cost ([`MappingSolution::comm_cost`])
+//! are always accepted; uphill moves are accepted with the Metropolis
+//! probability under a geometrically cooling temperature.
+
+use noc_usecase::spec::SocSpec;
+use noc_usecase::UseCaseGroups;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::MapError;
+use crate::mapper::{map_multi_usecase, MapperOptions, Placement};
+use crate::result::MappingSolution;
+
+/// Annealing schedule parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealConfig {
+    /// Number of proposed moves.
+    pub iterations: usize,
+    /// Initial temperature, in cost units (comm-cost is MB/s·hops, so a
+    /// temperature of e.g. 500 accepts early uphill moves of a few
+    /// hundred MB/s·hops).
+    pub initial_temperature: f64,
+    /// Geometric cooling factor per iteration, in `(0, 1)`.
+    pub cooling: f64,
+    /// RNG seed (annealing is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        AnnealConfig { iterations: 200, initial_temperature: 500.0, cooling: 0.97, seed: 1 }
+    }
+}
+
+/// Refines `initial` by annealing over core swaps, returning the best
+/// verified solution found (which is `initial` itself if no move helps).
+///
+/// # Errors
+///
+/// Propagates mapper errors only for the *initial* re-route sanity pass;
+/// failed candidate moves are simply rejected.
+pub fn refine(
+    soc: &SocSpec,
+    groups: &UseCaseGroups,
+    options: &MapperOptions,
+    initial: &MappingSolution,
+    config: &AnnealConfig,
+) -> Result<MappingSolution, MapError> {
+    assert!(config.cooling > 0.0 && config.cooling < 1.0, "cooling must be in (0, 1)");
+    let topo = initial.topology().clone();
+    let spec = initial.spec();
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+
+    let reroute = |placement: Placement| {
+        map_multi_usecase(
+            soc,
+            groups,
+            &topo,
+            spec,
+            &MapperOptions { placement, ..options.clone() },
+        )
+    };
+
+    // Re-route the initial placement so current/best are produced by the
+    // same pipeline as every candidate (comparable costs).
+    let mut current = reroute(Placement::Preset(initial.core_mapping().clone()))?;
+    if initial.comm_cost() <= current.comm_cost() {
+        current = initial.clone();
+    }
+    let mut best = current.clone();
+    let mut temperature = config.initial_temperature;
+    let nis = topo.nis().to_vec();
+
+    for _ in 0..config.iterations {
+        let mut mapping = current.core_mapping().clone();
+        let cores: Vec<_> = mapping.keys().copied().collect();
+        if cores.is_empty() || nis.len() < 2 {
+            break;
+        }
+        // Propose: swap two cores, or move one core to a free NI.
+        let a = cores[rng.gen_range(0..cores.len())];
+        let ni_a = mapping[&a];
+        let target_ni = nis[rng.gen_range(0..nis.len())];
+        if target_ni == ni_a {
+            temperature *= config.cooling;
+            continue;
+        }
+        if let Some(b) = cores.iter().copied().find(|c| mapping[c] == target_ni) {
+            mapping.insert(b, ni_a);
+        }
+        mapping.insert(a, target_ni);
+
+        if let Ok(candidate) = reroute(Placement::Preset(mapping)) {
+            let delta = candidate.comm_cost() - current.comm_cost();
+            let accept = delta <= 0.0
+                || rng.gen_bool((-delta / temperature.max(1e-9)).exp().clamp(0.0, 1.0));
+            if accept {
+                current = candidate;
+                if current.comm_cost() < best.comm_cost() {
+                    best = current.clone();
+                }
+            }
+        }
+        temperature *= config.cooling;
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::Placement;
+    use noc_tdma::TdmaSpec;
+    use noc_topology::units::{Bandwidth, Latency};
+    use noc_topology::MeshBuilder;
+    use noc_usecase::spec::{CoreId, UseCaseBuilder};
+
+    fn c(i: u32) -> CoreId {
+        CoreId::new(i)
+    }
+
+    fn chatty_soc() -> SocSpec {
+        // Pairs (0,1) and (2,3) are hot; a placement that separates them
+        // pays extra hops.
+        let mut soc = SocSpec::new("chatty");
+        soc.add_use_case(
+            UseCaseBuilder::new("u")
+                .flow(c(0), c(1), Bandwidth::from_mbps(500), Latency::UNCONSTRAINED)
+                .unwrap()
+                .flow(c(2), c(3), Bandwidth::from_mbps(500), Latency::UNCONSTRAINED)
+                .unwrap()
+                .flow(c(0), c(2), Bandwidth::from_mbps(5), Latency::UNCONSTRAINED)
+                .unwrap()
+                .build(),
+        );
+        soc
+    }
+
+    #[test]
+    fn refine_never_worsens() {
+        let soc = chatty_soc();
+        let groups = UseCaseGroups::singletons(1);
+        let opts = MapperOptions::default();
+        let mesh = MeshBuilder::new(2, 2).nis_per_switch(1).build().unwrap();
+        let initial =
+            map_multi_usecase(&soc, &groups, mesh.topology(), TdmaSpec::paper_default(), &opts).unwrap();
+        let refined =
+            refine(&soc, &groups, &opts, &initial, &AnnealConfig::default()).unwrap();
+        assert!(refined.comm_cost() <= initial.comm_cost());
+        refined.verify(&soc, &groups).unwrap();
+    }
+
+    #[test]
+    fn refine_fixes_bad_round_robin_placement() {
+        let soc = chatty_soc();
+        let groups = UseCaseGroups::singletons(1);
+        let mesh = MeshBuilder::new(2, 2).nis_per_switch(1).build().unwrap();
+        // Deliberately poor start: round-robin ignores affinity.
+        let rr_opts =
+            MapperOptions { placement: Placement::RoundRobin, ..Default::default() };
+        let initial =
+            map_multi_usecase(&soc, &groups, mesh.topology(), TdmaSpec::paper_default(), &rr_opts).unwrap();
+        let opts = MapperOptions::default();
+        let cfg = AnnealConfig { iterations: 300, ..Default::default() };
+        let refined = refine(&soc, &groups, &opts, &initial, &cfg).unwrap();
+        assert!(
+            refined.comm_cost() <= initial.comm_cost(),
+            "refined {} vs initial {}",
+            refined.comm_cost(),
+            initial.comm_cost()
+        );
+        refined.verify(&soc, &groups).unwrap();
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let soc = chatty_soc();
+        let groups = UseCaseGroups::singletons(1);
+        let opts = MapperOptions::default();
+        let mesh = MeshBuilder::new(2, 2).nis_per_switch(1).build().unwrap();
+        let initial =
+            map_multi_usecase(&soc, &groups, mesh.topology(), TdmaSpec::paper_default(), &opts).unwrap();
+        let cfg = AnnealConfig { iterations: 50, seed: 9, ..Default::default() };
+        let a = refine(&soc, &groups, &opts, &initial, &cfg).unwrap();
+        let b = refine(&soc, &groups, &opts, &initial, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "cooling")]
+    fn cooling_validated() {
+        let soc = chatty_soc();
+        let groups = UseCaseGroups::singletons(1);
+        let opts = MapperOptions::default();
+        let mesh = MeshBuilder::new(2, 2).nis_per_switch(1).build().unwrap();
+        let initial =
+            map_multi_usecase(&soc, &groups, mesh.topology(), TdmaSpec::paper_default(), &opts).unwrap();
+        let cfg = AnnealConfig { cooling: 1.5, ..Default::default() };
+        let _ = refine(&soc, &groups, &opts, &initial, &cfg);
+    }
+}

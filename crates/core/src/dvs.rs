@@ -1,0 +1,265 @@
+//! Dynamic voltage and frequency scaling across use-cases (Section 6.4,
+//! Figure 7(b)).
+//!
+//! When the SoC switches use-cases (and the switching time allows
+//! reconfiguration), the NoC's frequency — and, via `V² ∝ f`, its supply
+//! voltage — can be lowered to the minimum that still satisfies the
+//! incoming use-case's constraints on the **fixed** topology and core
+//! mapping. Power then drops quadratically relative to running every
+//! use-case at the design frequency.
+
+use noc_tdma::TdmaSpec;
+use noc_topology::units::Frequency;
+use noc_topology::DvsModel;
+use noc_usecase::spec::{SocSpec, UseCaseId};
+use noc_usecase::UseCaseGroups;
+
+use crate::design::min_frequency;
+use crate::error::MapError;
+use crate::mapper::{MapperOptions, Placement};
+use crate::result::MappingSolution;
+
+/// Per-use-case DVS/DFS outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DvsReport {
+    /// The design frequency used as the no-DVS baseline: the minimum
+    /// frequency at which **every** use-case is feasible on the fixed
+    /// mesh and mapping. (A NoC without DVS must run at this frequency
+    /// all the time; comparing against an over-provisioned clock would
+    /// inflate the savings.)
+    pub design_frequency: Frequency,
+    /// Minimum feasible frequency per use-case, in use-case order.
+    pub per_use_case: Vec<(UseCaseId, Frequency)>,
+    /// Mean power at the scaled operating points relative to running at
+    /// the design frequency (assuming use-cases are active for equal
+    /// time shares).
+    pub relative_power: f64,
+}
+
+impl DvsReport {
+    /// Power saving fraction, `1 - relative_power` (the quantity plotted
+    /// in Figure 7(b)).
+    pub fn savings_fraction(&self) -> f64 {
+        1.0 - self.relative_power
+    }
+}
+
+/// Computes the DVS/DFS saving for a finished design.
+///
+/// For every use-case, the minimum feasible NoC frequency is found by
+/// bisection on the design's **fixed mesh and core mapping** (paths and
+/// slot tables may be rebuilt — exactly the reconfiguration the paper
+/// permits during use-case switching); power is then averaged with the
+/// DVS rule.
+///
+/// # Errors
+///
+/// Any [`MapError`] from the per-use-case re-mapping; in particular a
+/// use-case that is infeasible even at the design frequency (which would
+/// indicate a broken input solution).
+pub fn dvs_savings(
+    soc: &SocSpec,
+    groups: &UseCaseGroups,
+    solution: &MappingSolution,
+    options: &MapperOptions,
+    dvs: &DvsModel,
+    floor: Frequency,
+) -> Result<DvsReport, MapError> {
+    let preset = Placement::Preset(solution.core_mapping().clone());
+    let per_uc_options = MapperOptions { placement: preset, ..options.clone() };
+
+    // The no-DVS baseline: the slowest clock at which the whole design
+    // (all use-cases, same mesh and mapping) remains feasible.
+    let (design_frequency, _) = min_frequency(
+        soc,
+        groups,
+        solution.topology(),
+        solution.spec(),
+        &per_uc_options,
+        floor,
+        solution.spec().frequency(),
+    )?;
+
+    let mut per_use_case = Vec::with_capacity(soc.use_case_count());
+    let mut rel_sum = 0.0;
+    for uc_id in soc.use_case_ids() {
+        let mut solo = SocSpec::new(format!("{}-{}", soc.name(), uc_id));
+        solo.add_use_case(soc.use_case(uc_id).clone());
+        let (f_min, _) = min_frequency(
+            &solo,
+            &UseCaseGroups::singletons(1),
+            solution.topology(),
+            solution.spec(),
+            &per_uc_options,
+            floor,
+            design_frequency,
+        )?;
+        rel_sum += dvs.relative_power(f_min.min(design_frequency), design_frequency);
+        per_use_case.push((uc_id, f_min));
+    }
+    let n = per_use_case.len().max(1);
+    Ok(DvsReport { design_frequency, per_use_case, relative_power: rel_sum / n as f64 })
+}
+
+/// Re-derives the *design* frequency for running `k` use-cases in
+/// parallel (Figure 7(c)): the minimum frequency at which the compound
+/// mode of every combination... — the paper sweeps one representative
+/// compound per `k`, which is what this helper does: it merges the first
+/// `k` use-cases of `soc` into a compound mode and finds its minimum
+/// feasible frequency on `mesh`.
+///
+/// # Errors
+///
+/// [`MapError::NoFeasibleFrequency`] when even `hi` cannot support the
+/// compound mode on this mesh; other [`MapError`]s on malformed input.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds the spec's use-case count.
+pub fn parallel_min_frequency(
+    soc: &SocSpec,
+    k: usize,
+    topo: &noc_topology::Topology,
+    base_spec: TdmaSpec,
+    options: &MapperOptions,
+    lo: Frequency,
+    hi: Frequency,
+) -> Result<(Frequency, MappingSolution), MapError> {
+    assert!(k >= 1 && k <= soc.use_case_count(), "k must be in 1..=use_case_count");
+    let members: Vec<_> = soc.use_cases().iter().take(k).collect();
+    let compound = noc_usecase::compound_mode(format!("par{k}"), members.into_iter());
+    let mut solo = SocSpec::new(format!("{}-par{k}", soc.name()));
+    solo.add_use_case(compound);
+    min_frequency(&solo, &UseCaseGroups::singletons(1), topo, base_spec, options, lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::design_smallest_mesh;
+    use noc_topology::units::{Bandwidth, Latency};
+    use noc_usecase::spec::{CoreId, UseCaseBuilder};
+
+    fn c(i: u32) -> CoreId {
+        CoreId::new(i)
+    }
+
+    fn bw(m: u64) -> Bandwidth {
+        Bandwidth::from_mbps(m)
+    }
+
+    /// One heavy use-case, one light one: the light one should scale far
+    /// down.
+    fn skewed_soc() -> SocSpec {
+        let mut soc = SocSpec::new("skew");
+        soc.add_use_case(
+            UseCaseBuilder::new("heavy")
+                .flow(c(0), c(1), bw(1000), Latency::UNCONSTRAINED)
+                .unwrap()
+                .flow(c(2), c(3), bw(800), Latency::UNCONSTRAINED)
+                .unwrap()
+                .build(),
+        );
+        soc.add_use_case(
+            UseCaseBuilder::new("light")
+                .flow(c(0), c(1), bw(20), Latency::UNCONSTRAINED)
+                .unwrap()
+                .build(),
+        );
+        soc
+    }
+
+    #[test]
+    fn light_use_cases_scale_down() {
+        let soc = skewed_soc();
+        let groups = UseCaseGroups::singletons(2);
+        let opts = MapperOptions::default();
+        let spec = TdmaSpec::paper_default();
+        let sol = design_smallest_mesh(&soc, &groups, spec, &opts, 100).unwrap();
+        let report =
+            dvs_savings(&soc, &groups, &sol, &opts, &DvsModel::cmos130(), Frequency::from_mhz(1))
+                .unwrap();
+        assert!(report.design_frequency <= Frequency::from_mhz(500));
+        assert_eq!(report.per_use_case.len(), 2);
+        let f_heavy = report.per_use_case[0].1;
+        let f_light = report.per_use_case[1].1;
+        assert!(f_light < f_heavy, "light {f_light} should scale below heavy {f_heavy}");
+        assert!(report.savings_fraction() > 0.0);
+        assert!(report.savings_fraction() < 1.0);
+    }
+
+    #[test]
+    fn savings_zero_when_everything_needs_design_frequency() {
+        // A single use-case that needs nearly the whole link keeps the
+        // frequency pinned near the design point.
+        let mut soc = SocSpec::new("pinned");
+        soc.add_use_case(
+            UseCaseBuilder::new("u")
+                .flow(c(0), c(1), bw(1990), Latency::UNCONSTRAINED)
+                .unwrap()
+                .build(),
+        );
+        let groups = UseCaseGroups::singletons(1);
+        let opts = MapperOptions::default();
+        let sol =
+            design_smallest_mesh(&soc, &groups, TdmaSpec::paper_default(), &opts, 100).unwrap();
+        let report =
+            dvs_savings(&soc, &groups, &sol, &opts, &DvsModel::cmos130(), Frequency::from_mhz(1))
+                .unwrap();
+        // With one use-case the baseline IS that use-case's minimum:
+        // savings must be (near) zero.
+        assert!(report.savings_fraction() < 0.05, "{}", report.savings_fraction());
+    }
+
+    #[test]
+    fn parallel_frequency_grows_with_k() {
+        let mut soc = SocSpec::new("par");
+        for u in 0..4u32 {
+            soc.add_use_case(
+                UseCaseBuilder::new(format!("u{u}"))
+                    .flow(c(0), c(1), bw(300), Latency::UNCONSTRAINED)
+                    .unwrap()
+                    .flow(c(2), c(3), bw(200), Latency::UNCONSTRAINED)
+                    .unwrap()
+                    .build(),
+            );
+        }
+        let groups = UseCaseGroups::singletons(4);
+        let opts = MapperOptions::default();
+        let spec = TdmaSpec::paper_default();
+        let sol = design_smallest_mesh(&soc, &groups, spec, &opts, 100).unwrap();
+        let mut prev = Frequency::ZERO;
+        for k in 1..=4 {
+            let (f, _) = parallel_min_frequency(
+                &soc,
+                k,
+                sol.topology(),
+                spec,
+                &opts,
+                Frequency::from_mhz(1),
+                Frequency::from_ghz(4),
+            )
+            .unwrap();
+            assert!(f >= prev, "frequency must not drop as k grows: {f} < {prev}");
+            prev = f;
+        }
+        // 4 parallel copies of a 300 MB/s flow need ~4x the frequency of 1.
+        assert!(prev >= Frequency::from_mhz(300));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn parallel_k_validated() {
+        let soc = skewed_soc();
+        let mesh = noc_topology::MeshBuilder::new(1, 1).nis_per_switch(4).build().unwrap();
+        let _ = parallel_min_frequency(
+            &soc,
+            0,
+            mesh.topology(),
+            TdmaSpec::paper_default(),
+            &MapperOptions::default(),
+            Frequency::from_mhz(1),
+            Frequency::from_mhz(500),
+        );
+    }
+}

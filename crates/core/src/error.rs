@@ -1,0 +1,120 @@
+use std::error::Error;
+use std::fmt;
+
+use noc_usecase::spec::CoreId;
+
+use crate::verify::VerifyError;
+
+/// Errors raised by the mapping flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MapError {
+    /// The SoC spec has no flows at all.
+    EmptySpec,
+    /// More cores than NIs on the candidate topology.
+    TooManyCores {
+        /// Cores to place.
+        cores: usize,
+        /// NIs available.
+        nis: usize,
+    },
+    /// No feasible path (with slots and latency) for a pair in a group at
+    /// this topology size — the caller should grow the topology.
+    Unroutable {
+        /// Flow source core.
+        src: CoreId,
+        /// Flow destination core.
+        dst: CoreId,
+        /// Group whose resource state ran out.
+        group: usize,
+    },
+    /// A flow needs more slots than a whole slot table holds — infeasible
+    /// at this frequency regardless of topology size.
+    FlowExceedsLinkCapacity {
+        /// Flow source core.
+        src: CoreId,
+        /// Flow destination core.
+        dst: CoreId,
+        /// Slots needed.
+        needed: usize,
+        /// Slots per table.
+        available: usize,
+    },
+    /// The growth loop hit its size cap without finding a valid mapping.
+    NoFeasibleSize {
+        /// Largest switch count tried.
+        max_switches: usize,
+    },
+    /// No frequency within the searched range made the design feasible.
+    NoFeasibleFrequency,
+    /// The groups partition does not cover the spec's use-cases.
+    GroupMismatch {
+        /// Use-cases in the spec.
+        spec_use_cases: usize,
+        /// Use-cases covered by the partition.
+        group_use_cases: usize,
+    },
+    /// A produced solution failed verification (internal error).
+    Inconsistent(VerifyError),
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::EmptySpec => write!(f, "specification contains no flows"),
+            MapError::TooManyCores { cores, nis } => {
+                write!(f, "{cores} cores cannot be placed on {nis} NIs")
+            }
+            MapError::Unroutable { src, dst, group } => {
+                write!(f, "no feasible path for {src} -> {dst} in group {group}")
+            }
+            MapError::FlowExceedsLinkCapacity { src, dst, needed, available } => write!(
+                f,
+                "flow {src} -> {dst} needs {needed} slots but a table has only {available}"
+            ),
+            MapError::NoFeasibleSize { max_switches } => {
+                write!(f, "no valid mapping up to {max_switches} switches")
+            }
+            MapError::NoFeasibleFrequency => {
+                write!(f, "no frequency in the searched range yields a valid mapping")
+            }
+            MapError::GroupMismatch { spec_use_cases, group_use_cases } => write!(
+                f,
+                "group partition covers {group_use_cases} use-cases but the spec has {spec_use_cases}"
+            ),
+            MapError::Inconsistent(e) => write!(f, "produced solution fails verification: {e}"),
+        }
+    }
+}
+
+impl Error for MapError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MapError::Inconsistent(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VerifyError> for MapError {
+    fn from(e: VerifyError) -> Self {
+        MapError::Inconsistent(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_trait_bounds() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<MapError>();
+    }
+
+    #[test]
+    fn display() {
+        let e = MapError::TooManyCores { cores: 20, nis: 16 };
+        assert_eq!(e.to_string(), "20 cores cannot be placed on 16 NIs");
+    }
+}

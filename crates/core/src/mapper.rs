@@ -1,0 +1,703 @@
+//! Algorithm 2: unified mapping, path selection and slot allocation for
+//! multiple use-cases.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use noc_tdma::{ConnId, NetworkSlots, SlotPolicy, TdmaSpec};
+use noc_topology::units::{Bandwidth, Latency};
+use noc_topology::{NodeId, Topology};
+use noc_usecase::spec::{CoreId, SocSpec};
+use noc_usecase::UseCaseGroups;
+
+use crate::error::MapError;
+use crate::merge::{merged_group_flows, MergedFlow};
+use crate::path::{PathQuery, Target};
+use crate::result::{GroupConfig, MappingSolution, Route};
+
+/// How cores are placed onto NIs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// The paper's unified scheme: a core is placed on an NI at the end of
+    /// the least-cost path chosen for its first (largest) flow.
+    #[default]
+    Unified,
+    /// Decoupled baseline for the ablation benches: cores are assigned to
+    /// NIs round-robin *before* any routing happens; routing then has no
+    /// say in placement.
+    RoundRobin,
+    /// A fixed, externally supplied core → NI assignment. Used by the
+    /// DVS/DFS study and annealing moves, which re-route on a mapping that
+    /// must not change.
+    Preset(std::collections::BTreeMap<CoreId, NodeId>),
+}
+
+/// Tunable knobs of the mapping heuristic. [`MapperOptions::default`] is
+/// the paper's configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapperOptions {
+    /// Slot-selection policy for GT reservations.
+    pub slot_policy: SlotPolicy,
+    /// Process pairs in decreasing order of bandwidth (step 2 of
+    /// Algorithm 2). Disabling this is the `ablation_order` baseline.
+    pub sort_by_bandwidth: bool,
+    /// Prefer pairs whose endpoints are already mapped (step 3).
+    pub prefer_mapped: bool,
+    /// Congestion weight of the path cost, in thousandths of a hop for a
+    /// fully-loaded link.
+    pub load_penalty_millis: u64,
+    /// How many times to retry path selection (banning the bottleneck
+    /// link) when contention-free slot allocation fails on the chosen
+    /// path.
+    pub path_retries: usize,
+    /// Core-placement scheme.
+    pub placement: Placement,
+    /// Maximum ports a switch may have (crossbar arity limit of the
+    /// target library; Æthereal routers are small-arity). The design flow
+    /// only proposes meshes whose switches respect this, which is what
+    /// keeps a single huge switch from trivially "solving" every design.
+    pub max_switch_ports: usize,
+}
+
+impl Default for MapperOptions {
+    fn default() -> Self {
+        MapperOptions {
+            slot_policy: SlotPolicy::Spread,
+            sort_by_bandwidth: true,
+            prefer_mapped: true,
+            load_penalty_millis: 500,
+            path_retries: 4,
+            placement: Placement::Unified,
+            max_switch_ports: 10,
+        }
+    }
+}
+
+/// One `(src, dst)` pair with its per-group merged constraints, ordered
+/// so the group with the largest bandwidth is routed (and thus placed)
+/// first.
+#[derive(Debug)]
+struct PairTask {
+    src: CoreId,
+    dst: CoreId,
+    /// `(group, merged constraint)` sorted by decreasing bandwidth.
+    demands: Vec<(usize, MergedFlow)>,
+    max_bw: Bandwidth,
+}
+
+/// Mutable mapping state shared across the run.
+struct MapState<'a> {
+    topo: &'a Topology,
+    spec: TdmaSpec,
+    options: &'a MapperOptions,
+    /// Per-group slot tables ("each use-case maintains separate data
+    /// structures", scoped to groups since group members share one
+    /// configuration).
+    group_slots: Vec<NetworkSlots>,
+    core_to_ni: BTreeMap<CoreId, NodeId>,
+    /// Occupancy flags indexed by node id (only NI entries are used).
+    ni_occupied: Vec<bool>,
+    /// All NI ids, cached.
+    free_nis: Vec<NodeId>,
+    conn_seq: u32,
+}
+
+impl<'a> MapState<'a> {
+    fn place(&mut self, core: CoreId, ni: NodeId) {
+        debug_assert!(!self.ni_occupied[ni.index()], "NI {ni} double-booked");
+        self.core_to_ni.insert(core, ni);
+        self.ni_occupied[ni.index()] = true;
+        self.free_nis.retain(|&n| n != ni);
+    }
+
+    fn max_hops_for(&self, latency: Latency) -> usize {
+        let bound = self.topo.node_count();
+        if latency.is_unconstrained() {
+            return bound;
+        }
+        // Worst-case GT latency is (gap + hops) cycles with gap >= 1, so a
+        // path is only admissible when hops <= lat_cycles - 1.
+        let lat_cycles = (latency.as_ns() as u128 * self.spec.frequency().as_hz() as u128
+            / 1_000_000_000u128) as usize;
+        lat_cycles.saturating_sub(1).min(bound)
+    }
+
+    /// Routes `(src, dst)` in `group`'s state, placing unmapped endpoints
+    /// on the NIs at the ends of the chosen path (step 4 of Algorithm 2).
+    fn route_pair(
+        &mut self,
+        group: usize,
+        src: CoreId,
+        dst: CoreId,
+        demand: MergedFlow,
+    ) -> Result<Route, MapError> {
+        let needed = self.spec.slots_for_bandwidth(demand.bandwidth);
+        debug_assert!(needed >= 1);
+        let max_hops = self.max_hops_for(demand.latency);
+        let topo = self.topo;
+        let mut banned: BTreeSet<noc_topology::LinkId> = BTreeSet::new();
+
+        for _attempt in 0..=self.options.path_retries {
+            let query = PathQuery::new(
+                topo,
+                &self.group_slots[group],
+                needed,
+                max_hops,
+                self.options.load_penalty_millis,
+                &banned,
+            );
+            let src_ni = self.core_to_ni.get(&src).copied();
+            let dst_ni = self.core_to_ni.get(&dst).copied();
+            let sources: Vec<NodeId> = match src_ni {
+                Some(ni) => vec![ni],
+                None => self.free_nis.clone(),
+            };
+            if sources.is_empty() {
+                break;
+            }
+            let target = match dst_ni {
+                Some(ni) => Target::Ni(ni),
+                None => Target::AnyFreeNi { occupied: &self.ni_occupied },
+            };
+            let Some(found) = query.shortest(&sources, target) else {
+                break;
+            };
+
+            // Contention-free slot allocation, growing the reservation
+            // until the worst-case latency bound is met.
+            let state = &self.group_slots[group];
+            let mut alloc = None;
+            let mut k = needed;
+            while k <= self.spec.slots() {
+                match state.find_base_slots(&found.links, k, self.options.slot_policy) {
+                    None => break,
+                    Some(slots) => {
+                        let wc = self.spec.worst_case_latency(&slots, found.hops());
+                        if demand.latency.is_unconstrained() || wc <= demand.latency {
+                            alloc = Some((slots, wc));
+                            break;
+                        }
+                        k += 1;
+                    }
+                }
+            }
+
+            match alloc {
+                Some((slots, wc)) => {
+                    // Commit: place endpoints, reserve, record.
+                    if src_ni.is_none() {
+                        self.place(src, found.src_ni);
+                    }
+                    if dst_ni.is_none() {
+                        self.place(dst, found.dst_ni);
+                    }
+                    let conn = ConnId::from_usecase_flow(group as u32, self.conn_seq);
+                    self.conn_seq += 1;
+                    self.group_slots[group]
+                        .reserve(&found.links, &slots, conn)
+                        .expect("slots were found free");
+                    return Ok(Route {
+                        path: found.links,
+                        base_slots: slots,
+                        bandwidth: demand.bandwidth,
+                        worst_case_latency: wc,
+                    });
+                }
+                None => {
+                    // Ban the path's bottleneck link and search again.
+                    let state = &self.group_slots[group];
+                    let bottleneck = found
+                        .links
+                        .iter()
+                        .copied()
+                        .min_by_key(|&l| state.free_slot_count(l))
+                        .expect("paths are non-empty");
+                    if !banned.insert(bottleneck) {
+                        break; // no progress to be made
+                    }
+                }
+            }
+        }
+        Err(MapError::Unroutable { src, dst, group })
+    }
+}
+
+/// Runs Algorithm 2 on a fixed mesh.
+///
+/// `groups` is the partition produced by phase 2 (Algorithm 1); use
+/// [`UseCaseGroups::singletons`] when every use-case may be freely
+/// reconfigured and [`UseCaseGroups::single_group`] to forbid
+/// reconfiguration entirely.
+///
+/// # Errors
+///
+/// * [`MapError::EmptySpec`] / [`MapError::GroupMismatch`] /
+///   [`MapError::TooManyCores`] on malformed inputs,
+/// * [`MapError::FlowExceedsLinkCapacity`] when a single merged flow
+///   cannot fit a slot table at this frequency (growing the mesh will not
+///   help),
+/// * [`MapError::Unroutable`] when the heuristic finds no feasible
+///   path/slots for some pair — the caller should try a larger mesh.
+pub fn map_multi_usecase(
+    soc: &SocSpec,
+    groups: &UseCaseGroups,
+    topo: &Topology,
+    spec: TdmaSpec,
+    options: &MapperOptions,
+) -> Result<MappingSolution, MapError> {
+    if soc.total_flow_count() == 0 {
+        return Err(MapError::EmptySpec);
+    }
+    if groups.use_case_count() != soc.use_case_count() {
+        return Err(MapError::GroupMismatch {
+            spec_use_cases: soc.use_case_count(),
+            group_use_cases: groups.use_case_count(),
+        });
+    }
+    let cores = soc.cores();
+    if cores.len() > topo.ni_count() {
+        return Err(MapError::TooManyCores { cores: cores.len(), nis: topo.ni_count() });
+    }
+
+    let merged = merged_group_flows(soc, groups);
+
+    // Upfront capacity sanity: a merged flow larger than a whole link is
+    // unroutable at any size.
+    for (g, flows) in merged.iter().enumerate() {
+        let _ = g;
+        for (&(src, dst), f) in flows {
+            let needed = spec.slots_for_bandwidth(f.bandwidth);
+            if needed > spec.slots() {
+                return Err(MapError::FlowExceedsLinkCapacity {
+                    src,
+                    dst,
+                    needed,
+                    available: spec.slots(),
+                });
+            }
+        }
+    }
+
+    // Assemble pair tasks across groups.
+    let mut by_pair: BTreeMap<(CoreId, CoreId), Vec<(usize, MergedFlow)>> = BTreeMap::new();
+    for (g, flows) in merged.iter().enumerate() {
+        for (&pair, &f) in flows {
+            by_pair.entry(pair).or_default().push((g, f));
+        }
+    }
+    let mut tasks: Vec<PairTask> = by_pair
+        .into_iter()
+        .map(|((src, dst), mut demands)| {
+            demands.sort_by(|a, b| b.1.bandwidth.cmp(&a.1.bandwidth).then(a.0.cmp(&b.0)));
+            let max_bw = demands[0].1.bandwidth;
+            PairTask { src, dst, demands, max_bw }
+        })
+        .collect();
+    if options.sort_by_bandwidth {
+        tasks.sort_by(|a, b| {
+            b.max_bw
+                .cmp(&a.max_bw)
+                .then(a.src.cmp(&b.src))
+                .then(a.dst.cmp(&b.dst))
+        });
+    }
+
+    let mut state = MapState {
+        topo,
+        spec,
+        options,
+        group_slots: (0..groups.group_count())
+            .map(|_| NetworkSlots::new(topo, &spec))
+            .collect(),
+        core_to_ni: BTreeMap::new(),
+        ni_occupied: vec![false; topo.node_count()],
+        free_nis: topo.nis().to_vec(),
+        conn_seq: 0,
+    };
+
+    match &options.placement {
+        Placement::Unified => {}
+        Placement::RoundRobin => {
+            let nis = topo.nis().to_vec();
+            for (core, ni) in cores.iter().zip(nis) {
+                state.place(*core, ni);
+            }
+        }
+        Placement::Preset(assignment) => {
+            for (&core, &ni) in assignment {
+                if !topo.node(ni).is_ni() || state.ni_occupied[ni.index()] {
+                    return Err(MapError::TooManyCores {
+                        cores: cores.len(),
+                        nis: topo.ni_count(),
+                    });
+                }
+                state.place(core, ni);
+            }
+        }
+    }
+
+    let mut configs: Vec<GroupConfig> = vec![GroupConfig::new(); groups.group_count()];
+    let mut done = vec![false; tasks.len()];
+    for _round in 0..tasks.len() {
+        // Step 3: pick the largest-bandwidth pending pair, preferring
+        // pairs with already-mapped endpoints.
+        let mut best: Option<(usize, (u8, Bandwidth))> = None;
+        for (i, t) in tasks.iter().enumerate() {
+            if done[i] {
+                continue;
+            }
+            if !options.prefer_mapped {
+                best = Some((i, (0, t.max_bw)));
+                break; // tasks are in processing order already
+            }
+            let mapped = state.core_to_ni.contains_key(&t.src) as u8
+                + state.core_to_ni.contains_key(&t.dst) as u8;
+            let key = (mapped, t.max_bw);
+            if best.is_none_or(|(_, bk)| key > bk) {
+                best = Some((i, key));
+            }
+        }
+        let (idx, _) = best.expect("one pending task per round");
+        done[idx] = true;
+        let task = &tasks[idx];
+
+        // Steps 4-6: route the pair in its largest-demand group first
+        // (possibly placing the endpoint cores), then in every other group
+        // that communicates over this pair, each in its own slot state.
+        for &(g, demand) in &task.demands {
+            let route = state.route_pair(g, task.src, task.dst, demand)?;
+            configs[g].insert(task.src, task.dst, route);
+        }
+    }
+
+    Ok(MappingSolution::new(
+        topo.clone(),
+        format!("{}sw", topo.switch_count()),
+        spec,
+        state.core_to_ni,
+        configs,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_topology::{Mesh, MeshBuilder};
+    use noc_usecase::spec::UseCaseBuilder;
+
+    fn c(i: u32) -> CoreId {
+        CoreId::new(i)
+    }
+
+    fn bw(m: u64) -> Bandwidth {
+        Bandwidth::from_mbps(m)
+    }
+
+    fn small_soc() -> SocSpec {
+        // Figure 5 of the paper: two use-cases over 4 cores.
+        let mut soc = SocSpec::new("figure5");
+        soc.add_use_case(
+            UseCaseBuilder::new("uc1")
+                .flow(c(2), c(3), bw(100), Latency::UNCONSTRAINED)
+                .unwrap()
+                .flow(c(0), c(1), bw(10), Latency::UNCONSTRAINED)
+                .unwrap()
+                .flow(c(1), c(2), bw(75), Latency::UNCONSTRAINED)
+                .unwrap()
+                .build(),
+        );
+        soc.add_use_case(
+            UseCaseBuilder::new("uc2")
+                .flow(c(2), c(3), bw(42), Latency::UNCONSTRAINED)
+                .unwrap()
+                .flow(c(0), c(3), bw(11), Latency::UNCONSTRAINED)
+                .unwrap()
+                .flow(c(1), c(3), bw(52), Latency::UNCONSTRAINED)
+                .unwrap()
+                .build(),
+        );
+        soc
+    }
+
+    fn mesh(r: u16, co: u16, nis: u16) -> Mesh {
+        MeshBuilder::new(r, co).nis_per_switch(nis).build().unwrap()
+    }
+
+    #[test]
+    fn maps_figure5_example_on_2x2() {
+        let soc = small_soc();
+        let groups = UseCaseGroups::singletons(2);
+        let m = mesh(2, 2, 1);
+        let sol = map_multi_usecase(
+            &soc,
+            &groups,
+            m.topology(),
+            TdmaSpec::paper_default(),
+            &MapperOptions::default(),
+        )
+        .unwrap();
+        // All four cores placed on distinct NIs.
+        let nis: BTreeSet<NodeId> = soc.cores().iter().map(|&c| sol.ni_of(c).unwrap()).collect();
+        assert_eq!(nis.len(), 4);
+        // Both use-cases have all their flows configured.
+        assert_eq!(sol.group_configs()[0].len(), 3);
+        assert_eq!(sol.group_configs()[1].len(), 3);
+        sol.verify(&soc, &groups).unwrap();
+    }
+
+    #[test]
+    fn single_switch_suffices_for_tiny_demand() {
+        let soc = small_soc();
+        let groups = UseCaseGroups::singletons(2);
+        let m = mesh(1, 1, 4);
+        let sol = map_multi_usecase(
+            &soc,
+            &groups,
+            m.topology(),
+            TdmaSpec::paper_default(),
+            &MapperOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(sol.switch_count(), 1);
+        sol.verify(&soc, &groups).unwrap();
+    }
+
+    #[test]
+    fn shared_group_uses_identical_route() {
+        let soc = small_soc();
+        let groups = UseCaseGroups::single_group(2);
+        let m = mesh(2, 2, 1);
+        let sol = map_multi_usecase(
+            &soc,
+            &groups,
+            m.topology(),
+            TdmaSpec::paper_default(),
+            &MapperOptions::default(),
+        )
+        .unwrap();
+        // One shared config; the (2,3) pair is sized for the max (100).
+        assert_eq!(sol.group_configs().len(), 1);
+        let r = sol.group_config(0).route(c(2), c(3)).unwrap();
+        assert_eq!(r.bandwidth, bw(100));
+        sol.verify(&soc, &groups).unwrap();
+    }
+
+    #[test]
+    fn separate_groups_may_take_different_paths() {
+        // Two use-cases with a heavy same-pair flow each: with separate
+        // states both route fine even on a small mesh; the second group's
+        // state is untouched by the first's reservations.
+        let mut soc = SocSpec::new("two-heavy");
+        for name in ["a", "b"] {
+            soc.add_use_case(
+                UseCaseBuilder::new(name)
+                    .flow(c(0), c(1), bw(1800), Latency::UNCONSTRAINED)
+                    .unwrap()
+                    .build(),
+            );
+        }
+        let groups = UseCaseGroups::singletons(2);
+        let m = mesh(1, 2, 1);
+        let sol = map_multi_usecase(
+            &soc,
+            &groups,
+            m.topology(),
+            TdmaSpec::paper_default(),
+            &MapperOptions::default(),
+        )
+        .unwrap();
+        sol.verify(&soc, &groups).unwrap();
+        // Same pair in one *merged* group would need 2x1800 MB/s through
+        // one NI link (2000 MB/s): infeasible at any mesh size.
+        let err = map_multi_usecase(
+            &soc,
+            &UseCaseGroups::single_group(2),
+            m.topology(),
+            TdmaSpec::paper_default(),
+            &MapperOptions::default(),
+        );
+        // Merged max is 1800 (same pair), which still fits; to see the WC
+        // blow-up two *different* heavy pairs per use-case are needed —
+        // covered in the wc module tests. Here merged must succeed too.
+        assert!(err.is_ok());
+    }
+
+    #[test]
+    fn latency_constraint_grows_reservation() {
+        let mut soc = SocSpec::new("lat");
+        soc.add_use_case(
+            UseCaseBuilder::new("u")
+                // 125 MB/s needs 1 of 16 slots; a 1-slot reservation has
+                // worst-case gap 16 cycles = 32 ns at 500 MHz; demanding
+                // < 32 ns forces extra slots.
+                .flow(c(0), c(1), bw(125), Latency::from_ns(24))
+                .unwrap()
+                .build(),
+        );
+        let groups = UseCaseGroups::singletons(1);
+        let m = mesh(1, 1, 2);
+        let sol = map_multi_usecase(
+            &soc,
+            &groups,
+            m.topology(),
+            TdmaSpec::paper_default(),
+            &MapperOptions::default(),
+        )
+        .unwrap();
+        let r = sol.group_config(0).route(c(0), c(1)).unwrap();
+        assert!(r.slot_count() > 1, "latency bound must force extra slots");
+        assert!(r.worst_case_latency <= Latency::from_ns(24));
+        sol.verify(&soc, &groups).unwrap();
+    }
+
+    #[test]
+    fn impossible_latency_is_unroutable() {
+        let mut soc = SocSpec::new("lat2");
+        soc.add_use_case(
+            UseCaseBuilder::new("u")
+                .flow(c(0), c(1), bw(10), Latency::from_ns(2)) // 1 cycle: impossible
+                .unwrap()
+                .build(),
+        );
+        let err = map_multi_usecase(
+            &soc,
+            &UseCaseGroups::singletons(1),
+            mesh(1, 1, 2).topology(),
+            TdmaSpec::paper_default(),
+            &MapperOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, MapError::Unroutable { .. }));
+    }
+
+    #[test]
+    fn oversized_flow_reports_capacity_error() {
+        let mut soc = SocSpec::new("big");
+        soc.add_use_case(
+            UseCaseBuilder::new("u")
+                .flow(c(0), c(1), bw(2500), Latency::UNCONSTRAINED) // > 2000 MB/s link
+                .unwrap()
+                .build(),
+        );
+        let err = map_multi_usecase(
+            &soc,
+            &UseCaseGroups::singletons(1),
+            mesh(2, 2, 1).topology(),
+            TdmaSpec::paper_default(),
+            &MapperOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, MapError::FlowExceedsLinkCapacity { .. }));
+    }
+
+    #[test]
+    fn too_many_cores_rejected() {
+        let soc = small_soc(); // 4 cores
+        let err = map_multi_usecase(
+            &soc,
+            &UseCaseGroups::singletons(2),
+            mesh(1, 1, 3).topology(),
+            TdmaSpec::paper_default(),
+            &MapperOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, MapError::TooManyCores { cores: 4, nis: 3 }));
+    }
+
+    #[test]
+    fn empty_spec_rejected() {
+        let soc = SocSpec::new("none");
+        let err = map_multi_usecase(
+            &soc,
+            &UseCaseGroups::singletons(0),
+            mesh(1, 1, 1).topology(),
+            TdmaSpec::paper_default(),
+            &MapperOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, MapError::EmptySpec);
+    }
+
+    #[test]
+    fn group_mismatch_rejected() {
+        let soc = small_soc();
+        let err = map_multi_usecase(
+            &soc,
+            &UseCaseGroups::singletons(5),
+            mesh(2, 2, 1).topology(),
+            TdmaSpec::paper_default(),
+            &MapperOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, MapError::GroupMismatch { .. }));
+    }
+
+    #[test]
+    fn round_robin_placement_still_routes() {
+        let soc = small_soc();
+        let groups = UseCaseGroups::singletons(2);
+        let m = mesh(2, 2, 1);
+        let opts = MapperOptions { placement: Placement::RoundRobin, ..Default::default() };
+        let sol = map_multi_usecase(&soc, &groups, m.topology(), TdmaSpec::paper_default(), &opts).unwrap();
+        sol.verify(&soc, &groups).unwrap();
+        // Round-robin: cores 0..3 land on NIs in id order.
+        let nis = m.topology().nis().to_vec();
+        for (i, core) in soc.cores().into_iter().enumerate() {
+            assert_eq!(sol.ni_of(core), Some(nis[i]));
+        }
+    }
+
+    #[test]
+    fn unified_beats_round_robin_on_comm_cost() {
+        // With unified placement, hot pairs are co-located; round-robin
+        // ignores traffic. Compare the bandwidth-weighted hop cost.
+        let soc = small_soc();
+        let groups = UseCaseGroups::singletons(2);
+        let m = mesh(2, 2, 1);
+        let unified = map_multi_usecase(
+            &soc,
+            &groups,
+            m.topology(),
+            TdmaSpec::paper_default(),
+            &MapperOptions::default(),
+        )
+        .unwrap();
+        let rr = map_multi_usecase(
+            &soc,
+            &groups,
+            m.topology(),
+            TdmaSpec::paper_default(),
+            &MapperOptions { placement: Placement::RoundRobin, ..Default::default() },
+        )
+        .unwrap();
+        assert!(
+            unified.comm_cost() <= rr.comm_cost(),
+            "unified {} should not exceed round-robin {}",
+            unified.comm_cost(),
+            rr.comm_cost()
+        );
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let soc = small_soc();
+        let groups = UseCaseGroups::singletons(2);
+        let m = mesh(2, 2, 1);
+        let a = map_multi_usecase(
+            &soc,
+            &groups,
+            m.topology(),
+            TdmaSpec::paper_default(),
+            &MapperOptions::default(),
+        )
+        .unwrap();
+        let b = map_multi_usecase(
+            &soc,
+            &groups,
+            m.topology(),
+            TdmaSpec::paper_default(),
+            &MapperOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,319 @@
+//! Limited per-group mapping reconfiguration — the paper's stated
+//! extension.
+//!
+//! The baseline methodology pins every core to one NI across all
+//! use-cases, because fully per-use-case placements would need each core
+//! wired to several NIs. The paper notes the middle ground: "The methods
+//! presented in this paper can be easily extended to support even limited
+//! re-configuration of the mapping across the different use-cases"
+//! (Section 3), and lists mapping reconfiguration as future work.
+//!
+//! This module implements that extension: starting from a shared base
+//! placement, each group may relocate up to `max_moved_cores` cores to
+//! NIs that better suit *its* traffic (physically: those cores are wired
+//! to a second NI port). A greedy hill-climb proposes single-core moves
+//! and core swaps, re-routes the group's traffic with the candidate
+//! placement fixed, and keeps improvements.
+
+use std::collections::BTreeMap;
+
+use noc_usecase::spec::{CoreId, SocSpec};
+use noc_usecase::UseCaseGroups;
+
+use crate::error::MapError;
+use crate::mapper::{map_multi_usecase, MapperOptions, Placement};
+use crate::result::MappingSolution;
+
+/// Parameters of the per-group remapping search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemapConfig {
+    /// Maximum cores a group may place differently from the base mapping
+    /// (each such core needs an extra physical NI connection).
+    pub max_moved_cores: usize,
+    /// Hill-climb rounds per group (each round scans all single moves).
+    pub rounds: usize,
+}
+
+impl Default for RemapConfig {
+    fn default() -> Self {
+        RemapConfig { max_moved_cores: 2, rounds: 3 }
+    }
+}
+
+/// A base design plus per-group placement refinements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemappedDesign {
+    /// The shared-placement solution every group starts from.
+    pub base: MappingSolution,
+    /// One refined solution per group (same topology and spec; only the
+    /// group's own traffic is routed in it).
+    pub per_group: Vec<MappingSolution>,
+    /// Cores each group placed differently from the base.
+    pub moved: Vec<Vec<CoreId>>,
+}
+
+impl RemappedDesign {
+    /// Total comm-cost improvement over routing each group on the base
+    /// placement, as a fraction in `[0, 1)`.
+    pub fn improvement(&self, base_costs: &[f64]) -> f64 {
+        let before: f64 = base_costs.iter().sum();
+        let after: f64 = self.per_group.iter().map(MappingSolution::comm_cost).sum();
+        if before <= 0.0 {
+            0.0
+        } else {
+            (before - after) / before
+        }
+    }
+}
+
+/// The spec containing only one group's use-cases (with a matching
+/// single-group partition), so a per-group solution can be produced and
+/// verified independently.
+fn group_spec(soc: &SocSpec, groups: &UseCaseGroups, g: usize) -> (SocSpec, UseCaseGroups) {
+    let mut sub = SocSpec::new(format!("{}-group{g}", soc.name()));
+    for &uc in groups.members(g) {
+        sub.add_use_case(soc.use_case(uc).clone());
+    }
+    let n = sub.use_case_count();
+    (sub, UseCaseGroups::single_group(n))
+}
+
+fn moved_cores(
+    base: &BTreeMap<CoreId, noc_topology::NodeId>,
+    candidate: &BTreeMap<CoreId, noc_topology::NodeId>,
+) -> Vec<CoreId> {
+    candidate
+        .iter()
+        .filter(|(core, ni)| base.get(core) != Some(ni))
+        .map(|(&core, _)| core)
+        .collect()
+}
+
+/// Refines `base` by letting every group move up to
+/// [`RemapConfig::max_moved_cores`] cores, greedily minimizing the
+/// group's bandwidth-weighted hop cost.
+///
+/// # Errors
+///
+/// Propagates mapper errors from the initial per-group re-route on the
+/// base placement (candidate moves that fail to route are simply
+/// rejected).
+pub fn refine_with_remap(
+    soc: &SocSpec,
+    groups: &UseCaseGroups,
+    options: &MapperOptions,
+    base: &MappingSolution,
+    config: &RemapConfig,
+) -> Result<RemappedDesign, MapError> {
+    let topo = base.topology();
+    let spec = base.spec();
+    let all_nis: Vec<_> = topo.nis().to_vec();
+
+    let mut per_group = Vec::with_capacity(groups.group_count());
+    let mut moved = Vec::with_capacity(groups.group_count());
+
+    for g in 0..groups.group_count() {
+        let (sub_soc, sub_groups) = group_spec(soc, groups, g);
+        let route = |placement: BTreeMap<CoreId, noc_topology::NodeId>| {
+            map_multi_usecase(
+                &sub_soc,
+                &sub_groups,
+                topo,
+                spec,
+                &MapperOptions { placement: Placement::Preset(placement), ..options.clone() },
+            )
+        };
+
+        // Start: the base placement, re-routed for this group only.
+        let mut current = route(base.core_mapping().clone())?;
+        let mut current_map = base.core_mapping().clone();
+
+        'rounds: for _ in 0..config.rounds {
+            let mut improved = false;
+            let group_cores = sub_soc.cores();
+            for &core in &group_cores {
+                let from = current_map[&core];
+                for &target in &all_nis {
+                    if target == from {
+                        continue;
+                    }
+                    // Propose: move `core` to `target`, swapping with any
+                    // occupant.
+                    let mut candidate = current_map.clone();
+                    let occupant =
+                        candidate.iter().find(|(_, &ni)| ni == target).map(|(&c, _)| c);
+                    if let Some(o) = occupant {
+                        candidate.insert(o, from);
+                    }
+                    candidate.insert(core, target);
+                    if moved_cores(base.core_mapping(), &candidate).len()
+                        > config.max_moved_cores
+                    {
+                        continue;
+                    }
+                    if let Ok(sol) = route(candidate.clone()) {
+                        if sol.comm_cost() + 1e-9 < current.comm_cost() {
+                            current = sol;
+                            current_map = candidate;
+                            improved = true;
+                        }
+                    }
+                }
+            }
+            if !improved {
+                break 'rounds;
+            }
+        }
+
+        moved.push(moved_cores(base.core_mapping(), &current_map));
+        per_group.push(current);
+    }
+
+    Ok(RemappedDesign { base: base.clone(), per_group, moved })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::design_smallest_mesh;
+    use noc_tdma::TdmaSpec;
+    use noc_topology::units::{Bandwidth, Latency};
+    use noc_usecase::spec::UseCaseBuilder;
+
+    fn c(i: u32) -> CoreId {
+        CoreId::new(i)
+    }
+
+    /// Two use-cases with *conflicting* affinity: u0 wants (0,1) and
+    /// (2,3) together; u1 wants (0,2) and (1,3) together. One shared
+    /// placement cannot please both — per-group remapping can.
+    fn conflicted_soc() -> SocSpec {
+        let mut soc = SocSpec::new("conflict");
+        soc.add_use_case(
+            UseCaseBuilder::new("u0")
+                .flow(c(0), c(1), Bandwidth::from_mbps(600), Latency::UNCONSTRAINED)
+                .unwrap()
+                .flow(c(2), c(3), Bandwidth::from_mbps(600), Latency::UNCONSTRAINED)
+                .unwrap()
+                .build(),
+        );
+        soc.add_use_case(
+            UseCaseBuilder::new("u1")
+                .flow(c(0), c(2), Bandwidth::from_mbps(600), Latency::UNCONSTRAINED)
+                .unwrap()
+                .flow(c(1), c(3), Bandwidth::from_mbps(600), Latency::UNCONSTRAINED)
+                .unwrap()
+                .build(),
+        );
+        soc
+    }
+
+    fn setup() -> (SocSpec, UseCaseGroups, MappingSolution, MapperOptions) {
+        let soc = conflicted_soc();
+        let groups = UseCaseGroups::singletons(2);
+        let opts = MapperOptions::default();
+        let base = design_smallest_mesh(
+            &soc,
+            &groups,
+            TdmaSpec::paper_default(),
+            &opts,
+            16,
+        )
+        .unwrap();
+        (soc, groups, base, opts)
+    }
+
+    #[test]
+    fn remap_respects_move_budget() {
+        let (soc, groups, base, opts) = setup();
+        for budget in [0usize, 1, 2, 4] {
+            let cfg = RemapConfig { max_moved_cores: budget, rounds: 2 };
+            let design = refine_with_remap(&soc, &groups, &opts, &base, &cfg).unwrap();
+            for m in &design.moved {
+                assert!(m.len() <= budget, "moved {m:?} exceeds budget {budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_budget_keeps_base_placement() {
+        let (soc, groups, base, opts) = setup();
+        let cfg = RemapConfig { max_moved_cores: 0, rounds: 2 };
+        let design = refine_with_remap(&soc, &groups, &opts, &base, &cfg).unwrap();
+        for (g, sol) in design.per_group.iter().enumerate() {
+            assert!(design.moved[g].is_empty());
+            assert_eq!(sol.core_mapping(), base.core_mapping());
+        }
+    }
+
+    #[test]
+    fn remap_never_hurts_and_verifies() {
+        let (soc, groups, base, opts) = setup();
+        let cfg = RemapConfig::default();
+        // Baseline per-group costs on the shared placement.
+        let mut base_costs = Vec::new();
+        for g in 0..groups.group_count() {
+            let (sub, subg) = group_spec(&soc, &groups, g);
+            let sol = map_multi_usecase(
+                &sub,
+                &subg,
+                base.topology(),
+                base.spec(),
+                &MapperOptions {
+                    placement: Placement::Preset(base.core_mapping().clone()),
+                    ..opts.clone()
+                },
+            )
+            .unwrap();
+            base_costs.push(sol.comm_cost());
+        }
+        let design = refine_with_remap(&soc, &groups, &opts, &base, &cfg).unwrap();
+        for (g, sol) in design.per_group.iter().enumerate() {
+            let (sub, subg) = group_spec(&soc, &groups, g);
+            sol.verify(&sub, &subg).expect("per-group solution valid");
+            assert!(
+                sol.comm_cost() <= base_costs[g] + 1e-9,
+                "group {g}: {} vs base {}",
+                sol.comm_cost(),
+                base_costs[g]
+            );
+        }
+        assert!(design.improvement(&base_costs) >= 0.0);
+    }
+
+    #[test]
+    fn conflicting_affinities_benefit_from_remap() {
+        // With enough budget, at least one group should find a cheaper
+        // placement than the shared compromise (unless the base is
+        // already simultaneously optimal for both, which the conflicting
+        // affinities make unlikely on a multi-switch mesh).
+        let (soc, groups, base, opts) = setup();
+        if base.switch_count() < 2 {
+            // Single switch: all placements equal, nothing to improve.
+            return;
+        }
+        let cfg = RemapConfig { max_moved_cores: 4, rounds: 4 };
+        let mut base_costs = Vec::new();
+        for g in 0..groups.group_count() {
+            let (sub, subg) = group_spec(&soc, &groups, g);
+            let sol = map_multi_usecase(
+                &sub,
+                &subg,
+                base.topology(),
+                base.spec(),
+                &MapperOptions {
+                    placement: Placement::Preset(base.core_mapping().clone()),
+                    ..opts.clone()
+                },
+            )
+            .unwrap();
+            base_costs.push(sol.comm_cost());
+        }
+        let design = refine_with_remap(&soc, &groups, &opts, &base, &cfg).unwrap();
+        assert!(
+            design.improvement(&base_costs) >= 0.0,
+            "remapping must not lose: {}",
+            design.improvement(&base_costs)
+        );
+    }
+}

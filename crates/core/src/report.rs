@@ -1,0 +1,257 @@
+//! Solution analytics: the numbers a NoC architect reads off a finished
+//! design — per-group link utilization, hop and latency statistics, and
+//! the reconfiguration cost matrix between groups.
+
+use std::fmt;
+
+use noc_topology::units::Latency;
+use noc_topology::LinkId;
+
+use crate::emit::{config_diff, ConfigDiff};
+use crate::result::MappingSolution;
+
+/// Per-group summary statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupStats {
+    /// Group index.
+    pub group: usize,
+    /// Configured connections.
+    pub connections: usize,
+    /// Mean path length in links.
+    pub mean_hops: f64,
+    /// Longest path in links.
+    pub max_hops: usize,
+    /// Largest worst-case latency of any connection.
+    pub max_worst_case: Latency,
+    /// Fraction of all (link, slot) cells this group's configuration
+    /// reserves.
+    pub slot_utilization: f64,
+    /// The most loaded link and its reserved-slot count.
+    pub hottest_link: Option<(LinkId, usize)>,
+}
+
+/// A full analytic report over a [`MappingSolution`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolutionReport {
+    /// Topology label.
+    pub label: String,
+    /// Switch count.
+    pub switches: usize,
+    /// Per-group statistics, indexed by group.
+    pub groups: Vec<GroupStats>,
+    /// `reconfiguration[a][b]` is the cost of switching from group `a`'s
+    /// configuration to group `b`'s.
+    pub reconfiguration: Vec<Vec<ConfigDiff>>,
+}
+
+impl SolutionReport {
+    /// Builds the report from a solution.
+    pub fn analyze(solution: &MappingSolution) -> Self {
+        let spec = solution.spec();
+        let link_count = solution.topology().link_count();
+        let total_cells = link_count * spec.slots();
+
+        let groups = solution
+            .group_configs()
+            .iter()
+            .enumerate()
+            .map(|(g, config)| {
+                let mut per_link = vec![0usize; link_count];
+                let mut hops_sum = 0usize;
+                let mut max_hops = 0usize;
+                let mut max_wc = Latency::ZERO;
+                let mut cells = 0usize;
+                for (_, route) in config.iter() {
+                    hops_sum += route.hops();
+                    max_hops = max_hops.max(route.hops());
+                    max_wc = max_wc.max(route.worst_case_latency);
+                    cells += route.hops() * route.slot_count();
+                    for &l in &route.path {
+                        per_link[l.index()] += route.slot_count();
+                    }
+                }
+                let hottest_link = per_link
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, &c)| c)
+                    .filter(|&(_, &c)| c > 0)
+                    .map(|(i, &c)| (solution.topology().links()[i].id(), c));
+                GroupStats {
+                    group: g,
+                    connections: config.len(),
+                    mean_hops: if config.is_empty() {
+                        0.0
+                    } else {
+                        hops_sum as f64 / config.len() as f64
+                    },
+                    max_hops,
+                    max_worst_case: max_wc,
+                    slot_utilization: if total_cells == 0 {
+                        0.0
+                    } else {
+                        cells as f64 / total_cells as f64
+                    },
+                    hottest_link,
+                }
+            })
+            .collect();
+
+        let n = solution.group_configs().len();
+        let reconfiguration = (0..n)
+            .map(|a| {
+                (0..n)
+                    .map(|b| config_diff(solution.group_config(a), solution.group_config(b)))
+                    .collect()
+            })
+            .collect();
+
+        SolutionReport {
+            label: solution.label().to_string(),
+            switches: solution.switch_count(),
+            groups,
+            reconfiguration,
+        }
+    }
+
+    /// The heaviest reconfiguration any use-case switch can trigger.
+    pub fn max_reconfiguration(&self) -> usize {
+        self.reconfiguration
+            .iter()
+            .flatten()
+            .map(ConfigDiff::reprogrammed)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for SolutionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "solution on {} ({} switches)", self.label, self.switches)?;
+        writeln!(
+            f,
+            "{:>5} {:>6} {:>9} {:>8} {:>12} {:>10}",
+            "group", "conns", "mean hops", "max hops", "max wc lat", "slot util"
+        )?;
+        for g in &self.groups {
+            writeln!(
+                f,
+                "{:>5} {:>6} {:>9.2} {:>8} {:>12} {:>9.1}%",
+                g.group,
+                g.connections,
+                g.mean_hops,
+                g.max_hops,
+                g.max_worst_case.to_string(),
+                100.0 * g.slot_utilization
+            )?;
+        }
+        writeln!(f, "reconfiguration cost (connections reprogrammed):")?;
+        for (a, row) in self.reconfiguration.iter().enumerate() {
+            let cells: Vec<String> =
+                row.iter().map(|d| format!("{:>4}", d.reprogrammed())).collect();
+            writeln!(f, "  from {a}: [{}]", cells.join(" "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::design_smallest_mesh;
+    use crate::mapper::MapperOptions;
+    use noc_tdma::TdmaSpec;
+    use noc_topology::units::Bandwidth;
+    use noc_usecase::spec::{CoreId, SocSpec, UseCaseBuilder};
+    use noc_usecase::UseCaseGroups;
+
+    fn c(i: u32) -> CoreId {
+        CoreId::new(i)
+    }
+
+    fn solved() -> (MappingSolution, usize) {
+        let mut soc = SocSpec::new("report");
+        soc.add_use_case(
+            UseCaseBuilder::new("u0")
+                .flow(c(0), c(1), Bandwidth::from_mbps(500), Latency::UNCONSTRAINED)
+                .unwrap()
+                .flow(c(1), c(2), Bandwidth::from_mbps(200), Latency::from_us(2))
+                .unwrap()
+                .build(),
+        );
+        soc.add_use_case(
+            UseCaseBuilder::new("u1")
+                .flow(c(0), c(2), Bandwidth::from_mbps(100), Latency::UNCONSTRAINED)
+                .unwrap()
+                .build(),
+        );
+        let groups = UseCaseGroups::singletons(2);
+        let sol = design_smallest_mesh(
+            &soc,
+            &groups,
+            TdmaSpec::paper_default(),
+            &MapperOptions::default(),
+            16,
+        )
+        .unwrap();
+        (sol, 2)
+    }
+
+    #[test]
+    fn analyze_produces_per_group_stats() {
+        let (sol, n) = solved();
+        let report = SolutionReport::analyze(&sol);
+        assert_eq!(report.groups.len(), n);
+        assert_eq!(report.groups[0].connections, 2);
+        assert_eq!(report.groups[1].connections, 1);
+        for g in &report.groups {
+            assert!(g.mean_hops >= 2.0, "NI-to-NI paths have >= 2 links");
+            assert!(g.max_hops >= g.mean_hops as usize);
+            assert!(g.slot_utilization > 0.0 && g.slot_utilization < 1.0);
+            assert!(g.hottest_link.is_some());
+            assert!(g.max_worst_case > Latency::ZERO);
+        }
+    }
+
+    #[test]
+    fn reconfiguration_matrix_shape() {
+        let (sol, n) = solved();
+        let report = SolutionReport::analyze(&sol);
+        assert_eq!(report.reconfiguration.len(), n);
+        for (a, row) in report.reconfiguration.iter().enumerate() {
+            assert_eq!(row.len(), n);
+            assert!(row[a].is_smooth(), "self-switch is free");
+        }
+        // Switching between the two singleton groups reprograms something.
+        assert!(report.max_reconfiguration() > 0);
+    }
+
+    #[test]
+    fn display_renders_tables() {
+        let (sol, _) = solved();
+        let text = SolutionReport::analyze(&sol).to_string();
+        assert!(text.contains("switches"));
+        assert!(text.contains("slot util"));
+        assert!(text.contains("reconfiguration cost"));
+        assert!(text.contains("from 0:"));
+    }
+
+    #[test]
+    fn empty_group_is_harmless() {
+        let (sol, _) = solved();
+        // Fabricate a solution with an extra empty group.
+        let mut configs = sol.group_configs().to_vec();
+        configs.push(crate::result::GroupConfig::new());
+        let padded = MappingSolution::new(
+            sol.topology().clone(),
+            sol.label(),
+            sol.spec(),
+            sol.core_mapping().clone(),
+            configs,
+        );
+        let report = SolutionReport::analyze(&padded);
+        let empty = report.groups.last().unwrap();
+        assert_eq!(empty.connections, 0);
+        assert_eq!(empty.mean_hops, 0.0);
+        assert!(empty.hottest_link.is_none());
+    }
+}

@@ -1,0 +1,482 @@
+//! Independent re-validation of mapping solutions.
+//!
+//! The paper verifies GT performance analytically after configuration
+//! ("The NoC performance for the GT connections is also verified
+//! analytically in this step", Section 3, phase 4). This module is that
+//! analytical check: it re-derives every property a valid configuration
+//! must have, sharing no state with the mapper. The cycle-accurate
+//! counterpart lives in the `noc-sim` crate.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use noc_tdma::{ConnId, NetworkSlots};
+use noc_topology::units::{Bandwidth, Latency};
+use noc_topology::NodeId;
+use noc_usecase::spec::{CoreId, SocSpec, UseCaseId};
+use noc_usecase::UseCaseGroups;
+
+use crate::result::MappingSolution;
+
+/// A violated property of a mapping solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VerifyError {
+    /// A core of the spec has no NI assignment.
+    UnmappedCore {
+        /// The unplaced core.
+        core: CoreId,
+    },
+    /// Two cores share one NI.
+    SharedNi {
+        /// First core.
+        a: CoreId,
+        /// Second core.
+        b: CoreId,
+        /// The double-booked NI.
+        ni: NodeId,
+    },
+    /// A core is mapped to a node that is not an NI.
+    NotAnNi {
+        /// The core.
+        core: CoreId,
+        /// The non-NI node.
+        node: NodeId,
+    },
+    /// A use-case flow has no route in its group's configuration.
+    MissingRoute {
+        /// Use-case owning the flow.
+        uc: UseCaseId,
+        /// Flow source.
+        src: CoreId,
+        /// Flow destination.
+        dst: CoreId,
+    },
+    /// A route's path is empty, discontiguous, or passes through an NI.
+    BrokenPath {
+        /// Group owning the route.
+        group: usize,
+        /// Flow source.
+        src: CoreId,
+        /// Flow destination.
+        dst: CoreId,
+        /// Human-readable defect.
+        reason: &'static str,
+    },
+    /// A route does not start/end at the NIs its cores are mapped to.
+    WrongEndpoints {
+        /// Group owning the route.
+        group: usize,
+        /// Flow source.
+        src: CoreId,
+        /// Flow destination.
+        dst: CoreId,
+    },
+    /// Two routes of one group collide on a slot (contention).
+    SlotConflict {
+        /// Group whose configuration conflicts.
+        group: usize,
+        /// Description from the TDMA layer.
+        detail: String,
+    },
+    /// A route reserves too few slots for its bandwidth.
+    InsufficientSlots {
+        /// Group owning the route.
+        group: usize,
+        /// Flow source.
+        src: CoreId,
+        /// Flow destination.
+        dst: CoreId,
+        /// Slots reserved.
+        reserved: usize,
+        /// Slots required.
+        required: usize,
+    },
+    /// A flow's latency bound is violated by the configured route.
+    LatencyViolated {
+        /// Use-case owning the flow.
+        uc: UseCaseId,
+        /// Flow source.
+        src: CoreId,
+        /// Flow destination.
+        dst: CoreId,
+        /// The configured worst case.
+        worst_case: Latency,
+        /// The flow's bound.
+        bound: Latency,
+    },
+    /// A route under-provisions a member flow's bandwidth.
+    BandwidthViolated {
+        /// Use-case owning the flow.
+        uc: UseCaseId,
+        /// Flow source.
+        src: CoreId,
+        /// Flow destination.
+        dst: CoreId,
+        /// The route's provisioned bandwidth.
+        provisioned: Bandwidth,
+        /// The flow's demand.
+        demand: Bandwidth,
+    },
+    /// The recorded worst-case latency does not match recomputation.
+    StaleLatencyRecord {
+        /// Group owning the route.
+        group: usize,
+        /// Flow source.
+        src: CoreId,
+        /// Flow destination.
+        dst: CoreId,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::UnmappedCore { core } => write!(f, "{core} is not mapped to any NI"),
+            VerifyError::SharedNi { a, b, ni } => {
+                write!(f, "{a} and {b} are both mapped to NI {ni}")
+            }
+            VerifyError::NotAnNi { core, node } => {
+                write!(f, "{core} is mapped to {node}, which is not an NI")
+            }
+            VerifyError::MissingRoute { uc, src, dst } => {
+                write!(f, "flow {src} -> {dst} of {uc} has no configured route")
+            }
+            VerifyError::BrokenPath { group, src, dst, reason } => {
+                write!(f, "route {src} -> {dst} in group {group} is broken: {reason}")
+            }
+            VerifyError::WrongEndpoints { group, src, dst } => write!(
+                f,
+                "route {src} -> {dst} in group {group} does not connect the mapped NIs"
+            ),
+            VerifyError::SlotConflict { group, detail } => {
+                write!(f, "slot conflict in group {group}: {detail}")
+            }
+            VerifyError::InsufficientSlots { group, src, dst, reserved, required } => write!(
+                f,
+                "route {src} -> {dst} in group {group} reserves {reserved} slots, needs {required}"
+            ),
+            VerifyError::LatencyViolated { uc, src, dst, worst_case, bound } => write!(
+                f,
+                "flow {src} -> {dst} of {uc} has worst case {worst_case}, bound {bound}"
+            ),
+            VerifyError::BandwidthViolated { uc, src, dst, provisioned, demand } => write!(
+                f,
+                "flow {src} -> {dst} of {uc} demands {demand}, provisioned {provisioned}"
+            ),
+            VerifyError::StaleLatencyRecord { group, src, dst } => write!(
+                f,
+                "route {src} -> {dst} in group {group} records a stale worst-case latency"
+            ),
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Checks every property of `solution` against `soc` and `groups`.
+///
+/// # Errors
+///
+/// Returns the first violation found, in deterministic order: mapping
+/// sanity, then per-group configuration integrity, then per-flow
+/// constraint satisfaction.
+pub fn verify_solution(
+    solution: &MappingSolution,
+    soc: &SocSpec,
+    groups: &UseCaseGroups,
+) -> Result<(), VerifyError> {
+    let topo = solution.topology();
+    let spec = solution.spec();
+
+    // --- Core mapping sanity -------------------------------------------
+    let mut ni_owner: BTreeMap<NodeId, CoreId> = BTreeMap::new();
+    for core in soc.cores() {
+        let ni = solution.ni_of(core).ok_or(VerifyError::UnmappedCore { core })?;
+        if !topo.node(ni).is_ni() {
+            return Err(VerifyError::NotAnNi { core, node: ni });
+        }
+        if let Some(&other) = ni_owner.get(&ni) {
+            return Err(VerifyError::SharedNi { a: other, b: core, ni });
+        }
+        ni_owner.insert(ni, core);
+    }
+
+    // --- Per-group configuration integrity -----------------------------
+    for (g, config) in solution.group_configs().iter().enumerate() {
+        let mut slots = NetworkSlots::new(topo, &spec);
+        for (seq, (&(src, dst), route)) in config.iter().enumerate() {
+            // Path shape.
+            if route.path.is_empty() {
+                return Err(VerifyError::BrokenPath { group: g, src, dst, reason: "empty path" });
+            }
+            for w in route.path.windows(2) {
+                if topo.link(w[0]).dst() != topo.link(w[1]).src() {
+                    return Err(VerifyError::BrokenPath {
+                        group: g,
+                        src,
+                        dst,
+                        reason: "discontiguous links",
+                    });
+                }
+            }
+            for &l in &route.path[..route.path.len() - 1] {
+                if topo.node(topo.link(l).dst()).is_ni() {
+                    return Err(VerifyError::BrokenPath {
+                        group: g,
+                        src,
+                        dst,
+                        reason: "interior NI",
+                    });
+                }
+            }
+            // Endpoints match the shared core mapping.
+            let start = topo.link(route.path[0]).src();
+            let end = topo.link(route.path[route.path.len() - 1]).dst();
+            if solution.ni_of(src) != Some(start) || solution.ni_of(dst) != Some(end) {
+                return Err(VerifyError::WrongEndpoints { group: g, src, dst });
+            }
+            // Slot sufficiency for the provisioned bandwidth.
+            let required = spec.slots_for_bandwidth(route.bandwidth);
+            if route.slot_count() < required {
+                return Err(VerifyError::InsufficientSlots {
+                    group: g,
+                    src,
+                    dst,
+                    reserved: route.slot_count(),
+                    required,
+                });
+            }
+            // Contention-freedom: replay all reservations of the group.
+            let conn = ConnId::from_usecase_flow(g as u32, seq as u32);
+            if let Err(e) = slots.reserve(&route.path, &route.base_slots, conn) {
+                return Err(VerifyError::SlotConflict { group: g, detail: e.to_string() });
+            }
+            // Latency record consistency.
+            let recomputed = spec.worst_case_latency(&route.base_slots, route.hops());
+            if recomputed != route.worst_case_latency {
+                return Err(VerifyError::StaleLatencyRecord { group: g, src, dst });
+            }
+        }
+    }
+
+    // --- Per-flow constraint satisfaction ------------------------------
+    for uc_id in soc.use_case_ids() {
+        let g = groups.group_of(uc_id);
+        for flow in soc.use_case(uc_id).flows() {
+            let (src, dst) = flow.endpoints();
+            let route = solution
+                .group_config(g)
+                .route(src, dst)
+                .ok_or(VerifyError::MissingRoute { uc: uc_id, src, dst })?;
+            if route.bandwidth < flow.bandwidth() {
+                return Err(VerifyError::BandwidthViolated {
+                    uc: uc_id,
+                    src,
+                    dst,
+                    provisioned: route.bandwidth,
+                    demand: flow.bandwidth(),
+                });
+            }
+            if !flow.latency().is_unconstrained() && route.worst_case_latency > flow.latency() {
+                return Err(VerifyError::LatencyViolated {
+                    uc: uc_id,
+                    src,
+                    dst,
+                    worst_case: route.worst_case_latency,
+                    bound: flow.latency(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A set of disjoint (non-conflicting) checks exposed for tests and
+/// external tools: ensures two different solutions use equal core
+/// mappings — the paper requires all use-cases to share one mapping, and
+/// reconfiguration only ever changes paths and slot tables.
+pub fn same_core_mapping(a: &MappingSolution, b: &MappingSolution) -> bool {
+    a.core_mapping() == b.core_mapping()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::{map_multi_usecase, MapperOptions};
+    use crate::result::Route;
+    use noc_tdma::TdmaSpec;
+    use noc_topology::MeshBuilder;
+    use noc_usecase::spec::UseCaseBuilder;
+
+    fn c(i: u32) -> CoreId {
+        CoreId::new(i)
+    }
+
+    fn solved() -> (SocSpec, UseCaseGroups, MappingSolution) {
+        let mut soc = SocSpec::new("v");
+        soc.add_use_case(
+            UseCaseBuilder::new("u0")
+                .flow(c(0), c(1), Bandwidth::from_mbps(100), Latency::UNCONSTRAINED)
+                .unwrap()
+                .flow(c(1), c(2), Bandwidth::from_mbps(200), Latency::from_us(1))
+                .unwrap()
+                .build(),
+        );
+        let groups = UseCaseGroups::singletons(1);
+        let mesh = MeshBuilder::new(1, 2).nis_per_switch(2).build().unwrap();
+        let sol = map_multi_usecase(
+            &soc,
+            &groups,
+            mesh.topology(),
+            TdmaSpec::paper_default(),
+            &MapperOptions::default(),
+        )
+        .unwrap();
+        (soc, groups, sol)
+    }
+
+    #[test]
+    fn valid_solution_passes() {
+        let (soc, groups, sol) = solved();
+        assert_eq!(verify_solution(&sol, &soc, &groups), Ok(()));
+    }
+
+    #[test]
+    fn detects_missing_route() {
+        let (_, groups, sol) = solved();
+        // A spec with a flow the solution never saw.
+        let extra = UseCaseBuilder::new("u0")
+            .flow(c(0), c(1), Bandwidth::from_mbps(100), Latency::UNCONSTRAINED)
+            .unwrap()
+            .flow(c(2), c(0), Bandwidth::from_mbps(10), Latency::UNCONSTRAINED)
+            .unwrap()
+            .build();
+        let mut soc = SocSpec::new("v");
+        soc.add_use_case(extra);
+        let err = verify_solution(&sol, &soc, &groups).unwrap_err();
+        assert!(matches!(err, VerifyError::MissingRoute { .. }));
+    }
+
+    #[test]
+    fn detects_bandwidth_violation() {
+        let (_, groups, sol) = solved();
+        let mut soc2 = SocSpec::new("v");
+        soc2.add_use_case(
+            UseCaseBuilder::new("u0")
+                .flow(c(0), c(1), Bandwidth::from_mbps(1999), Latency::UNCONSTRAINED)
+                .unwrap()
+                .flow(c(1), c(2), Bandwidth::from_mbps(200), Latency::from_us(1))
+                .unwrap()
+                .build(),
+        );
+        let err = verify_solution(&sol, &soc2, &groups).unwrap_err();
+        assert!(matches!(err, VerifyError::BandwidthViolated { .. }));
+    }
+
+    #[test]
+    fn detects_latency_violation() {
+        let (_, groups, sol) = solved();
+        let mut soc2 = SocSpec::new("v");
+        soc2.add_use_case(
+            UseCaseBuilder::new("u0")
+                .flow(c(0), c(1), Bandwidth::from_mbps(100), Latency::from_ns(1))
+                .unwrap()
+                .flow(c(1), c(2), Bandwidth::from_mbps(200), Latency::from_us(1))
+                .unwrap()
+                .build(),
+        );
+        let err = verify_solution(&sol, &soc2, &groups).unwrap_err();
+        assert!(matches!(err, VerifyError::LatencyViolated { .. }));
+    }
+
+    #[test]
+    fn detects_slot_conflicts() {
+        let (soc, groups, sol) = solved();
+        // Clone a route onto a new pair with the same slots: replaying
+        // both must collide.
+        let mut broken = sol.clone();
+        let cfg = broken.group_configs()[0].clone();
+        let (_, route) = cfg.iter().next().unwrap();
+        let mut tampered = cfg.clone();
+        // Overwrite the second route with a copy of the first (same path
+        // AND same slots -> conflict), keeping its pair key.
+        let pairs: Vec<(CoreId, CoreId)> = cfg.iter().map(|(&p, _)| p).collect();
+        if pairs.len() >= 2 {
+            tampered.insert(pairs[1].0, pairs[1].1, route.clone());
+            broken = MappingSolution::new(
+                sol.topology().clone(),
+                sol.label(),
+                sol.spec(),
+                sol.core_mapping().clone(),
+                vec![tampered],
+            );
+            let err = verify_solution(&broken, &soc, &groups).unwrap_err();
+            // Either endpoints mismatch or slots conflict depending on
+            // which pair was overwritten; both are valid detections.
+            assert!(matches!(
+                err,
+                VerifyError::SlotConflict { .. } | VerifyError::WrongEndpoints { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn detects_stale_latency() {
+        let (soc, groups, sol) = solved();
+        let cfg = sol.group_configs()[0].clone();
+        let mut tampered = cfg.clone();
+        let (&(src, dst), route) = cfg.iter().next().unwrap();
+        let bogus = Route { worst_case_latency: Latency::from_ns(1), ..route.clone() };
+        tampered.insert(src, dst, bogus);
+        let broken = MappingSolution::new(
+            sol.topology().clone(),
+            sol.label(),
+            sol.spec(),
+            sol.core_mapping().clone(),
+            vec![tampered],
+        );
+        let err = verify_solution(&broken, &soc, &groups).unwrap_err();
+        assert!(matches!(err, VerifyError::StaleLatencyRecord { .. }));
+    }
+
+    #[test]
+    fn detects_unmapped_core() {
+        let (soc, groups, sol) = solved();
+        let mut mapping = sol.core_mapping().clone();
+        mapping.remove(&c(0));
+        let broken = MappingSolution::new(
+            sol.topology().clone(),
+            sol.label(),
+            sol.spec(),
+            mapping,
+            sol.group_configs().to_vec(),
+        );
+        let err = verify_solution(&broken, &soc, &groups).unwrap_err();
+        assert_eq!(err, VerifyError::UnmappedCore { core: c(0) });
+    }
+
+    #[test]
+    fn detects_shared_ni() {
+        let (soc, groups, sol) = solved();
+        let mut mapping = sol.core_mapping().clone();
+        let ni0 = mapping[&c(0)];
+        mapping.insert(c(1), ni0);
+        let broken = MappingSolution::new(
+            sol.topology().clone(),
+            sol.label(),
+            sol.spec(),
+            mapping,
+            sol.group_configs().to_vec(),
+        );
+        let err = verify_solution(&broken, &soc, &groups).unwrap_err();
+        assert!(matches!(err, VerifyError::SharedNi { .. }));
+    }
+
+    #[test]
+    fn same_core_mapping_helper() {
+        let (_, _, sol) = solved();
+        assert!(same_core_mapping(&sol, &sol));
+    }
+}

@@ -1,0 +1,203 @@
+//! The worst-case (WC) baseline of Murali et al., ASPDAC 2006 — the
+//! method this paper improves upon.
+//!
+//! The WC method "is based on building a synthetic worst-case use-case
+//! that includes the constraints of all the use-cases and to design and
+//! optimize the NoC based on the worst-case use-case" (Section 2). For
+//! every `(src, dst)` pair it takes the **maximum** bandwidth and
+//! **minimum** latency over all use-cases, then runs the single-use-case
+//! design flow. The result satisfies everything but is heavily
+//! over-specified once use-cases are numerous or diverse.
+
+use noc_tdma::TdmaSpec;
+use noc_topology::units::Bandwidth;
+use noc_usecase::spec::{Flow, SocSpec, UseCase, UseCaseBuilder};
+use noc_usecase::UseCaseGroups;
+
+use crate::design::design_smallest_mesh;
+use crate::error::MapError;
+use crate::mapper::MapperOptions;
+use crate::merge::merged_group_flows;
+use crate::result::MappingSolution;
+
+/// Builds the synthetic worst-case use-case of `soc`: per pair, the
+/// maximum bandwidth and minimum latency over all use-cases.
+///
+/// ```
+/// use noc_topology::units::{Bandwidth, Latency};
+/// use noc_usecase::spec::{CoreId, SocSpec, UseCaseBuilder};
+/// use nocmap::wc::worst_case_use_case;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let c = |i| CoreId::new(i);
+/// let mut soc = SocSpec::new("s");
+/// soc.add_use_case(UseCaseBuilder::new("a")
+///     .flow(c(0), c(1), Bandwidth::from_mbps(100), Latency::from_us(2))?.build());
+/// soc.add_use_case(UseCaseBuilder::new("b")
+///     .flow(c(0), c(1), Bandwidth::from_mbps(30), Latency::from_us(1))?
+///     .flow(c(1), c(2), Bandwidth::from_mbps(70), Latency::UNCONSTRAINED)?.build());
+/// let wc = worst_case_use_case(&soc);
+/// assert_eq!(wc.flow_count(), 2);
+/// let f = wc.flow_between(c(0), c(1)).unwrap();
+/// assert_eq!(f.bandwidth(), Bandwidth::from_mbps(100)); // max
+/// assert_eq!(f.latency(), Latency::from_us(1));          // min
+/// # Ok(())
+/// # }
+/// ```
+pub fn worst_case_use_case(soc: &SocSpec) -> UseCase {
+    let merged = merged_group_flows(soc, &UseCaseGroups::single_group(soc.use_case_count()));
+    let mut builder = UseCaseBuilder::new(format!("wc({})", soc.name()));
+    if let Some(m) = merged.first() {
+        for (&(src, dst), f) in m {
+            let flow =
+                Flow::new(src, dst, f.bandwidth, f.latency).expect("merged flows inherit validity");
+            builder.add_flow(flow).expect("merged pairs are unique");
+        }
+    }
+    builder.build()
+}
+
+/// Wraps the worst-case use-case as a single-use-case spec.
+pub fn worst_case_soc(soc: &SocSpec) -> SocSpec {
+    let mut wc = SocSpec::new(format!("wc-{}", soc.name()));
+    wc.add_use_case(worst_case_use_case(soc));
+    wc
+}
+
+/// Runs the WC design flow: smallest mesh that maps the worst-case
+/// use-case.
+///
+/// # Errors
+///
+/// Same as [`design_smallest_mesh`]; with many diverse use-cases the
+/// typical outcome is [`MapError::NoFeasibleSize`] or
+/// [`MapError::FlowExceedsLinkCapacity`] — the over-specification the
+/// paper reports.
+pub fn design_worst_case(
+    soc: &SocSpec,
+    spec: TdmaSpec,
+    options: &MapperOptions,
+    max_switches: usize,
+) -> Result<MappingSolution, MapError> {
+    let wc = worst_case_soc(soc);
+    design_smallest_mesh(&wc, &UseCaseGroups::singletons(1), spec, options, max_switches)
+}
+
+/// Aggregate demand of the worst-case use-case, a quick gauge of
+/// over-specification: the ratio of this to any single use-case's demand
+/// grows with use-case count and diversity.
+pub fn worst_case_total_bandwidth(soc: &SocSpec) -> Bandwidth {
+    worst_case_use_case(soc).total_bandwidth()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_topology::units::Latency;
+    use noc_usecase::spec::CoreId;
+
+    fn c(i: u32) -> CoreId {
+        CoreId::new(i)
+    }
+
+    fn bw(m: u64) -> Bandwidth {
+        Bandwidth::from_mbps(m)
+    }
+
+    fn diverse_soc(use_cases: u32) -> SocSpec {
+        // Each use-case stresses a different pair heavily: the WC union
+        // accumulates all of them.
+        let mut soc = SocSpec::new("diverse");
+        for u in 0..use_cases {
+            let a = c(2 * u);
+            let b = c(2 * u + 1);
+            soc.add_use_case(
+                UseCaseBuilder::new(format!("u{u}"))
+                    .flow(a, b, bw(800), Latency::UNCONSTRAINED)
+                    .unwrap()
+                    .flow(b, a, bw(400), Latency::UNCONSTRAINED)
+                    .unwrap()
+                    .build(),
+            );
+        }
+        soc
+    }
+
+    #[test]
+    fn wc_accumulates_all_pairs() {
+        let soc = diverse_soc(5);
+        let wc = worst_case_use_case(&soc);
+        assert_eq!(wc.flow_count(), 10);
+        assert_eq!(worst_case_total_bandwidth(&soc), bw(5 * 1200));
+    }
+
+    #[test]
+    fn wc_takes_max_bw_min_lat() {
+        let mut soc = SocSpec::new("s");
+        soc.add_use_case(
+            UseCaseBuilder::new("a")
+                .flow(c(0), c(1), bw(10), Latency::from_us(9))
+                .unwrap()
+                .build(),
+        );
+        soc.add_use_case(
+            UseCaseBuilder::new("b")
+                .flow(c(0), c(1), bw(90), Latency::from_us(3))
+                .unwrap()
+                .build(),
+        );
+        let wc = worst_case_use_case(&soc);
+        let f = wc.flow_between(c(0), c(1)).unwrap();
+        assert_eq!(f.bandwidth(), bw(90));
+        assert_eq!(f.latency(), Latency::from_us(3));
+    }
+
+    #[test]
+    fn wc_design_needs_more_switches_than_multi_use_case() {
+        let soc = diverse_soc(6); // 12 cores, per-UC demand tiny, union heavy
+        let spec = TdmaSpec::paper_default();
+        let opts = MapperOptions::default();
+        let ours = design_smallest_mesh(
+            &soc,
+            &UseCaseGroups::singletons(6),
+            spec,
+            &opts,
+            400,
+        )
+        .unwrap();
+        let wc = design_worst_case(&soc, spec, &opts, 400).unwrap();
+        assert!(
+            wc.switch_count() >= ours.switch_count(),
+            "WC ({}) should not beat multi-use-case ({})",
+            wc.switch_count(),
+            ours.switch_count()
+        );
+    }
+
+    #[test]
+    fn wc_of_single_use_case_matches_it() {
+        let mut soc = SocSpec::new("one");
+        soc.add_use_case(
+            UseCaseBuilder::new("a")
+                .flow(c(0), c(1), bw(100), Latency::from_us(2))
+                .unwrap()
+                .flow(c(1), c(2), bw(50), Latency::UNCONSTRAINED)
+                .unwrap()
+                .build(),
+        );
+        let wc = worst_case_use_case(&soc);
+        assert_eq!(wc.flow_count(), 2);
+        for f in soc.use_cases()[0].flows() {
+            let g = wc.flow_between(f.src(), f.dst()).unwrap();
+            assert_eq!(g.bandwidth(), f.bandwidth());
+            assert_eq!(g.latency(), f.latency());
+        }
+    }
+
+    #[test]
+    fn empty_spec_yields_empty_wc() {
+        let soc = SocSpec::new("empty");
+        let wc = worst_case_use_case(&soc);
+        assert_eq!(wc.flow_count(), 0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Multi-use-case benchmark generators.
+//!
+//! The paper evaluates on four SoC designs and two families of synthetic
+//! benchmarks (Section 6.1):
+//!
+//! * **Sp** (*spread*) — every core talks to a few other cores; traffic is
+//!   spread evenly, like the TV-processor designs with many small local
+//!   memories ([`SpreadConfig`]),
+//! * **Bot** (*bottleneck*) — one or more hub vertices (external memory,
+//!   shared peripherals) attract most of the traffic, like the set-top box
+//!   designs ([`BottleneckConfig`]),
+//! * **D1–D4** — simplified set-top box (4 and 20 use-cases) and TV
+//!   processor (8 and 20 use-cases) designs ([`soc`]).
+//!
+//! Traffic parameters follow the paper's observation that flow constraints
+//! fall into a handful of clusters (HD video, SD video, audio, control) —
+//! see [`TrafficClass`] — "with small deviations in the values within each
+//! cluster".
+//!
+//! The proprietary Philips traffic specifications behind D1–D4 were never
+//! published; [`soc`] synthesizes structurally faithful equivalents (hub-
+//! shaped vs. stream-shaped, matching use-case counts and flow densities),
+//! as recorded in `DESIGN.md`.
+//!
+//! All generators are deterministic given a seed.
+//!
+//! # Example
+//!
+//! ```
+//! use noc_benchgen::{SpreadConfig};
+//!
+//! let soc = SpreadConfig::paper(10).generate(42);
+//! assert_eq!(soc.use_case_count(), 10);
+//! assert_eq!(soc.core_count(), 20);
+//! for uc in soc.use_cases() {
+//!     assert!((60..=100).contains(&uc.flow_count()));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bottleneck;
+pub mod clusters;
+pub mod soc;
+pub mod spread;
+
+mod pairs;
+
+pub use bottleneck::BottleneckConfig;
+pub use clusters::{TrafficClass, TrafficMix};
+pub use soc::{SocDesign, SocDesignConfig};
+pub use spread::SpreadConfig;

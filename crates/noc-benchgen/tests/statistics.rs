@@ -1,0 +1,155 @@
+//! Statistical and structural tests of the benchmark generators, run as
+//! integration tests because they inspect whole generated suites.
+
+use noc_benchgen::{BottleneckConfig, SocDesign, SpreadConfig, TrafficMix};
+use noc_topology::units::Bandwidth;
+use noc_usecase::spec::{CoreId, SocSpec};
+
+/// Sum of flow bandwidths whose endpoint includes `core`.
+fn core_load(soc: &SocSpec, core: CoreId) -> Bandwidth {
+    soc.use_cases()
+        .iter()
+        .flat_map(|u| u.flows())
+        .filter(|f| f.src() == core || f.dst() == core)
+        .map(|f| f.bandwidth())
+        .sum()
+}
+
+#[test]
+fn sp_and_bot_differ_structurally() {
+    let sp = SpreadConfig::paper(8).generate(3);
+    let bot = BottleneckConfig::paper(8).generate(3);
+    // Gini-style concentration: the busiest core's share of endpoint load.
+    let share = |soc: &SocSpec| {
+        let total: u64 = soc
+            .cores()
+            .iter()
+            .map(|&c| core_load(soc, c).as_bytes_per_sec())
+            .sum();
+        let max = soc
+            .cores()
+            .iter()
+            .map(|&c| core_load(soc, c).as_bytes_per_sec())
+            .max()
+            .unwrap_or(0);
+        max as f64 / total.max(1) as f64
+    };
+    assert!(
+        share(&bot) > 1.5 * share(&sp),
+        "bottleneck suite should concentrate load: bot {:.3} vs sp {:.3}",
+        share(&bot),
+        share(&sp)
+    );
+}
+
+#[test]
+fn latency_critical_flows_exist_and_are_small() {
+    // "the control streams have low bandwidth needs, but are latency
+    // critical" — every generated suite must contain such flows, and
+    // their bandwidth must sit in the lowest cluster.
+    for soc in [SpreadConfig::paper(4).generate(1), BottleneckConfig::paper(4).generate(1)] {
+        let constrained: Vec<_> = soc
+            .use_cases()
+            .iter()
+            .flat_map(|u| u.flows())
+            .filter(|f| !f.latency().is_unconstrained())
+            .collect();
+        assert!(!constrained.is_empty(), "no latency-critical flows in {}", soc.name());
+        for f in &constrained {
+            assert!(
+                f.bandwidth() <= Bandwidth::from_mbps(5),
+                "latency-critical flow with {} is not a control stream",
+                f.bandwidth()
+            );
+        }
+    }
+}
+
+#[test]
+fn bandwidths_cluster_around_mix_centers() {
+    let soc = SpreadConfig::paper(6).generate(9);
+    let mix = TrafficMix::video_soc();
+    let centers: Vec<f64> = mix.classes().iter().map(|c| c.nominal.as_mbps_f64()).collect();
+    let max_dev = mix.classes().iter().map(|c| c.deviation).fold(0.0f64, f64::max);
+    for uc in soc.use_cases() {
+        for f in uc.flows() {
+            let bw = f.bandwidth().as_mbps_f64();
+            let near_some_center = centers
+                .iter()
+                .any(|&c| (bw - c).abs() <= c * max_dev + 1.0);
+            assert!(near_some_center, "flow bandwidth {bw} MB/s belongs to no cluster");
+        }
+    }
+}
+
+#[test]
+fn use_case_counts_scale_suite_size_not_core_count() {
+    for n in [2usize, 10, 30] {
+        let soc = SpreadConfig::paper(n).generate(5);
+        assert_eq!(soc.use_case_count(), n);
+        assert!(soc.core_count() <= 20);
+    }
+}
+
+#[test]
+fn designs_are_distinct_across_seeds_and_labels() {
+    let all: Vec<SocSpec> = SocDesign::ALL.iter().map(|d| d.generate()).collect();
+    for i in 0..all.len() {
+        for j in (i + 1)..all.len() {
+            assert_ne!(all[i], all[j], "designs {i} and {j} identical");
+        }
+    }
+}
+
+#[test]
+fn pooled_suites_reuse_pairs_across_use_cases() {
+    // With a pool, the union of pairs is bounded by the pool size even as
+    // use-cases multiply — the property the WC baseline's feasibility
+    // rests on.
+    let mut cfg = SpreadConfig::paper(20);
+    cfg.pair_pool = Some(120);
+    let soc = cfg.generate(4);
+    let union: std::collections::BTreeSet<_> = soc
+        .use_cases()
+        .iter()
+        .flat_map(|u| u.flows())
+        .map(|f| f.endpoints())
+        .collect();
+    assert!(union.len() <= 120, "union {} exceeds the pool", union.len());
+
+    // Without a pool, 20 use-cases x 60-100 flows cover far more pairs.
+    let free = SpreadConfig::paper(20).generate(4);
+    let free_union: std::collections::BTreeSet<_> = free
+        .use_cases()
+        .iter()
+        .flat_map(|u| u.flows())
+        .map(|f| f.endpoints())
+        .collect();
+    assert!(
+        free_union.len() > 250,
+        "pool-free suite should spread over most pairs, got {}",
+        free_union.len()
+    );
+}
+
+#[test]
+fn hub_direction_mix_is_two_way() {
+    // Memory traffic flows both into and out of the hubs.
+    let cfg = BottleneckConfig::paper(6);
+    let soc = cfg.generate(8);
+    for hub in cfg.hub_cores() {
+        let inbound = soc
+            .use_cases()
+            .iter()
+            .flat_map(|u| u.flows())
+            .filter(|f| f.dst() == hub)
+            .count();
+        let outbound = soc
+            .use_cases()
+            .iter()
+            .flat_map(|u| u.flows())
+            .filter(|f| f.src() == hub)
+            .count();
+        assert!(inbound > 0 && outbound > 0, "hub {hub} is one-directional");
+    }
+}

@@ -1,0 +1,429 @@
+//! The cycle-driven simulation engine.
+
+use std::collections::VecDeque;
+
+use noc_tdma::TdmaSpec;
+use noc_topology::units::Bandwidth;
+use noc_topology::LinkId;
+use noc_usecase::spec::{CoreId, SocSpec, UseCaseId};
+use noc_usecase::UseCaseGroups;
+use nocmap::MappingSolution;
+
+use crate::report::{FlowStats, SimReport};
+
+/// Simulation window and checking knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Number of NoC clock cycles to simulate.
+    pub cycles: u64,
+    /// Extra latency slack (in cycles) tolerated on top of each
+    /// connection's analytical worst case before counting a violation,
+    /// covering source-queueing at start-up. One slot-table period is the
+    /// natural choice and the default.
+    pub queueing_slack_tables: u32,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { cycles: 8192, queueing_slack_tables: 1 }
+    }
+}
+
+/// One GT connection to simulate: a configured route plus the rate its
+/// source injects at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Connection {
+    /// Flow identity, reported in [`SimReport::flows`].
+    pub key: (CoreId, CoreId),
+    /// Links from source NI to destination NI.
+    pub path: Vec<LinkId>,
+    /// Reserved base slots.
+    pub base_slots: Vec<usize>,
+    /// Injection rate of the traffic source.
+    pub inject_bandwidth: Bandwidth,
+    /// Analytical worst-case latency bound in cycles (checked against
+    /// observed word latencies), if any.
+    pub latency_bound_cycles: Option<u64>,
+}
+
+/// Simulates an arbitrary set of connections against `spec`'s slot
+/// timing. This is the core engine; [`simulate_group`] and
+/// [`simulate_use_case`] build the connection list from a mapping
+/// solution.
+///
+/// # Panics
+///
+/// Panics if a connection has an empty path or a base slot out of range.
+pub fn simulate_connections(
+    spec: &TdmaSpec,
+    connections: &[Connection],
+    config: &SimConfig,
+) -> SimReport {
+    let slots = spec.slots();
+    let word_bytes = u64::from(spec.width().bytes());
+    let freq_hz = spec.frequency().as_hz();
+    let slack = u64::from(config.queueing_slack_tables) * slots as u64;
+
+    // Per-connection state.
+    struct ConnState {
+        in_slot: Vec<bool>,          // base-slot membership table
+        queue: VecDeque<u64>,        // enqueue cycle per queued word
+        credit: u64,                 // byte·Hz accumulator
+        stats: FlowStats,
+        bound: Option<u64>,
+    }
+    let mut states: Vec<ConnState> = connections
+        .iter()
+        .map(|c| {
+            assert!(!c.path.is_empty(), "connection {:?} has an empty path", c.key);
+            let mut in_slot = vec![false; slots];
+            for &s in &c.base_slots {
+                assert!(s < slots, "base slot {s} out of range for {:?}", c.key);
+                in_slot[s] = true;
+            }
+            ConnState {
+                in_slot,
+                queue: VecDeque::new(),
+                credit: 0,
+                stats: FlowStats::default(),
+                bound: c.latency_bound_cycles,
+            }
+        })
+        .collect();
+
+    // Static claims table: (link, slot) -> connection index. The slot
+    // pattern is periodic, so any contention shows up as two connections
+    // claiming one (link, slot) cell.
+    let max_link = connections
+        .iter()
+        .flat_map(|c| c.path.iter())
+        .map(|l| l.index())
+        .max()
+        .unwrap_or(0);
+    let mut claims: Vec<Vec<Option<usize>>> = vec![vec![None; slots]; max_link + 1];
+    let mut contention_violations = 0u64;
+    let mut latency_violations = 0u64;
+
+    // Delivery ring buffer: arrivals[cycle % ring] = (conn, enqueue_cycle).
+    let max_hops = connections.iter().map(|c| c.path.len()).max().unwrap_or(0);
+    let ring = max_hops + 2;
+    let mut arrivals: Vec<Vec<(usize, u64)>> = vec![Vec::new(); ring];
+
+    for t in 0..config.cycles {
+        // Deliveries first: words scheduled to arrive this cycle.
+        let bucket = std::mem::take(&mut arrivals[(t as usize) % ring]);
+        for (ci, enq) in bucket {
+            let latency = t - enq;
+            let st = &mut states[ci];
+            st.stats.delivered_words += 1;
+            st.stats.total_latency_cycles += latency;
+            st.stats.max_latency_cycles = st.stats.max_latency_cycles.max(latency);
+            if let Some(bound) = st.bound {
+                if latency > bound + slack {
+                    latency_violations += 1;
+                }
+            }
+        }
+
+        let slot = (t % slots as u64) as usize;
+        for (ci, conn) in connections.iter().enumerate() {
+            let st = &mut states[ci];
+            // Traffic generation: accumulate bandwidth credit and enqueue
+            // whole words.
+            st.credit += conn.inject_bandwidth.as_bytes_per_sec();
+            while st.credit >= word_bytes * freq_hz {
+                st.credit -= word_bytes * freq_hz;
+                st.queue.push_back(t);
+                st.stats.injected_words += 1;
+            }
+            // Injection: one word if this cycle's slot is owned.
+            if st.in_slot[slot] {
+                if let Some(enq) = st.queue.pop_front() {
+                    // Claim every (link, slot) cell of the pipeline and
+                    // check for contention.
+                    for (i, &l) in conn.path.iter().enumerate() {
+                        let cell = &mut claims[l.index()][(slot + i) % slots];
+                        match *cell {
+                            None => *cell = Some(ci),
+                            Some(owner) if owner == ci => {}
+                            Some(_) => contention_violations += 1,
+                        }
+                    }
+                    // Schedule delivery after the pipeline traversal.
+                    let arrive = t + conn.path.len() as u64;
+                    arrivals[(arrive as usize) % ring].push((ci, enq));
+                }
+            }
+        }
+    }
+
+    let mut flows = std::collections::BTreeMap::new();
+    for (ci, conn) in connections.iter().enumerate() {
+        let st = &mut states[ci];
+        st.stats.backlog_words =
+            st.stats.injected_words - st.stats.delivered_words;
+        flows.insert(conn.key, st.stats.clone());
+    }
+    SimReport {
+        cycles: config.cycles,
+        slots_per_table: slots,
+        flows,
+        contention_violations,
+        latency_violations,
+    }
+}
+
+fn bound_cycles(spec: &TdmaSpec, route: &nocmap::Route) -> u64 {
+    spec.worst_case_latency_cycles(&route.base_slots, route.hops())
+}
+
+/// Simulates one group's full NoC configuration, each connection
+/// injecting at its **provisioned** bandwidth (the group's worst same-pair
+/// demand) — the heaviest load the configuration must sustain.
+///
+/// # Panics
+///
+/// Panics if `group` is out of range for the solution.
+pub fn simulate_group(
+    solution: &MappingSolution,
+    group: usize,
+    config: &SimConfig,
+) -> SimReport {
+    let spec = solution.spec();
+    let conns: Vec<Connection> = solution
+        .group_config(group)
+        .iter()
+        .map(|(&key, route)| Connection {
+            key,
+            path: route.path.clone(),
+            base_slots: route.base_slots.clone(),
+            inject_bandwidth: route.bandwidth,
+            latency_bound_cycles: Some(bound_cycles(&spec, route)),
+        })
+        .collect();
+    simulate_connections(&spec, &conns, config)
+}
+
+/// Simulates one **use-case** running on its group's configuration: each
+/// flow injects at the use-case's own bandwidth (which may be below the
+/// provisioned maximum when a group-mate demanded more).
+///
+/// # Panics
+///
+/// Panics if the use-case index is out of range, or if the solution lacks
+/// a route for one of its flows (i.e. the solution does not belong to
+/// this spec — run [`MappingSolution::verify`] first).
+pub fn simulate_use_case(
+    solution: &MappingSolution,
+    soc: &SocSpec,
+    groups: &UseCaseGroups,
+    use_case: usize,
+    config: &SimConfig,
+) -> SimReport {
+    let uc_id = UseCaseId::new(use_case as u32);
+    let spec = solution.spec();
+    let g = groups.group_of(uc_id);
+    let conns: Vec<Connection> = soc
+        .use_case(uc_id)
+        .flows()
+        .iter()
+        .map(|flow| {
+            let route = solution
+                .group_config(g)
+                .route(flow.src(), flow.dst())
+                .expect("solution must cover every flow of the spec");
+            Connection {
+                key: flow.endpoints(),
+                path: route.path.clone(),
+                base_slots: route.base_slots.clone(),
+                inject_bandwidth: flow.bandwidth(),
+                latency_bound_cycles: Some(bound_cycles(&spec, route)),
+            }
+        })
+        .collect();
+    simulate_connections(&spec, &conns, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_tdma::TdmaSpec;
+    use noc_topology::units::{Frequency, Latency, LinkWidth};
+    use noc_topology::MeshBuilder;
+    use noc_usecase::spec::UseCaseBuilder;
+    use nocmap::design::design_smallest_mesh;
+    use nocmap::MapperOptions;
+
+    fn c(i: u32) -> CoreId {
+        CoreId::new(i)
+    }
+
+    fn spec8() -> TdmaSpec {
+        TdmaSpec::new(8, Frequency::from_mhz(500), LinkWidth::BITS_32)
+    }
+
+    /// A hand-built 3-link path on a 1x2 mesh.
+    fn hand_path() -> (TdmaSpec, Vec<LinkId>) {
+        let mesh = MeshBuilder::new(1, 2).nis_per_switch(1).build().unwrap();
+        let topo = mesh.into_topology();
+        let ni0 = topo.nis()[0];
+        let ni1 = topo.nis()[1];
+        let s0 = topo.ni_switch(ni0).unwrap();
+        let s1 = topo.ni_switch(ni1).unwrap();
+        let path = vec![
+            topo.link_between(ni0, s0).unwrap(),
+            topo.link_between(s0, s1).unwrap(),
+            topo.link_between(s1, ni1).unwrap(),
+        ];
+        (spec8(), path)
+    }
+
+    #[test]
+    fn full_rate_connection_saturates_its_slots() {
+        let (spec, path) = hand_path();
+        // 2 of 8 slots at 2000 MB/s link = 500 MB/s; inject exactly that.
+        let conn = Connection {
+            key: (c(0), c(1)),
+            path,
+            base_slots: vec![0, 4],
+            inject_bandwidth: Bandwidth::from_mbps(500),
+            latency_bound_cycles: Some(spec.worst_case_latency_cycles(&[0, 4], 3)),
+        };
+        let report = simulate_connections(&spec, &[conn], &SimConfig::default());
+        assert_eq!(report.contention_violations, 0);
+        assert_eq!(report.latency_violations, 0);
+        let stats = &report.flows[&(c(0), c(1))];
+        // 500 MB/s at 500 MHz x 4B = 0.25 words/cycle over 8192 cycles.
+        assert_eq!(stats.injected_words, 8192 / 4);
+        assert!(report.all_flows_delivered());
+        let bw = report
+            .delivered_bandwidth((c(0), c(1)), 4, 500_000_000)
+            .unwrap();
+        assert!(
+            bw >= Bandwidth::from_mbps(495),
+            "delivered {bw} should be ~500 MB/s"
+        );
+    }
+
+    #[test]
+    fn latency_stays_within_analytical_bound() {
+        let (spec, path) = hand_path();
+        let bound = spec.worst_case_latency_cycles(&[0], 3); // 8 + 3
+        let conn = Connection {
+            key: (c(0), c(1)),
+            path,
+            base_slots: vec![0],
+            inject_bandwidth: Bandwidth::from_mbps(200), // below the 250 slot rate
+            latency_bound_cycles: Some(bound),
+        };
+        let report = simulate_connections(&spec, &[conn], &SimConfig::default());
+        assert_eq!(report.latency_violations, 0);
+        let stats = &report.flows[&(c(0), c(1))];
+        assert!(
+            stats.max_latency_cycles <= bound + 8,
+            "observed {} vs bound {bound} (+8 slack)",
+            stats.max_latency_cycles
+        );
+    }
+
+    #[test]
+    fn overlapping_reservations_detected_as_contention() {
+        let (spec, path) = hand_path();
+        // Two connections deliberately share base slot 0 on one path —
+        // an invalid configuration the simulator must flag.
+        let mk = |key| Connection {
+            key,
+            path: path.clone(),
+            base_slots: vec![0],
+            inject_bandwidth: Bandwidth::from_mbps(250),
+            latency_bound_cycles: None,
+        };
+        let report = simulate_connections(
+            &spec,
+            &[mk((c(0), c(1))), mk((c(2), c(3)))],
+            &SimConfig::default(),
+        );
+        assert!(report.contention_violations > 0);
+    }
+
+    #[test]
+    fn disjoint_slots_no_contention() {
+        let (spec, path) = hand_path();
+        let mk = |key, slot| Connection {
+            key,
+            path: path.clone(),
+            base_slots: vec![slot],
+            inject_bandwidth: Bandwidth::from_mbps(250),
+            latency_bound_cycles: None,
+        };
+        let report = simulate_connections(
+            &spec,
+            &[mk((c(0), c(1)), 0), mk((c(2), c(3)), 5)],
+            &SimConfig::default(),
+        );
+        assert_eq!(report.contention_violations, 0);
+        assert!(report.all_flows_delivered());
+    }
+
+    #[test]
+    fn zero_bandwidth_source_stays_idle() {
+        let (spec, path) = hand_path();
+        let conn = Connection {
+            key: (c(0), c(1)),
+            path,
+            base_slots: vec![0],
+            inject_bandwidth: Bandwidth::ZERO,
+            latency_bound_cycles: None,
+        };
+        let report = simulate_connections(&spec, &[conn], &SimConfig::default());
+        let stats = &report.flows[&(c(0), c(1))];
+        assert_eq!(stats.injected_words, 0);
+        assert_eq!(stats.delivered_words, 0);
+        assert_eq!(stats.delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn end_to_end_mapped_solution_simulates_clean() {
+        let mut soc = SocSpec::new("sim-e2e");
+        soc.add_use_case(
+            UseCaseBuilder::new("u0")
+                .flow(c(0), c(1), Bandwidth::from_mbps(400), Latency::UNCONSTRAINED)
+                .unwrap()
+                .flow(c(1), c(2), Bandwidth::from_mbps(250), Latency::from_us(1))
+                .unwrap()
+                .flow(c(2), c(3), Bandwidth::from_mbps(125), Latency::UNCONSTRAINED)
+                .unwrap()
+                .build(),
+        );
+        soc.add_use_case(
+            UseCaseBuilder::new("u1")
+                .flow(c(0), c(1), Bandwidth::from_mbps(100), Latency::UNCONSTRAINED)
+                .unwrap()
+                .flow(c(3), c(0), Bandwidth::from_mbps(600), Latency::UNCONSTRAINED)
+                .unwrap()
+                .build(),
+        );
+        let groups = UseCaseGroups::singletons(2);
+        let sol = design_smallest_mesh(
+            &soc,
+            &groups,
+            TdmaSpec::paper_default(),
+            &MapperOptions::default(),
+            64,
+        )
+        .unwrap();
+        sol.verify(&soc, &groups).unwrap();
+        for g in 0..2 {
+            let report = simulate_group(&sol, g, &SimConfig::default());
+            assert_eq!(report.contention_violations, 0, "group {g} contended");
+            assert_eq!(report.latency_violations, 0, "group {g} late");
+            assert!(report.all_flows_delivered(), "group {g} dropped words");
+        }
+        for uc in 0..2 {
+            let report = simulate_use_case(&sol, &soc, &groups, uc, &SimConfig::default());
+            assert_eq!(report.contention_violations, 0);
+            assert_eq!(report.latency_violations, 0);
+            assert!(report.all_flows_delivered());
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Simulation statistics.
+
+use std::collections::BTreeMap;
+
+use noc_topology::units::Bandwidth;
+use noc_usecase::spec::CoreId;
+
+/// Per-flow simulation outcome.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FlowStats {
+    /// Words handed to the source NI by the traffic generator.
+    pub injected_words: u64,
+    /// Words that reached the destination NI within the simulated window.
+    pub delivered_words: u64,
+    /// Largest observed source-queue-entry → delivery latency, in cycles.
+    pub max_latency_cycles: u64,
+    /// Sum of per-word latencies (for averaging), in cycles.
+    pub total_latency_cycles: u64,
+    /// Words still in flight or queued when the window closed.
+    pub backlog_words: u64,
+}
+
+impl FlowStats {
+    /// Mean per-word latency in cycles (0 when nothing was delivered).
+    pub fn mean_latency_cycles(&self) -> f64 {
+        if self.delivered_words == 0 {
+            0.0
+        } else {
+            self.total_latency_cycles as f64 / self.delivered_words as f64
+        }
+    }
+
+    /// Fraction of injected words delivered within the window.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.injected_words == 0 {
+            1.0
+        } else {
+            self.delivered_words as f64 / self.injected_words as f64
+        }
+    }
+}
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimReport {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Slot-table size during the run.
+    pub slots_per_table: usize,
+    /// Per-flow statistics keyed by `(src, dst)` core pair.
+    pub flows: BTreeMap<(CoreId, CoreId), FlowStats>,
+    /// Number of cycles in which two connections tried to use one link —
+    /// must be zero for any valid GT configuration.
+    pub contention_violations: u64,
+    /// Number of delivered words that exceeded their connection's
+    /// analytical worst-case latency bound (plus the permitted queueing
+    /// slack) — must be zero.
+    pub latency_violations: u64,
+}
+
+impl SimReport {
+    /// `true` when every flow delivered all words that had time to drain
+    /// (words injected in the last `2 × S + hops` cycles may legitimately
+    /// still be in flight, which `backlog_words` accounts for).
+    pub fn all_flows_delivered(&self) -> bool {
+        self.flows
+            .values()
+            .all(|s| s.delivered_words + s.backlog_words == s.injected_words)
+    }
+
+    /// Delivered bandwidth of one flow over the window, given the word
+    /// size in bytes and the clock in Hz.
+    pub fn delivered_bandwidth(
+        &self,
+        pair: (CoreId, CoreId),
+        word_bytes: u32,
+        clock_hz: u64,
+    ) -> Option<Bandwidth> {
+        let stats = self.flows.get(&pair)?;
+        if self.cycles == 0 {
+            return Some(Bandwidth::ZERO);
+        }
+        let bytes = stats.delivered_words as u128 * word_bytes as u128;
+        let bps = bytes * clock_hz as u128 / self.cycles as u128;
+        Some(Bandwidth::from_bytes_per_sec(bps as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_stats_ratios() {
+        let s = FlowStats {
+            injected_words: 10,
+            delivered_words: 8,
+            max_latency_cycles: 20,
+            total_latency_cycles: 80,
+            backlog_words: 2,
+        };
+        assert!((s.mean_latency_cycles() - 10.0).abs() < 1e-12);
+        assert!((s.delivery_ratio() - 0.8).abs() < 1e-12);
+        let empty = FlowStats::default();
+        assert_eq!(empty.mean_latency_cycles(), 0.0);
+        assert_eq!(empty.delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn delivered_bandwidth_math() {
+        let mut flows = BTreeMap::new();
+        let pair = (CoreId::new(0), CoreId::new(1));
+        flows.insert(
+            pair,
+            FlowStats { injected_words: 100, delivered_words: 100, ..Default::default() },
+        );
+        let report = SimReport {
+            cycles: 1000,
+            slots_per_table: 16,
+            flows,
+            contention_violations: 0,
+            latency_violations: 0,
+        };
+        // 100 words x 4 bytes over 1000 cycles at 500 MHz = 200 MB/s.
+        let bw = report.delivered_bandwidth(pair, 4, 500_000_000).unwrap();
+        assert_eq!(bw, Bandwidth::from_mbps(200));
+        assert!(report.delivered_bandwidth((CoreId::new(9), CoreId::new(9)), 4, 1).is_none());
+        assert!(report.all_flows_delivered());
+    }
+}

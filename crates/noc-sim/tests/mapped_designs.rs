@@ -1,0 +1,108 @@
+//! Integration: the simulator replaying full mapped designs, including
+//! mixed GT + best-effort loads.
+
+use noc_benchgen::{SocDesign, SpreadConfig};
+use noc_sim::{
+    simulate_group, simulate_mixed, simulate_use_case, BestEffortFlow, Connection, SimConfig,
+};
+use noc_tdma::TdmaSpec;
+use noc_topology::units::Bandwidth;
+use noc_usecase::UseCaseGroups;
+use nocmap::design::design_smallest_mesh;
+use nocmap::MapperOptions;
+
+fn design(soc: &noc_usecase::spec::SocSpec) -> (UseCaseGroups, nocmap::MappingSolution) {
+    let groups = UseCaseGroups::singletons(soc.use_case_count());
+    let sol = design_smallest_mesh(
+        soc,
+        &groups,
+        TdmaSpec::paper_default(),
+        &MapperOptions::default(),
+        400,
+    )
+    .expect("benchmark maps");
+    (groups, sol)
+}
+
+#[test]
+fn d3_every_group_clean_at_full_load() {
+    let soc = SocDesign::D3.generate();
+    let (groups, sol) = design(&soc);
+    sol.verify(&soc, &groups).unwrap();
+    for g in 0..groups.group_count() {
+        let report = simulate_group(&sol, g, &SimConfig { cycles: 2048, ..Default::default() });
+        assert_eq!(report.contention_violations, 0, "group {g}");
+        assert_eq!(report.latency_violations, 0, "group {g}");
+    }
+}
+
+#[test]
+fn sp_use_cases_meet_delivered_bandwidth() {
+    let soc = SpreadConfig::paper(3).generate(77);
+    let (groups, sol) = design(&soc);
+    let spec = sol.spec();
+    let report = simulate_use_case(&sol, &soc, &groups, 0, &SimConfig {
+        cycles: 65_536,
+        ..Default::default()
+    });
+    assert_eq!(report.contention_violations, 0);
+    assert!(report.all_flows_delivered());
+    // Delivered bandwidth over a long window approaches the injected rate
+    // for every flow (within one word of quantization).
+    for flow in soc.use_cases()[0].flows() {
+        let delivered = report
+            .delivered_bandwidth(flow.endpoints(), spec.width().bytes(), spec.frequency().as_hz())
+            .expect("flow simulated");
+        let demand = flow.bandwidth().as_mbps_f64();
+        let got = delivered.as_mbps_f64();
+        assert!(
+            got >= demand * 0.98 - 1.0,
+            "flow {:?}: delivered {got:.1} of {demand:.1} MB/s",
+            flow.endpoints()
+        );
+    }
+}
+
+#[test]
+fn best_effort_rides_a_real_design() {
+    let soc = SocDesign::D1.generate();
+    let (_groups, sol) = design(&soc);
+    let spec = sol.spec();
+    let gt: Vec<Connection> = sol
+        .group_config(0)
+        .iter()
+        .map(|(&key, route)| Connection {
+            key,
+            path: route.path.clone(),
+            base_slots: route.base_slots.clone(),
+            inject_bandwidth: route.bandwidth,
+            latency_bound_cycles: Some(
+                spec.worst_case_latency_cycles(&route.base_slots, route.hops()),
+            ),
+        })
+        .collect();
+    let (&(src, dst), probe) = sol.group_config(0).iter().next().unwrap();
+    let be = BestEffortFlow {
+        key: (src, dst),
+        path: probe.path.clone(),
+        inject_bandwidth: Bandwidth::from_mbps(100),
+    };
+    let mixed = simulate_mixed(&spec, &gt, &[be], 8192);
+    assert_eq!(mixed.guaranteed.contention_violations, 0);
+    assert_eq!(mixed.guaranteed.latency_violations, 0);
+    let stats = &mixed.best_effort[&(src, dst)];
+    assert!(stats.delivered_words > 0, "BE finds leftover slots on a real design");
+    // GT at full provisioned load must be byte-identical with and without
+    // the BE rider.
+    let alone = simulate_mixed(&spec, &gt, &[], 8192);
+    assert_eq!(alone.guaranteed, mixed.guaranteed);
+}
+
+#[test]
+fn simulation_results_are_deterministic() {
+    let soc = SpreadConfig::paper(2).generate(5);
+    let (groups, sol) = design(&soc);
+    let a = simulate_use_case(&sol, &soc, &groups, 1, &SimConfig::default());
+    let b = simulate_use_case(&sol, &soc, &groups, 1, &SimConfig::default());
+    assert_eq!(a, b);
+}

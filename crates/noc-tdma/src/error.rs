@@ -1,0 +1,73 @@
+use std::error::Error;
+use std::fmt;
+
+use noc_topology::LinkId;
+
+use crate::table::ConnId;
+
+/// Errors raised by TDMA slot reservation and release.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TdmaError {
+    /// A required slot is already owned by another connection.
+    SlotOccupied {
+        /// Link whose table has the conflict.
+        link: LinkId,
+        /// Conflicting slot index on that link.
+        slot: usize,
+        /// Current owner.
+        owner: ConnId,
+    },
+    /// A slot index exceeded the table size.
+    SlotOutOfRange {
+        /// Offending slot index.
+        slot: usize,
+        /// Table size.
+        size: usize,
+    },
+    /// A release targeted a slot the connection does not own.
+    NotOwner {
+        /// Link whose table was inspected.
+        link: LinkId,
+        /// Slot index on that link.
+        slot: usize,
+        /// Actual owner (`None` if the slot is free).
+        owner: Option<ConnId>,
+    },
+}
+
+impl fmt::Display for TdmaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TdmaError::SlotOccupied { link, slot, owner } => {
+                write!(f, "slot {slot} on link {link} is already owned by {owner}")
+            }
+            TdmaError::SlotOutOfRange { slot, size } => {
+                write!(f, "slot index {slot} out of range for a {size}-slot table")
+            }
+            TdmaError::NotOwner { link, slot, owner } => match owner {
+                Some(o) => write!(f, "slot {slot} on link {link} is owned by {o}, not the releaser"),
+                None => write!(f, "slot {slot} on link {link} is free, nothing to release"),
+            },
+        }
+    }
+}
+
+impl Error for TdmaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_trait_bounds() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<TdmaError>();
+    }
+
+    #[test]
+    fn display_messages() {
+        let e = TdmaError::SlotOutOfRange { slot: 20, size: 16 };
+        assert_eq!(e.to_string(), "slot index 20 out of range for a 16-slot table");
+    }
+}

@@ -1,0 +1,203 @@
+//! A single link's TDMA slot table.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a GT connection, chosen by the caller (the mapper packs a
+/// use-case index and flow index into one id). Slot tables record the owner
+/// of every reserved slot so configurations can be audited and released.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ConnId(u64);
+
+impl ConnId {
+    /// Creates a connection id from a raw value.
+    pub const fn new(raw: u64) -> Self {
+        ConnId(raw)
+    }
+
+    /// Packs a (use-case, flow) pair into a connection id.
+    pub const fn from_usecase_flow(usecase: u32, flow: u32) -> Self {
+        ConnId(((usecase as u64) << 32) | flow as u64)
+    }
+
+    /// The raw id value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The use-case half of an id created by [`ConnId::from_usecase_flow`].
+    pub const fn usecase(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// The flow half of an id created by [`ConnId::from_usecase_flow`].
+    pub const fn flow(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+impl fmt::Display for ConnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}:{}", self.usecase(), self.flow())
+    }
+}
+
+/// One link's slot table: `S` slots, each free or owned by a connection.
+///
+/// ```
+/// use noc_tdma::{ConnId, SlotTable};
+///
+/// let mut t = SlotTable::new(8);
+/// assert_eq!(t.free_count(), 8);
+/// t.occupy(3, ConnId::new(1)).unwrap();
+/// assert!(!t.is_free(3));
+/// assert_eq!(t.owner(3), Some(ConnId::new(1)));
+/// t.release(3, ConnId::new(1)).unwrap();
+/// assert_eq!(t.free_count(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotTable {
+    slots: Vec<Option<ConnId>>,
+    free: usize,
+}
+
+impl SlotTable {
+    /// Creates an all-free table of `size` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "slot table must have at least one slot");
+        SlotTable { slots: vec![None; size], free: size }
+    }
+
+    /// Number of slots.
+    pub fn size(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of free slots.
+    pub fn free_count(&self) -> usize {
+        self.free
+    }
+
+    /// Returns `true` if slot `index` is free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn is_free(&self, index: usize) -> bool {
+        self.slots[index].is_none()
+    }
+
+    /// The owner of slot `index`, if reserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn owner(&self, index: usize) -> Option<ConnId> {
+        self.slots[index]
+    }
+
+    /// Marks slot `index` as owned by `conn`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the current owner if the slot is already reserved.
+    pub fn occupy(&mut self, index: usize, conn: ConnId) -> Result<(), ConnId> {
+        match self.slots[index] {
+            Some(owner) => Err(owner),
+            None => {
+                self.slots[index] = Some(conn);
+                self.free -= 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Frees slot `index`, checking it is owned by `conn`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the actual owner (or `None` if the slot was free) when the
+    /// expected owner does not match.
+    pub fn release(&mut self, index: usize, conn: ConnId) -> Result<(), Option<ConnId>> {
+        match self.slots[index] {
+            Some(owner) if owner == conn => {
+                self.slots[index] = None;
+                self.free += 1;
+                Ok(())
+            }
+            other => Err(other),
+        }
+    }
+
+    /// Iterates over `(slot_index, owner)` pairs of reserved slots.
+    pub fn reservations(&self) -> impl Iterator<Item = (usize, ConnId)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.map(|c| (i, c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conn_id_packing_roundtrips() {
+        let c = ConnId::from_usecase_flow(7, 42);
+        assert_eq!(c.usecase(), 7);
+        assert_eq!(c.flow(), 42);
+        assert_eq!(format!("{c}"), "c7:42");
+        assert_eq!(ConnId::new(c.raw()), c);
+    }
+
+    #[test]
+    fn occupy_and_release() {
+        let mut t = SlotTable::new(4);
+        let a = ConnId::new(1);
+        let b = ConnId::new(2);
+        t.occupy(0, a).unwrap();
+        t.occupy(1, b).unwrap();
+        assert_eq!(t.free_count(), 2);
+        assert_eq!(t.occupy(0, b), Err(a));
+        assert_eq!(t.release(0, b), Err(Some(a)));
+        assert_eq!(t.release(2, a), Err(None));
+        t.release(0, a).unwrap();
+        assert_eq!(t.free_count(), 3);
+        assert!(t.is_free(0));
+    }
+
+    #[test]
+    fn reservations_iterator() {
+        let mut t = SlotTable::new(8);
+        t.occupy(5, ConnId::new(9)).unwrap();
+        t.occupy(2, ConnId::new(3)).unwrap();
+        let res: Vec<_> = t.reservations().collect();
+        assert_eq!(res, vec![(2, ConnId::new(3)), (5, ConnId::new(9))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_size_rejected() {
+        let _ = SlotTable::new(0);
+    }
+
+    #[test]
+    fn free_count_invariant_under_churn() {
+        let mut t = SlotTable::new(16);
+        for i in 0..16 {
+            t.occupy(i, ConnId::new(i as u64)).unwrap();
+        }
+        assert_eq!(t.free_count(), 0);
+        for i in (0..16).step_by(2) {
+            t.release(i, ConnId::new(i as u64)).unwrap();
+        }
+        assert_eq!(t.free_count(), 8);
+        assert_eq!(t.reservations().count(), 8);
+    }
+}

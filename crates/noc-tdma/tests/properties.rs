@@ -1,0 +1,163 @@
+//! Property-based tests of TDMA reservation machinery.
+
+use noc_tdma::{ConnId, NetworkSlots, SlotPolicy, TdmaSpec};
+use noc_topology::units::{Bandwidth, Frequency, LinkWidth};
+use noc_topology::{LinkId, MeshBuilder, Topology};
+use proptest::prelude::*;
+
+fn fixture(slots: usize) -> (Topology, Vec<LinkId>, TdmaSpec) {
+    let mesh = MeshBuilder::new(1, 3).nis_per_switch(1).build().unwrap();
+    let topo = mesh.into_topology();
+    let nis = topo.nis().to_vec();
+    let s: Vec<_> = nis.iter().map(|&n| topo.ni_switch(n).unwrap()).collect();
+    let path = vec![
+        topo.link_between(nis[0], s[0]).unwrap(),
+        topo.link_between(s[0], s[1]).unwrap(),
+        topo.link_between(s[1], s[2]).unwrap(),
+        topo.link_between(s[2], nis[2]).unwrap(),
+    ];
+    let spec = TdmaSpec::new(slots, Frequency::from_mhz(500), LinkWidth::BITS_32);
+    (topo, path, spec)
+}
+
+proptest! {
+    /// slots_for_bandwidth is the exact ceiling: k slots cover bw, k-1
+    /// slots do not.
+    #[test]
+    fn slot_demand_is_tight(bw_mbps in 1u64..2000, slots in 2usize..256) {
+        let spec = TdmaSpec::new(slots, Frequency::from_mhz(500), LinkWidth::BITS_32);
+        let bw = Bandwidth::from_mbps(bw_mbps);
+        let k = spec.slots_for_bandwidth(bw);
+        prop_assert!(k >= 1);
+        let covered = spec.slot_bandwidth().saturating_mul(k as u64);
+        prop_assert!(covered >= bw, "{k} slots cover {covered} < {bw}");
+        if k > 1 {
+            let under = spec.slot_bandwidth().saturating_mul((k - 1) as u64);
+            prop_assert!(under < bw, "{} slots already cover {bw}", k - 1);
+        }
+    }
+
+    /// Worst-case latency: single reserved slot costs a full table turn;
+    /// a full table costs one slot of wait; more slots never hurt.
+    #[test]
+    fn latency_bounds(slots in 2usize..64, hops in 1usize..8, k in 1usize..16) {
+        let spec = TdmaSpec::new(slots, Frequency::from_mhz(500), LinkWidth::BITS_32);
+        let k = k.min(slots);
+        // Evenly spread k slots.
+        let base: Vec<usize> = (0..k).map(|i| i * slots / k).collect();
+        let wc = spec.worst_case_latency_cycles(&base, hops);
+        prop_assert!(wc >= (hops + 1) as u64, "at least one wait cycle + hops");
+        prop_assert!(wc <= (slots + hops) as u64, "never worse than a full turn");
+        // The full table gives the best possible worst case.
+        let all: Vec<usize> = (0..slots).collect();
+        prop_assert_eq!(spec.worst_case_latency_cycles(&all, hops), (1 + hops) as u64);
+    }
+
+    /// Spread never yields a worse worst-case gap than first-fit.
+    #[test]
+    fn spread_beats_first_fit(k in 1usize..16) {
+        let (topo, path, spec) = fixture(32);
+        let ns = NetworkSlots::new(&topo, &spec);
+        let spread = ns.find_base_slots(&path, k, SlotPolicy::Spread).unwrap();
+        let ff = ns.find_base_slots(&path, k, SlotPolicy::FirstFit).unwrap();
+        prop_assert_eq!(spread.len(), k);
+        prop_assert_eq!(ff.len(), k);
+        let wc_spread = spec.worst_case_latency_cycles(&spread, path.len());
+        let wc_ff = spec.worst_case_latency_cycles(&ff, path.len());
+        prop_assert!(wc_spread <= wc_ff);
+    }
+
+    /// Random interleavings of reservations and releases keep the network
+    /// consistent and fully reversible.
+    #[test]
+    fn reserve_release_fuzz(ops in proptest::collection::vec((0usize..3, 1usize..5), 1..24)) {
+        let (topo, path, spec) = fixture(16);
+        let mut ns = NetworkSlots::new(&topo, &spec);
+        let pristine = ns.clone();
+        let mut live: Vec<(Vec<usize>, ConnId)> = Vec::new();
+        let mut seq = 0u64;
+        for (op, k) in ops {
+            match op {
+                // Reserve on the shared path.
+                0 | 1 => {
+                    if let Some(base) = ns.find_base_slots(&path, k, SlotPolicy::Spread) {
+                        let conn = ConnId::new(seq);
+                        seq += 1;
+                        ns.reserve(&path, &base, conn).unwrap();
+                        live.push((base, conn));
+                    } else {
+                        // Not enough room: the bottleneck link's free count
+                        // must actually be below k.
+                        prop_assert!(ns.min_free_along(&path) < k || k > 16);
+                    }
+                }
+                // Release the oldest live reservation.
+                _ => {
+                    if !live.is_empty() {
+                        let (base, conn) = live.remove(0);
+                        ns.release(&path, &base, conn).unwrap();
+                    }
+                }
+            }
+            // Invariant: every link's used count equals the sum of live
+            // reservations that cross it (all of them, here).
+            let live_slots: usize = live.iter().map(|(b, _)| b.len()).sum();
+            for &l in &path {
+                prop_assert_eq!(16 - ns.free_slot_count(l), live_slots);
+            }
+        }
+        for (base, conn) in live {
+            ns.release(&path, &base, conn).unwrap();
+        }
+        prop_assert_eq!(ns, pristine);
+    }
+
+    /// find_base_slots only ever returns base slots that are genuinely
+    /// free along the whole pipeline.
+    #[test]
+    fn found_slots_are_free(prefill in proptest::collection::vec(0usize..16, 0..12), k in 1usize..8) {
+        let (topo, path, spec) = fixture(16);
+        let mut ns = NetworkSlots::new(&topo, &spec);
+        // Pre-occupy some base slots.
+        let mut occupied = std::collections::BTreeSet::new();
+        for (i, s) in prefill.into_iter().enumerate() {
+            if occupied.insert(s) {
+                ns.reserve(&path, &[s], ConnId::new(1000 + i as u64)).unwrap();
+            }
+        }
+        if let Some(base) = ns.find_base_slots(&path, k, SlotPolicy::Spread) {
+            prop_assert_eq!(base.len(), k);
+            for &s in &base {
+                prop_assert!(ns.base_slot_free(&path, s));
+                prop_assert!(!occupied.contains(&s));
+            }
+            // And they must be reservable as a whole.
+            ns.reserve(&path, &base, ConnId::new(7)).unwrap();
+        } else {
+            prop_assert!(16 - occupied.len() < k, "refused although {k} free base slots exist");
+        }
+    }
+
+    /// release_connection is equivalent to releasing each reservation.
+    #[test]
+    fn release_connection_sweeps(k in 1usize..6, extra in 1usize..6) {
+        let (topo, path, spec) = fixture(16);
+        let mut ns = NetworkSlots::new(&topo, &spec);
+        let a = ConnId::new(1);
+        let b = ConnId::new(2);
+        let base_a = ns.find_base_slots(&path, k, SlotPolicy::Spread).unwrap();
+        ns.reserve(&path, &base_a, a).unwrap();
+        let base_b = ns.find_base_slots(&path, extra.min(16 - k), SlotPolicy::Spread);
+        if let Some(base_b) = base_b {
+            ns.reserve(&path, &base_b, b).unwrap();
+            let released = ns.release_connection(a);
+            prop_assert_eq!(released, k * path.len());
+            // b's reservation is untouched.
+            for (i, &l) in path.iter().enumerate() {
+                for &s in &base_b {
+                    prop_assert_eq!(ns.table(l).owner((s + i) % 16), Some(b));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::graph::NodeId;
+
+/// Errors raised while constructing NoC topologies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// An NI was attached to a node that is not a switch.
+    NotASwitch {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A directed link between the two nodes already exists.
+    DuplicateLink {
+        /// Link source.
+        src: NodeId,
+        /// Link destination.
+        dst: NodeId,
+    },
+    /// A link from a node to itself was requested.
+    SelfLoop {
+        /// The node.
+        node: NodeId,
+    },
+    /// A mesh dimension or NI count was zero.
+    EmptyDimension {
+        /// Human-readable name of the offending parameter.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::NotASwitch { node } => {
+                write!(f, "node {node} is not a switch")
+            }
+            TopologyError::DuplicateLink { src, dst } => {
+                write!(f, "link {src} -> {dst} already exists")
+            }
+            TopologyError::SelfLoop { node } => {
+                write!(f, "self-loop on node {node} is not allowed")
+            }
+            TopologyError::EmptyDimension { what } => {
+                write!(f, "{what} must be non-zero")
+            }
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TopologyBuilder;
+
+    #[test]
+    fn errors_display_lowercase_without_punctuation() {
+        let mut b = TopologyBuilder::new();
+        let s = b.add_switch(0, 0);
+        let msg = TopologyError::NotASwitch { node: s }.to_string();
+        assert!(msg.starts_with(char::is_lowercase) || msg.starts_with("node"));
+        assert!(!msg.ends_with('.'));
+        let msg = TopologyError::EmptyDimension { what: "rows" }.to_string();
+        assert_eq!(msg, "rows must be non-zero");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<TopologyError>();
+    }
+}

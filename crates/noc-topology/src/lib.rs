@@ -1,0 +1,52 @@
+//! NoC architecture substrate for the multi-use-case mapping methodology of
+//! Murali et al., *"A Methodology for Mapping Multiple Use-Cases onto
+//! Networks on Chips"*, DATE 2006.
+//!
+//! This crate models the physical side of an Æthereal-style network on chip:
+//!
+//! * [`Topology`] — a directed graph of switches and network interfaces
+//!   (NIs) connected by unidirectional links,
+//! * [`MeshBuilder`] — the regular 2-D mesh topologies the paper evaluates,
+//! * [`units`] — strongly-typed bandwidth / frequency / latency quantities,
+//! * [`AreaModel`] — a switch area model calibrated against 0.13 µm
+//!   Æthereal layouts, used for the area–frequency Pareto exploration
+//!   (Figure 7(a) of the paper),
+//! * [`PowerModel`] and [`DvsModel`] — activity-based power with the
+//!   conservative `V² ∝ f` voltage-scaling rule the paper adopts from
+//!   Rabaey et al. (Figure 7(b)).
+//!
+//! # Example
+//!
+//! Build a 2×2 mesh with two NIs per switch and inspect its capacity:
+//!
+//! ```
+//! use noc_topology::{MeshBuilder, units::{Frequency, LinkWidth}};
+//!
+//! # fn main() -> Result<(), noc_topology::TopologyError> {
+//! let mesh = MeshBuilder::new(2, 2).nis_per_switch(2).build()?;
+//! let topo = mesh.topology();
+//! assert_eq!(topo.switch_count(), 4);
+//! assert_eq!(topo.ni_count(), 8);
+//!
+//! let cap = LinkWidth::BITS_32.capacity(Frequency::from_mhz(500));
+//! assert_eq!(cap.as_mbps_f64(), 2000.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod graph;
+pub mod mesh;
+pub mod power;
+pub mod units;
+
+mod error;
+
+pub use area::AreaModel;
+pub use error::TopologyError;
+pub use graph::{Link, LinkId, Node, NodeId, NodeKind, Topology, TopologyBuilder};
+pub use mesh::{Mesh, MeshBuilder};
+pub use power::{DvsModel, OperatingPoint, PowerModel};

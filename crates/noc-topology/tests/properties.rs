@@ -1,0 +1,135 @@
+//! Property-based tests of the topology substrate.
+
+use noc_topology::units::{Bandwidth, Frequency, Latency, LinkWidth};
+use noc_topology::{mesh::mesh_sizes, AreaModel, DvsModel, MeshBuilder, PowerModel};
+use proptest::prelude::*;
+
+proptest! {
+    /// Meshes are strongly connected and have the expected counts.
+    #[test]
+    fn mesh_structure(rows in 1u16..6, cols in 1u16..6, nis in 1u16..5) {
+        let mesh = MeshBuilder::new(rows, cols).nis_per_switch(nis).build().unwrap();
+        let t = mesh.topology();
+        let switches = rows as usize * cols as usize;
+        prop_assert_eq!(t.switch_count(), switches);
+        prop_assert_eq!(t.ni_count(), switches * nis as usize);
+        let mesh_links = 2 * (rows as usize * (cols as usize - 1)
+            + cols as usize * (rows as usize - 1));
+        prop_assert_eq!(t.link_count(), mesh_links + 2 * t.ni_count());
+        prop_assert!(t.is_strongly_connected());
+    }
+
+    /// BFS distance between switches equals Manhattan distance.
+    #[test]
+    fn mesh_distances(
+        rows in 1u16..5,
+        cols in 1u16..5,
+        r0 in 0u16..5, c0 in 0u16..5, r1 in 0u16..5, c1 in 0u16..5,
+    ) {
+        let (r0, c0, r1, c1) = (r0 % rows, c0 % cols, r1 % rows, c1 % cols);
+        let mesh = MeshBuilder::new(rows, cols).build().unwrap();
+        let d = mesh
+            .topology()
+            .hop_distance(mesh.switch_at(r0, c0), mesh.switch_at(r1, c1))
+            .unwrap();
+        let manhattan = (r0 as i32 - r1 as i32).unsigned_abs() as usize
+            + (c0 as i32 - c1 as i32).unsigned_abs() as usize;
+        prop_assert_eq!(d, manhattan);
+    }
+
+    /// Every link's endpoints agree with the adjacency lists.
+    #[test]
+    fn adjacency_consistency(rows in 1u16..5, cols in 1u16..5, nis in 1u16..4) {
+        let mesh = MeshBuilder::new(rows, cols).nis_per_switch(nis).build().unwrap();
+        let t = mesh.topology();
+        for link in t.links() {
+            prop_assert!(t.outgoing(link.src()).contains(&link.id()));
+            prop_assert!(t.incoming(link.dst()).contains(&link.id()));
+            prop_assert_eq!(t.link_between(link.src(), link.dst()), Some(link.id()));
+        }
+        for node in t.nodes() {
+            for &l in t.outgoing(node.id()) {
+                prop_assert_eq!(t.link(l).src(), node.id());
+            }
+            for &l in t.incoming(node.id()) {
+                prop_assert_eq!(t.link(l).dst(), node.id());
+            }
+        }
+    }
+
+    /// Area grows monotonically with port count and never goes negative.
+    #[test]
+    fn area_monotone(ports in 1usize..20, mhz in 50u64..3000) {
+        let model = AreaModel::cmos130();
+        let f = Frequency::from_mhz(mhz);
+        let a = model.switch_area_mm2(ports, f);
+        prop_assert!(a > 0.0);
+        prop_assert!(model.switch_area_mm2(ports + 1, f) > a);
+    }
+
+    /// DVS relative power is within (0, 1] for any frequency at or below
+    /// the reference, and monotone in frequency.
+    #[test]
+    fn dvs_relative_power_bounds(mhz in 1u64..500) {
+        let dvs = DvsModel::cmos130();
+        let ref_f = Frequency::from_mhz(500);
+        let r = dvs.relative_power(Frequency::from_mhz(mhz), ref_f);
+        prop_assert!(r > 0.0 && r <= 1.0 + 1e-12, "r = {r}");
+        let r2 = dvs.relative_power(Frequency::from_mhz(mhz + 1), ref_f);
+        prop_assert!(r2 >= r);
+    }
+
+    /// Power model scales monotonically with frequency.
+    #[test]
+    fn power_monotone_in_frequency(mhz in 50u64..2000) {
+        let pm = PowerModel::cmos130();
+        let mesh = MeshBuilder::new(2, 2).nis_per_switch(2).build().unwrap();
+        let p1 = pm.power_mw(mesh.topology(), Frequency::from_mhz(mhz));
+        let p2 = pm.power_mw(mesh.topology(), Frequency::from_mhz(mhz + 50));
+        prop_assert!(p2 > p1);
+    }
+
+    /// Bandwidth arithmetic: sum and saturating_sub are consistent.
+    #[test]
+    fn bandwidth_arithmetic(a in 0u64..10_000, b in 0u64..10_000) {
+        let ba = Bandwidth::from_mbps(a);
+        let bb = Bandwidth::from_mbps(b);
+        let sum = ba + bb;
+        prop_assert_eq!(sum.saturating_sub(bb), ba);
+        prop_assert_eq!(sum.saturating_sub(sum), Bandwidth::ZERO);
+        prop_assert!(sum >= ba && sum >= bb);
+    }
+
+    /// Link capacity scales linearly with frequency and width.
+    #[test]
+    fn capacity_linear(mhz in 1u64..4000) {
+        let f = Frequency::from_mhz(mhz);
+        let w32 = LinkWidth::BITS_32.capacity(f);
+        let w64 = LinkWidth::BITS_64.capacity(f);
+        prop_assert_eq!(w64.as_bytes_per_sec(), 2 * w32.as_bytes_per_sec());
+        let f2 = Frequency::from_mhz(2 * mhz);
+        prop_assert_eq!(
+            LinkWidth::BITS_32.capacity(f2).as_bytes_per_sec(),
+            2 * w32.as_bytes_per_sec()
+        );
+    }
+
+    /// Latency constructors agree across units.
+    #[test]
+    fn latency_units(us in 0u64..1_000_000) {
+        prop_assert_eq!(Latency::from_us(us).as_ns(), us * 1000);
+        prop_assert_eq!(Latency::from_ms(us).as_ns(), Latency::from_us(us * 1000).as_ns());
+    }
+}
+
+#[test]
+fn mesh_sizes_monotone_prefix() {
+    let sizes: Vec<(u16, u16)> = mesh_sizes().take(40).collect();
+    let mut prev = 0usize;
+    for (r, c) in sizes {
+        let n = r as usize * c as usize;
+        assert!(n >= prev);
+        assert!((c as i32 - r as i32).abs() <= 1, "near-square: {r}x{c}");
+        prev = n;
+    }
+}

@@ -1,0 +1,232 @@
+//! Phase 1 of the methodology: compound-mode generation.
+//!
+//! "The bandwidth of a flow between two cores in such a compound mode is
+//! obtained by summing the bandwidth of the flows between the two cores
+//! across the use-cases that comprise the mode and the latency requirement
+//! of the flow is taken to be the minimum of the requirements of the flows
+//! across the different use-cases in the mode. Such compound modes are then
+//! taken as separate use-cases in the design flow." — Section 4.
+
+use std::collections::BTreeMap;
+
+use noc_topology::units::{Bandwidth, Latency};
+
+use crate::spec::{CoreId, Flow, SocSpec, UseCase, UseCaseId};
+use crate::SpecError;
+
+/// Synthesizes the compound mode of several use-cases running in parallel.
+///
+/// Bandwidths of same-endpoint flows add; latency bounds take the minimum.
+/// Flows present in only one constituent carry over unchanged.
+///
+/// ```
+/// use noc_usecase::{compound_mode, spec::{CoreId, UseCaseBuilder}};
+/// use noc_topology::units::{Bandwidth, Latency};
+///
+/// # fn main() -> Result<(), noc_usecase::SpecError> {
+/// let a = UseCaseBuilder::new("a")
+///     .flow(CoreId::new(0), CoreId::new(1), Bandwidth::from_mbps(100), Latency::from_us(8))?
+///     .build();
+/// let b = UseCaseBuilder::new("b")
+///     .flow(CoreId::new(0), CoreId::new(1), Bandwidth::from_mbps(40), Latency::from_us(2))?
+///     .build();
+/// let ab = compound_mode("a||b", [&a, &b]);
+/// let f = ab.flow_between(CoreId::new(0), CoreId::new(1)).unwrap();
+/// assert_eq!(f.bandwidth(), Bandwidth::from_mbps(140));
+/// assert_eq!(f.latency(), Latency::from_us(2));
+/// # Ok(())
+/// # }
+/// ```
+pub fn compound_mode<'a>(
+    name: impl Into<String>,
+    constituents: impl IntoIterator<Item = &'a UseCase>,
+) -> UseCase {
+    let mut merged: BTreeMap<(CoreId, CoreId), (Bandwidth, Latency)> = BTreeMap::new();
+    for uc in constituents {
+        for f in uc.flows() {
+            let entry = merged
+                .entry(f.endpoints())
+                .or_insert((Bandwidth::ZERO, Latency::UNCONSTRAINED));
+            entry.0 = entry
+                .0
+                .checked_add(f.bandwidth())
+                .expect("compound-mode bandwidth overflow");
+            entry.1 = entry.1.min(f.latency());
+        }
+    }
+    let flows: Vec<Flow> = merged
+        .into_iter()
+        .map(|((src, dst), (bw, lat))| {
+            Flow::new(src, dst, bw, lat).expect("constituent flows are valid")
+        })
+        .collect();
+    UseCase::from_parts(name.into(), flows)
+}
+
+/// A declaration that a set of existing use-cases can run in parallel (the
+/// `PUC` input of Figure 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParallelSet {
+    /// Ids of the use-cases that may run concurrently.
+    pub members: Vec<UseCaseId>,
+    /// Name for the generated compound use-case.
+    pub name: String,
+}
+
+impl ParallelSet {
+    /// Declares that `members` can run in parallel, naming the compound
+    /// mode `name`.
+    pub fn new(name: impl Into<String>, members: impl IntoIterator<Item = UseCaseId>) -> Self {
+        ParallelSet { members: members.into_iter().collect(), name: name.into() }
+    }
+}
+
+/// Expands all declared parallel sets of `soc` into compound-mode
+/// use-cases, appending each to the spec, and returns
+/// `(compound_id, constituent_ids)` per set — exactly the information
+/// phase 2 needs to tie each compound mode to its constituents in the
+/// switching graph.
+///
+/// # Errors
+///
+/// [`SpecError::UnknownUseCase`] if a set references a use-case id that is
+/// not in `soc`.
+pub fn expand_parallel_sets(
+    soc: &mut SocSpec,
+    sets: &[ParallelSet],
+) -> Result<Vec<(UseCaseId, Vec<UseCaseId>)>, SpecError> {
+    let original_count = soc.use_case_count();
+    for set in sets {
+        for &m in &set.members {
+            if m.index() >= original_count {
+                return Err(SpecError::UnknownUseCase { id: m, count: original_count });
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(sets.len());
+    for set in sets {
+        let compound = compound_mode(
+            set.name.clone(),
+            set.members.iter().map(|&m| soc.use_case(m)),
+        );
+        let id = soc.add_use_case(compound);
+        out.push((id, set.members.clone()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::UseCaseBuilder;
+
+    fn bw(m: u64) -> Bandwidth {
+        Bandwidth::from_mbps(m)
+    }
+
+    fn c(i: u32) -> CoreId {
+        CoreId::new(i)
+    }
+
+    fn uc_a() -> UseCase {
+        UseCaseBuilder::new("a")
+            .flow(c(0), c(1), bw(100), Latency::from_us(8))
+            .unwrap()
+            .flow(c(1), c(2), bw(50), Latency::UNCONSTRAINED)
+            .unwrap()
+            .build()
+    }
+
+    fn uc_b() -> UseCase {
+        UseCaseBuilder::new("b")
+            .flow(c(0), c(1), bw(40), Latency::from_us(2))
+            .unwrap()
+            .flow(c(2), c(3), bw(75), Latency::from_us(1))
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn bandwidths_add_latencies_min() {
+        let ab = compound_mode("ab", [&uc_a(), &uc_b()]);
+        let f01 = ab.flow_between(c(0), c(1)).unwrap();
+        assert_eq!(f01.bandwidth(), bw(140));
+        assert_eq!(f01.latency(), Latency::from_us(2));
+    }
+
+    #[test]
+    fn disjoint_flows_carry_over() {
+        let ab = compound_mode("ab", [&uc_a(), &uc_b()]);
+        assert_eq!(ab.flow_count(), 3);
+        assert_eq!(ab.flow_between(c(1), c(2)).unwrap().bandwidth(), bw(50));
+        assert_eq!(ab.flow_between(c(2), c(3)).unwrap().latency(), Latency::from_us(1));
+    }
+
+    #[test]
+    fn compound_of_one_is_identity_up_to_name() {
+        let a = uc_a();
+        let solo = compound_mode("solo", [&a]);
+        assert_eq!(solo.flow_count(), a.flow_count());
+        for f in a.flows() {
+            let g = solo.flow_between(f.src(), f.dst()).unwrap();
+            assert_eq!(g.bandwidth(), f.bandwidth());
+            assert_eq!(g.latency(), f.latency());
+        }
+    }
+
+    #[test]
+    fn three_way_compound() {
+        let a = uc_a();
+        let b = uc_b();
+        let extra = UseCaseBuilder::new("x")
+            .flow(c(0), c(1), bw(10), Latency::from_us(9))
+            .unwrap()
+            .build();
+        let all = compound_mode("abx", [&a, &b, &extra]);
+        let f = all.flow_between(c(0), c(1)).unwrap();
+        assert_eq!(f.bandwidth(), bw(150));
+        assert_eq!(f.latency(), Latency::from_us(2));
+    }
+
+    #[test]
+    fn expand_parallel_sets_appends_compounds() {
+        let mut soc = SocSpec::new("s");
+        let i_a = soc.add_use_case(uc_a());
+        let i_b = soc.add_use_case(uc_b());
+        let sets = vec![ParallelSet::new("a||b", [i_a, i_b])];
+        let result = expand_parallel_sets(&mut soc, &sets).unwrap();
+        assert_eq!(soc.use_case_count(), 3);
+        let (compound_id, members) = &result[0];
+        assert_eq!(compound_id.index(), 2);
+        assert_eq!(members, &vec![i_a, i_b]);
+        assert_eq!(soc.use_case(*compound_id).name(), "a||b");
+        assert_eq!(
+            soc.use_case(*compound_id).flow_between(c(0), c(1)).unwrap().bandwidth(),
+            bw(140)
+        );
+    }
+
+    #[test]
+    fn expand_rejects_dangling_ids() {
+        let mut soc = SocSpec::new("s");
+        soc.add_use_case(uc_a());
+        let sets = vec![ParallelSet::new("bad", [UseCaseId::new(5)])];
+        assert!(matches!(
+            expand_parallel_sets(&mut soc, &sets),
+            Err(SpecError::UnknownUseCase { .. })
+        ));
+        // Nothing appended on failure.
+        assert_eq!(soc.use_case_count(), 1);
+    }
+
+    #[test]
+    fn compound_ignores_order() {
+        let ab = compound_mode("ab", [&uc_a(), &uc_b()]);
+        let ba = compound_mode("ba", [&uc_b(), &uc_a()]);
+        for f in ab.flows() {
+            let g = ba.flow_between(f.src(), f.dst()).unwrap();
+            assert_eq!(f.bandwidth(), g.bandwidth());
+            assert_eq!(f.latency(), g.latency());
+        }
+    }
+}

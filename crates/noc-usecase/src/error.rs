@@ -1,0 +1,74 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::spec::{CoreId, UseCaseId};
+
+/// Errors raised while building use-case specifications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpecError {
+    /// A flow's source equals its destination.
+    SelfFlow {
+        /// The core flowing to itself.
+        core: CoreId,
+    },
+    /// A flow was declared with zero bandwidth.
+    ZeroBandwidth {
+        /// Flow source.
+        src: CoreId,
+        /// Flow destination.
+        dst: CoreId,
+    },
+    /// Two flows share one `(src, dst)` pair within a use-case.
+    DuplicateFlow {
+        /// Flow source.
+        src: CoreId,
+        /// Flow destination.
+        dst: CoreId,
+    },
+    /// A use-case id referenced a use-case that does not exist.
+    UnknownUseCase {
+        /// The dangling id.
+        id: UseCaseId,
+        /// Number of use-cases that exist.
+        count: usize,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::SelfFlow { core } => {
+                write!(f, "flow from {core} to itself is not allowed")
+            }
+            SpecError::ZeroBandwidth { src, dst } => {
+                write!(f, "flow {src} -> {dst} has zero bandwidth")
+            }
+            SpecError::DuplicateFlow { src, dst } => {
+                write!(f, "use-case already has a flow {src} -> {dst}")
+            }
+            SpecError::UnknownUseCase { id, count } => {
+                write!(f, "use-case {id} does not exist (only {count} defined)")
+            }
+        }
+    }
+}
+
+impl Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_trait_bounds() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<SpecError>();
+    }
+
+    #[test]
+    fn messages() {
+        let m = SpecError::UnknownUseCase { id: UseCaseId::new(9), count: 3 }.to_string();
+        assert_eq!(m, "use-case U9 does not exist (only 3 defined)");
+    }
+}

@@ -1,0 +1,52 @@
+//! Use-case and traffic-flow specification for multi-use-case SoCs, plus
+//! the pre-processing phases of the DATE 2006 methodology:
+//!
+//! * [`spec`] — cores, flows (bandwidth + latency constraints) and
+//!   use-cases (`U1 … Un` in the paper's Figure 3),
+//! * [`compound`] — phase 1: synthesizing *compound modes* for use-cases
+//!   that run in parallel (bandwidths add, latency constraints take the
+//!   minimum),
+//! * [`switching`] — phase 2: the switching graph `SG` and Algorithm 1's
+//!   grouping of use-cases that must share one NoC configuration.
+//!
+//! # Example
+//!
+//! ```
+//! use noc_usecase::spec::{CoreId, SocSpec, UseCaseBuilder};
+//! use noc_usecase::compound::compound_mode;
+//! use noc_topology::units::{Bandwidth, Latency};
+//!
+//! # fn main() -> Result<(), noc_usecase::SpecError> {
+//! // Two use-cases over three cores.
+//! let display = UseCaseBuilder::new("display")
+//!     .flow(CoreId::new(0), CoreId::new(1), Bandwidth::from_mbps(200), Latency::from_us(10))?
+//!     .build();
+//! let record = UseCaseBuilder::new("record")
+//!     .flow(CoreId::new(0), CoreId::new(1), Bandwidth::from_mbps(50), Latency::from_us(5))?
+//!     .flow(CoreId::new(1), CoreId::new(2), Bandwidth::from_mbps(100), Latency::UNCONSTRAINED)?
+//!     .build();
+//!
+//! // Phase 1: display and record can run in parallel.
+//! let both = compound_mode("display+record", [&display, &record]);
+//! let f = both.flow_between(CoreId::new(0), CoreId::new(1)).unwrap();
+//! assert_eq!(f.bandwidth(), Bandwidth::from_mbps(250)); // 200 + 50
+//! assert_eq!(f.latency(), Latency::from_us(5));          // min(10us, 5us)
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compound;
+pub mod spec;
+pub mod switching;
+pub mod textio;
+
+mod error;
+
+pub use compound::{compound_mode, expand_parallel_sets, ParallelSet};
+pub use error::SpecError;
+pub use textio::{from_text, to_text, ParseSpecError};
+pub use spec::{CoreId, Flow, FlowId, SocSpec, UseCase, UseCaseBuilder, UseCaseId};
+pub use switching::{SwitchingGraph, UseCaseGroups};

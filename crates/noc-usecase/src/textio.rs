@@ -1,0 +1,339 @@
+//! A plain-text interchange format for multi-use-case specifications.
+//!
+//! Design teams pass communication specs around as simple tables; this
+//! module defines a line-oriented format that round-trips [`SocSpec`]
+//! without external dependencies:
+//!
+//! ```text
+//! # comment
+//! soc viper2
+//! usecase hd-playback
+//! flow 0 1 200        # src dst bandwidth_MBps (unconstrained latency)
+//! flow 1 2 50 10      # src dst bandwidth_MBps latency_us
+//! usecase recording
+//! flow 0 3 75
+//! ```
+//!
+//! Rules: one `soc NAME` line first; `usecase NAME` starts a use-case;
+//! `flow SRC DST BW [LAT_US]` adds a flow to the current use-case; `#`
+//! starts a comment; blank lines are ignored.
+
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use noc_topology::units::{Bandwidth, Latency};
+
+use crate::spec::{CoreId, Flow, SocSpec, UseCaseBuilder};
+use crate::SpecError;
+
+/// Errors raised while parsing the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseSpecError {
+    /// A line could not be understood.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A `flow` line appeared before any `usecase` line.
+    FlowOutsideUseCase {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The `soc` header line is missing.
+    MissingHeader,
+    /// A flow was structurally invalid (self-flow, duplicate, zero
+    /// bandwidth).
+    Spec {
+        /// 1-based line number.
+        line: usize,
+        /// The underlying validation error.
+        source: SpecError,
+    },
+}
+
+impl fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseSpecError::Syntax { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            ParseSpecError::FlowOutsideUseCase { line } => {
+                write!(f, "line {line}: flow before any 'usecase' line")
+            }
+            ParseSpecError::MissingHeader => write!(f, "missing 'soc NAME' header line"),
+            ParseSpecError::Spec { line, source } => write!(f, "line {line}: {source}"),
+        }
+    }
+}
+
+impl Error for ParseSpecError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseSpecError::Spec { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Serializes a spec to the text format.
+///
+/// Latency bounds are written in whole microseconds (the format's
+/// granularity); unconstrained flows omit the field.
+pub fn to_text(soc: &SocSpec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "soc {}", soc.name());
+    for uc in soc.use_cases() {
+        let _ = writeln!(out, "usecase {}", uc.name());
+        for flow in uc.flows() {
+            let bw = flow.bandwidth().as_mbps_f64();
+            if flow.latency().is_unconstrained() {
+                let _ = writeln!(out, "flow {} {} {}", flow.src().raw(), flow.dst().raw(), bw);
+            } else {
+                let _ = writeln!(
+                    out,
+                    "flow {} {} {} {}",
+                    flow.src().raw(),
+                    flow.dst().raw(),
+                    bw,
+                    flow.latency().as_ns() as f64 / 1000.0
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Parses a spec from the text format.
+///
+/// # Errors
+///
+/// [`ParseSpecError`] describing the first offending line.
+pub fn from_text(text: &str) -> Result<SocSpec, ParseSpecError> {
+    let mut soc: Option<SocSpec> = None;
+    let mut current: Option<UseCaseBuilder> = None;
+
+    let finish =
+        |soc: &mut Option<SocSpec>, current: &mut Option<UseCaseBuilder>| {
+            if let (Some(s), Some(b)) = (soc.as_mut(), current.take()) {
+                s.add_use_case(b.build());
+            }
+        };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("soc") => {
+                let name = words.collect::<Vec<_>>().join(" ");
+                if name.is_empty() {
+                    return Err(ParseSpecError::Syntax {
+                        line: line_no,
+                        message: "'soc' needs a name".into(),
+                    });
+                }
+                if soc.is_some() {
+                    return Err(ParseSpecError::Syntax {
+                        line: line_no,
+                        message: "duplicate 'soc' line".into(),
+                    });
+                }
+                soc = Some(SocSpec::new(name));
+            }
+            Some("usecase") => {
+                if soc.is_none() {
+                    return Err(ParseSpecError::MissingHeader);
+                }
+                let name = words.collect::<Vec<_>>().join(" ");
+                if name.is_empty() {
+                    return Err(ParseSpecError::Syntax {
+                        line: line_no,
+                        message: "'usecase' needs a name".into(),
+                    });
+                }
+                finish(&mut soc, &mut current);
+                current = Some(UseCaseBuilder::new(name));
+            }
+            Some("flow") => {
+                let Some(builder) = current.as_mut() else {
+                    return Err(ParseSpecError::FlowOutsideUseCase { line: line_no });
+                };
+                let fields: Vec<&str> = words.collect();
+                if !(3..=4).contains(&fields.len()) {
+                    return Err(ParseSpecError::Syntax {
+                        line: line_no,
+                        message: "'flow' takes SRC DST BW [LAT_US]".into(),
+                    });
+                }
+                let parse_u32 = |s: &str, what: &str| {
+                    s.parse::<u32>().map_err(|_| ParseSpecError::Syntax {
+                        line: line_no,
+                        message: format!("invalid {what} '{s}'"),
+                    })
+                };
+                let parse_f64 = |s: &str, what: &str| {
+                    s.parse::<f64>()
+                        .ok()
+                        .filter(|v| v.is_finite() && *v >= 0.0)
+                        .ok_or_else(|| ParseSpecError::Syntax {
+                            line: line_no,
+                            message: format!("invalid {what} '{s}'"),
+                        })
+                };
+                let src = CoreId::new(parse_u32(fields[0], "source core")?);
+                let dst = CoreId::new(parse_u32(fields[1], "destination core")?);
+                let bw = Bandwidth::from_mbps_f64(parse_f64(fields[2], "bandwidth")?);
+                let lat = match fields.get(3) {
+                    Some(s) => {
+                        let us = parse_f64(s, "latency")?;
+                        Latency::from_ns((us * 1000.0).round() as u64)
+                    }
+                    None => Latency::UNCONSTRAINED,
+                };
+                let flow = Flow::new(src, dst, bw, lat)
+                    .map_err(|source| ParseSpecError::Spec { line: line_no, source })?;
+                builder
+                    .add_flow(flow)
+                    .map_err(|source| ParseSpecError::Spec { line: line_no, source })?;
+            }
+            Some(other) => {
+                return Err(ParseSpecError::Syntax {
+                    line: line_no,
+                    message: format!("unknown directive '{other}'"),
+                });
+            }
+            None => unreachable!("empty lines are skipped"),
+        }
+    }
+    finish(&mut soc, &mut current);
+    soc.ok_or(ParseSpecError::MissingHeader)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u32) -> CoreId {
+        CoreId::new(i)
+    }
+
+    #[test]
+    fn parse_minimal() {
+        let soc = from_text("soc demo\nusecase u0\nflow 0 1 100\n").unwrap();
+        assert_eq!(soc.name(), "demo");
+        assert_eq!(soc.use_case_count(), 1);
+        let f = soc.use_cases()[0].flow_between(c(0), c(1)).unwrap();
+        assert_eq!(f.bandwidth(), Bandwidth::from_mbps(100));
+        assert!(f.latency().is_unconstrained());
+    }
+
+    #[test]
+    fn parse_with_latency_comments_and_blanks() {
+        let text = "\n# header comment\nsoc demo\n\nusecase u0  # trailing\nflow 0 1 12.5 3.5\n";
+        let soc = from_text(text).unwrap();
+        let f = soc.use_cases()[0].flow_between(c(0), c(1)).unwrap();
+        assert_eq!(f.bandwidth(), Bandwidth::from_mbps_f64(12.5));
+        assert_eq!(f.latency(), Latency::from_ns(3500));
+    }
+
+    #[test]
+    fn roundtrip_preserves_spec() {
+        let mut soc = SocSpec::new("round trip");
+        soc.add_use_case(
+            UseCaseBuilder::new("alpha mode")
+                .flow(c(0), c(1), Bandwidth::from_mbps(200), Latency::from_us(10))
+                .unwrap()
+                .flow(c(1), c(2), Bandwidth::from_mbps(55), Latency::UNCONSTRAINED)
+                .unwrap()
+                .build(),
+        );
+        soc.add_use_case(
+            UseCaseBuilder::new("beta")
+                .flow(c(2), c(0), Bandwidth::from_mbps(5), Latency::UNCONSTRAINED)
+                .unwrap()
+                .build(),
+        );
+        let text = to_text(&soc);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back, soc);
+    }
+
+    #[test]
+    fn errors_are_located() {
+        assert!(matches!(from_text(""), Err(ParseSpecError::MissingHeader)));
+        assert!(matches!(
+            from_text("flow 0 1 5"),
+            Err(ParseSpecError::FlowOutsideUseCase { line: 1 })
+        ));
+        let e = from_text("soc x\nusecase u\nflow 0 0 5").unwrap_err();
+        assert!(matches!(e, ParseSpecError::Spec { line: 3, .. }));
+        let e = from_text("soc x\nusecase u\nflow 0 1").unwrap_err();
+        assert!(matches!(e, ParseSpecError::Syntax { line: 3, .. }));
+        let e = from_text("soc x\nbogus").unwrap_err();
+        assert!(matches!(e, ParseSpecError::Syntax { line: 2, .. }));
+        let e = from_text("soc x\nsoc y").unwrap_err();
+        assert!(matches!(e, ParseSpecError::Syntax { line: 2, .. }));
+        let e = from_text("soc x\nusecase u\nflow a 1 5").unwrap_err();
+        assert!(matches!(e, ParseSpecError::Syntax { line: 3, .. }));
+    }
+
+    #[test]
+    fn duplicate_flow_reported_with_line() {
+        let e = from_text("soc x\nusecase u\nflow 0 1 5\nflow 0 1 6").unwrap_err();
+        assert!(matches!(
+            e,
+            ParseSpecError::Spec { line: 4, source: SpecError::DuplicateFlow { .. } }
+        ));
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = from_text("soc x\nusecase u\nflow 0 1").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.starts_with("line 3:"), "{msg}");
+    }
+
+    #[test]
+    fn generated_specs_roundtrip() {
+        // A larger spec exercising fractional bandwidths.
+        let mut soc = SocSpec::new("big");
+        for u in 0..4u32 {
+            let mut b = UseCaseBuilder::new(format!("uc{u}"));
+            for i in 0..10u32 {
+                b.add_flow(
+                    Flow::new(
+                        c(i),
+                        c((i + u + 1) % 12),
+                        Bandwidth::from_bytes_per_sec(1_000_000 + 37_500 * u64::from(i)),
+                        if i % 3 == 0 { Latency::from_us(7) } else { Latency::UNCONSTRAINED },
+                    )
+                    .unwrap(),
+                )
+                .unwrap();
+            }
+            soc.add_use_case(b.build());
+        }
+        let back = from_text(&to_text(&soc)).unwrap();
+        // Bandwidths are written in MB/s with float formatting; equality
+        // may be off by sub-byte rounding, so compare per-flow within 1
+        // byte/s.
+        assert_eq!(back.use_case_count(), soc.use_case_count());
+        for (a, b) in soc.use_cases().iter().zip(back.use_cases()) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.flow_count(), b.flow_count());
+            for f in a.flows() {
+                let g = b.flow_between(f.src(), f.dst()).unwrap();
+                let diff = f.bandwidth().as_bytes_per_sec().abs_diff(g.bandwidth().as_bytes_per_sec());
+                assert!(diff <= 1, "bandwidth drift {diff}");
+                assert_eq!(f.latency(), g.latency());
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests of the use-case algebra and the text format.
+
+use noc_topology::units::{Bandwidth, Latency};
+use noc_usecase::spec::{CoreId, Flow, SocSpec, UseCaseBuilder};
+use noc_usecase::{compound_mode, from_text, to_text, SwitchingGraph};
+use proptest::prelude::*;
+
+fn flow_strategy(cores: u32) -> impl Strategy<Value = ((u32, u32), u64, Option<u64>)> {
+    (
+        (0..cores, 0..cores).prop_filter("distinct", |(a, b)| a != b),
+        1u64..2000,
+        proptest::option::of(1u64..100_000),
+    )
+}
+
+fn soc_strategy(cores: u32) -> impl Strategy<Value = SocSpec> {
+    proptest::collection::vec(
+        proptest::collection::btree_map(
+            (0..cores, 0..cores).prop_filter("distinct", |(a, b)| a != b),
+            (1u64..2000, proptest::option::of(1u64..100_000)),
+            1..12,
+        ),
+        1..4,
+    )
+    .prop_map(move |ucs| {
+        let mut soc = SocSpec::new("prop");
+        for (i, flows) in ucs.into_iter().enumerate() {
+            let mut b = UseCaseBuilder::new(format!("u{i}"));
+            for ((src, dst), (bw, lat)) in flows {
+                b.add_flow(
+                    Flow::new(
+                        CoreId::new(src),
+                        CoreId::new(dst),
+                        Bandwidth::from_mbps(bw),
+                        lat.map_or(Latency::UNCONSTRAINED, Latency::from_us),
+                    )
+                    .unwrap(),
+                )
+                .unwrap();
+            }
+            soc.add_use_case(b.build());
+        }
+        soc
+    })
+}
+
+proptest! {
+    /// Text round-trip is the identity on whole-MB/s, whole-µs specs.
+    #[test]
+    fn text_roundtrip(soc in soc_strategy(10)) {
+        let text = to_text(&soc);
+        let back = from_text(&text).expect("own output parses");
+        prop_assert_eq!(back, soc);
+    }
+
+    /// Compounding with an empty use-case is the identity (up to name).
+    #[test]
+    fn compound_identity(((src, dst), bw, lat) in flow_strategy(6)) {
+        let a = UseCaseBuilder::new("a")
+            .flow(
+                CoreId::new(src),
+                CoreId::new(dst),
+                Bandwidth::from_mbps(bw),
+                lat.map_or(Latency::UNCONSTRAINED, Latency::from_us),
+            )
+            .unwrap()
+            .build();
+        let empty = UseCaseBuilder::new("none").build();
+        let merged = compound_mode("a+0", [&a, &empty]);
+        prop_assert_eq!(merged.flow_count(), 1);
+        let f = merged.flows()[0];
+        let g = a.flows()[0];
+        prop_assert_eq!(f.bandwidth(), g.bandwidth());
+        prop_assert_eq!(f.latency(), g.latency());
+    }
+
+    /// Compounding is associative on bandwidths.
+    #[test]
+    fn compound_associative(
+        a in soc_strategy(6),
+        // Reuse SocSpec strategy as a source of three use-cases.
+    ) {
+        if a.use_case_count() < 3 {
+            return Ok(());
+        }
+        let (x, y, z) = (&a.use_cases()[0], &a.use_cases()[1], &a.use_cases()[2]);
+        let xy = compound_mode("xy", [x, y]);
+        let yz = compound_mode("yz", [y, z]);
+        let xy_z = compound_mode("xyz", [&xy, z]);
+        let x_yz = compound_mode("xyz", [x, &yz]);
+        prop_assert_eq!(xy_z.flow_count(), x_yz.flow_count());
+        for f in xy_z.flows() {
+            let g = x_yz.flow_between(f.src(), f.dst()).expect("same pairs");
+            prop_assert_eq!(f.bandwidth(), g.bandwidth());
+            prop_assert_eq!(f.latency(), g.latency());
+        }
+    }
+
+    /// Adding edges to the switching graph only ever merges groups.
+    #[test]
+    fn edges_monotonically_coarsen(
+        n in 2usize..10,
+        edges in proptest::collection::vec((0u32..10, 0u32..10), 1..12),
+    ) {
+        let u = |i: u32| noc_usecase::spec::UseCaseId::new(i % n as u32);
+        let mut sg = SwitchingGraph::new(n);
+        let mut prev_groups = sg.group().group_count();
+        for (a, b) in edges {
+            sg.add_smooth_pair(u(a), u(b));
+            let now = sg.group().group_count();
+            prop_assert!(now <= prev_groups, "edge increased group count");
+            prev_groups = now;
+        }
+        prop_assert!(prev_groups >= 1);
+    }
+}
+
+#[test]
+fn compound_of_many_empties_is_empty() {
+    let empties: Vec<_> = (0..5).map(|i| UseCaseBuilder::new(format!("e{i}")).build()).collect();
+    let merged = compound_mode("all", empties.iter());
+    assert_eq!(merged.flow_count(), 0);
+}

@@ -1,0 +1,96 @@
+//! Compound modes: use-cases running **in parallel** (watching one
+//! program while recording another). Phase 1 of the methodology
+//! synthesizes a compound use-case per parallel set (bandwidths add,
+//! latency bounds tighten); the compound is automatically tied to its
+//! constituents in the switching graph so entering/leaving the parallel
+//! mode is smooth. This example also sweeps the frequency cost of
+//! parallelism (the paper's Figure 7(c) study).
+//!
+//! ```text
+//! cargo run --release --example parallel_modes
+//! ```
+
+use noc_multiusecase::benchgen::SpreadConfig;
+use noc_multiusecase::map::design::design_smallest_mesh;
+use noc_multiusecase::map::dvs::parallel_min_frequency;
+use noc_multiusecase::map::MapperOptions;
+use noc_multiusecase::tdma::TdmaSpec;
+use noc_multiusecase::topology::units::Frequency;
+use noc_multiusecase::usecase::{expand_parallel_sets, ParallelSet, SwitchingGraph};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 6-use-case spread SoC whose use-cases share a pool of physical
+    // connections (so parallel modes genuinely contend for links).
+    let mut cfg = SpreadConfig::paper(6);
+    cfg.pair_pool = Some(120);
+    cfg.versatile_fraction = 0.3;
+    let mut soc = cfg.generate(42);
+    let base_count = soc.use_case_count();
+
+    // The user declares which use-cases can run in parallel (PUC input):
+    // display (U0) with record (U1), and a triple-mode U2+U3+U4.
+    let u = noc_multiusecase::usecase::spec::UseCaseId::new;
+    let sets = vec![
+        ParallelSet::new("display+record", [u(0), u(1)]),
+        ParallelSet::new("triple", [u(2), u(3), u(4)]),
+    ];
+    let compounds = expand_parallel_sets(&mut soc, &sets)?;
+    println!(
+        "expanded {} parallel sets: {} use-cases total (was {base_count})",
+        compounds.len(),
+        soc.use_case_count()
+    );
+    for (id, members) in &compounds {
+        let uc = soc.use_case(*id);
+        println!(
+            "  {} = {:?}: {} flows, {} aggregate",
+            uc.name(),
+            members.iter().map(|m| m.index()).collect::<Vec<_>>(),
+            uc.flow_count(),
+            uc.total_bandwidth()
+        );
+    }
+
+    // Phase 2: compounds require smooth switching with their members.
+    let mut sg = SwitchingGraph::new(soc.use_case_count());
+    for (id, members) in &compounds {
+        sg.add_compound(*id, members);
+    }
+    let groups = sg.group();
+    println!(
+        "switching graph: {} vertices, {} edges -> {} configuration groups",
+        sg.vertex_count(),
+        sg.edge_count(),
+        groups.group_count()
+    );
+
+    // Phase 3: unified mapping + configuration.
+    let spec = TdmaSpec::paper_default();
+    let options = MapperOptions::default();
+    let solution = design_smallest_mesh(&soc, &groups, spec, &options, 400)?;
+    solution.verify(&soc, &groups)?;
+    println!(
+        "mapped onto a {} mesh; {} connections across {} group configs",
+        solution.label(),
+        solution.connection_count(),
+        solution.group_configs().len()
+    );
+
+    // The Figure 7(c) trade-off: minimum NoC frequency vs parallelism.
+    println!("frequency cost of parallelism (on the designed mesh):");
+    for k in 1..=4usize.min(base_count) {
+        match parallel_min_frequency(
+            &soc,
+            k,
+            solution.topology(),
+            spec,
+            &options,
+            Frequency::from_mhz(10),
+            Frequency::from_ghz(4),
+        ) {
+            Ok((f, _)) => println!("  {k} use-case(s) in parallel: {f}"),
+            Err(e) => println!("  {k} use-case(s) in parallel: infeasible ({e})"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Set-top box walkthrough: design the D1/D2 SoCs with the multi-use-case
+//! flow, compare against the worst-case baseline, and quantify the
+//! DVS/DFS power saving — the paper's Sections 6.2 and 6.4 on one design.
+//!
+//! ```text
+//! cargo run --release --example set_top_box
+//! ```
+
+use noc_multiusecase::benchgen::SocDesign;
+use noc_multiusecase::map::design::design_smallest_mesh;
+use noc_multiusecase::map::dvs::dvs_savings;
+use noc_multiusecase::map::wc::{design_worst_case, worst_case_use_case};
+use noc_multiusecase::map::MapperOptions;
+use noc_multiusecase::tdma::TdmaSpec;
+use noc_multiusecase::topology::units::Frequency;
+use noc_multiusecase::topology::{AreaModel, DvsModel};
+use noc_multiusecase::usecase::UseCaseGroups;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = TdmaSpec::paper_default();
+    let options = MapperOptions::default();
+    let area_model = AreaModel::cmos130();
+
+    for design in [SocDesign::D1, SocDesign::D2] {
+        let cfg = design.config();
+        let soc = design.generate();
+        println!("== {} — {} ==", cfg.label, cfg.description);
+        println!(
+            "   {} cores, {} use-cases, {} flows total",
+            soc.core_count(),
+            soc.use_case_count(),
+            soc.total_flow_count()
+        );
+
+        // The worst-case spec every flow must fit simultaneously (the
+        // ASPDAC'06 baseline's input).
+        let wc = worst_case_use_case(&soc);
+        println!(
+            "   worst-case union: {} connections, {} aggregate",
+            wc.flow_count(),
+            wc.total_bandwidth()
+        );
+
+        // Ours: per-use-case resource states.
+        let groups = UseCaseGroups::singletons(soc.use_case_count());
+        let ours = design_smallest_mesh(&soc, &groups, spec, &options, 400)?;
+        ours.verify(&soc, &groups)?;
+        println!(
+            "   multi-use-case method: {} mesh, {:.2} mm² of switches",
+            ours.label(),
+            ours.area_mm2(&area_model)
+        );
+
+        // Baseline: one over-specified worst-case use-case.
+        match design_worst_case(&soc, spec, &options, 400) {
+            Ok(base) => println!(
+                "   worst-case method:     {} mesh, {:.2} mm² of switches ({}x more switches)",
+                base.label(),
+                base.area_mm2(&area_model),
+                base.switch_count() / ours.switch_count()
+            ),
+            Err(e) => println!("   worst-case method:     infeasible ({e})"),
+        }
+
+        // DVS/DFS: scale frequency/voltage per use-case during switching.
+        let report = dvs_savings(
+            &soc,
+            &groups,
+            &ours,
+            &options,
+            &DvsModel::cmos130(),
+            Frequency::from_mhz(10),
+        )?;
+        println!(
+            "   DVS/DFS: design clock {}, per-use-case minima {:?} MHz",
+            report.design_frequency,
+            report
+                .per_use_case
+                .iter()
+                .map(|(_, f)| f.as_mhz_f64().round() as u64)
+                .collect::<Vec<_>>()
+        );
+        println!("   DVS/DFS power saving: {:.1}%", 100.0 * report.savings_fraction());
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,142 @@
+//! End-to-end integration: benchmark generation → pre-processing →
+//! unified mapping → analytical verification → cycle-level simulation,
+//! across crate boundaries.
+
+use noc_multiusecase::benchgen::{BottleneckConfig, SocDesign, SpreadConfig};
+use noc_multiusecase::map::design::design_smallest_mesh;
+use noc_multiusecase::map::wc::design_worst_case;
+use noc_multiusecase::map::MapperOptions;
+use noc_multiusecase::sim::{simulate_group, simulate_use_case, SimConfig};
+use noc_multiusecase::tdma::TdmaSpec;
+use noc_multiusecase::usecase::UseCaseGroups;
+
+#[test]
+fn d1_designs_verifies_and_simulates_clean() {
+    let soc = SocDesign::D1.generate();
+    let groups = UseCaseGroups::singletons(soc.use_case_count());
+    let sol = design_smallest_mesh(
+        &soc,
+        &groups,
+        TdmaSpec::paper_default(),
+        &MapperOptions::default(),
+        400,
+    )
+    .expect("D1 is feasible");
+    sol.verify(&soc, &groups).expect("mapper output is self-consistent");
+
+    // Simulate every use-case at its own rates on its configuration.
+    for uc in 0..soc.use_case_count() {
+        let report = simulate_use_case(&sol, &soc, &groups, uc, &SimConfig::default());
+        assert_eq!(report.contention_violations, 0, "use-case {uc} contended");
+        assert_eq!(report.latency_violations, 0, "use-case {uc} missed latency bound");
+        assert!(report.all_flows_delivered(), "use-case {uc} dropped words");
+    }
+    // And every group configuration at full provisioned load.
+    for g in 0..groups.group_count() {
+        let report = simulate_group(&sol, g, &SimConfig { cycles: 4096, ..Default::default() });
+        assert_eq!(report.contention_violations, 0, "group {g} contended");
+        assert_eq!(report.latency_violations, 0, "group {g} missed latency bound");
+    }
+}
+
+#[test]
+fn every_soc_design_is_feasible_and_small() {
+    // The paper maps all four designs; ours lands on small meshes.
+    for d in SocDesign::ALL {
+        let soc = d.generate();
+        let groups = UseCaseGroups::singletons(soc.use_case_count());
+        let sol = design_smallest_mesh(
+            &soc,
+            &groups,
+            TdmaSpec::paper_default(),
+            &MapperOptions::default(),
+            400,
+        )
+        .unwrap_or_else(|e| panic!("{} must map: {e}", d.label()));
+        sol.verify(&soc, &groups).unwrap();
+        assert!(
+            sol.switch_count() <= 9,
+            "{} should fit a small mesh, used {}",
+            d.label(),
+            sol.switch_count()
+        );
+    }
+}
+
+#[test]
+fn ours_never_needs_more_switches_than_worst_case() {
+    let spec = TdmaSpec::paper_default();
+    let opts = MapperOptions::default();
+    for (label, soc) in [
+        ("sp5", SpreadConfig::paper(5).generate(99)),
+        ("bot5", BottleneckConfig::paper(5).generate(99)),
+        ("d1", SocDesign::D1.generate()),
+    ] {
+        let groups = UseCaseGroups::singletons(soc.use_case_count());
+        let ours = design_smallest_mesh(&soc, &groups, spec, &opts, 400)
+            .unwrap_or_else(|e| panic!("{label}: ours must map: {e}"));
+        if let Ok(wc) = design_worst_case(&soc, spec, &opts, 400) {
+            assert!(
+                ours.switch_count() <= wc.switch_count(),
+                "{label}: ours {} > wc {}",
+                ours.switch_count(),
+                wc.switch_count()
+            );
+        }
+    }
+}
+
+#[test]
+fn worst_case_method_degrades_with_use_case_count() {
+    // The paper's scalability claim, on the Sp family: WC mesh size is
+    // non-decreasing in the number of use-cases while ours stays flat.
+    let spec = TdmaSpec::paper_default();
+    let opts = MapperOptions::default();
+    let mut ours_sizes = Vec::new();
+    let mut wc_sizes = Vec::new();
+    for n in [2usize, 10, 20] {
+        let soc = SpreadConfig::paper(n).generate(2006 + n as u64);
+        let groups = UseCaseGroups::singletons(n);
+        let ours = design_smallest_mesh(&soc, &groups, spec, &opts, 400).expect("ours maps");
+        ours_sizes.push(ours.switch_count());
+        wc_sizes.push(design_worst_case(&soc, spec, &opts, 400).map(|s| s.switch_count()));
+    }
+    assert!(ours_sizes.iter().all(|&s| s == ours_sizes[0]), "ours flat: {ours_sizes:?}");
+    let feasible: Vec<usize> = wc_sizes.iter().filter_map(|r| r.as_ref().ok().copied()).collect();
+    assert!(
+        feasible.windows(2).all(|w| w[0] <= w[1]),
+        "WC should not shrink with more use-cases: {wc_sizes:?}"
+    );
+    assert!(
+        feasible.last().copied().unwrap_or(usize::MAX) > ours_sizes[0],
+        "at 20 use-cases WC must be strictly worse (or infeasible): {wc_sizes:?}"
+    );
+}
+
+#[test]
+fn shared_core_mapping_across_groups() {
+    // All use-cases use one core placement; only paths/slots differ.
+    let soc = SpreadConfig::paper(4).generate(7);
+    let groups = UseCaseGroups::singletons(4);
+    let sol = design_smallest_mesh(
+        &soc,
+        &groups,
+        TdmaSpec::paper_default(),
+        &MapperOptions::default(),
+        400,
+    )
+    .expect("feasible");
+    // Every flow's route starts/ends at the same NI in whatever group.
+    for uc_id in soc.use_case_ids() {
+        for flow in soc.use_case(uc_id).flows() {
+            let route = sol
+                .route_for(&groups, uc_id, flow.src(), flow.dst())
+                .expect("route exists");
+            let topo = sol.topology();
+            let first = topo.link(route.path[0]).src();
+            let last = topo.link(*route.path.last().unwrap()).dst();
+            assert_eq!(Some(first), sol.ni_of(flow.src()));
+            assert_eq!(Some(last), sol.ni_of(flow.dst()));
+        }
+    }
+}

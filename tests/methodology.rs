@@ -1,0 +1,146 @@
+//! Integration tests of the full three-phase methodology: compound-mode
+//! generation (phase 1) → switching-graph grouping (phase 2) → unified
+//! mapping (phase 3), including the smooth-switching guarantees.
+
+use noc_multiusecase::map::design::design_smallest_mesh;
+use noc_multiusecase::map::MapperOptions;
+use noc_multiusecase::tdma::TdmaSpec;
+use noc_multiusecase::topology::units::{Bandwidth, Latency};
+use noc_multiusecase::usecase::spec::{CoreId, SocSpec, UseCaseBuilder, UseCaseId};
+use noc_multiusecase::usecase::{expand_parallel_sets, ParallelSet, SwitchingGraph};
+
+fn c(i: u32) -> CoreId {
+    CoreId::new(i)
+}
+
+fn u(i: u32) -> UseCaseId {
+    UseCaseId::new(i)
+}
+
+fn bw(m: u64) -> Bandwidth {
+    Bandwidth::from_mbps(m)
+}
+
+/// Three hand-written use-cases over 6 cores.
+fn base_soc() -> SocSpec {
+    let mut soc = SocSpec::new("methodology");
+    soc.add_use_case(
+        UseCaseBuilder::new("display")
+            .flow(c(0), c(1), bw(300), Latency::UNCONSTRAINED)
+            .unwrap()
+            .flow(c(1), c(2), bw(200), Latency::from_us(5))
+            .unwrap()
+            .build(),
+    );
+    soc.add_use_case(
+        UseCaseBuilder::new("record")
+            .flow(c(0), c(1), bw(150), Latency::from_us(2))
+            .unwrap()
+            .flow(c(3), c(4), bw(100), Latency::UNCONSTRAINED)
+            .unwrap()
+            .build(),
+    );
+    soc.add_use_case(
+        UseCaseBuilder::new("browse")
+            .flow(c(4), c(5), bw(50), Latency::UNCONSTRAINED)
+            .unwrap()
+            .build(),
+    );
+    soc
+}
+
+#[test]
+fn full_three_phase_pipeline() {
+    let mut soc = base_soc();
+
+    // Phase 1: display and record can run in parallel.
+    let sets = vec![ParallelSet::new("display+record", [u(0), u(1)])];
+    let compounds = expand_parallel_sets(&mut soc, &sets).expect("ids valid");
+    assert_eq!(soc.use_case_count(), 4);
+    let (compound_id, members) = compounds[0].clone();
+
+    // Compound arithmetic: shared pair (0,1) sums bandwidth, takes min
+    // latency; disjoint pairs carry over.
+    let compound = soc.use_case(compound_id);
+    let f01 = compound.flow_between(c(0), c(1)).expect("shared pair present");
+    assert_eq!(f01.bandwidth(), bw(450));
+    assert_eq!(f01.latency(), Latency::from_us(2));
+    assert_eq!(compound.flow_count(), 3);
+
+    // Phase 2: compound ties its members into one group; browse stays
+    // free to reconfigure.
+    let mut sg = SwitchingGraph::new(soc.use_case_count());
+    sg.add_compound(compound_id, &members);
+    let groups = sg.group();
+    assert_eq!(groups.group_count(), 2);
+    assert!(groups.same_group(u(0), u(1)));
+    assert!(groups.same_group(u(0), compound_id));
+    assert!(!groups.same_group(u(0), u(2)));
+
+    // Phase 3: unified mapping.
+    let sol = design_smallest_mesh(
+        &soc,
+        &groups,
+        TdmaSpec::paper_default(),
+        &MapperOptions::default(),
+        64,
+    )
+    .expect("feasible");
+    sol.verify(&soc, &groups).expect("valid");
+
+    // Smooth-switching guarantee: display, record and the compound see
+    // the *same* route object for their shared pair.
+    let g = groups.group_of(u(0));
+    let shared = sol.group_config(g).route(c(0), c(1)).expect("configured");
+    for uc in [u(0), u(1), compound_id] {
+        let r = sol.route_for(&groups, uc, c(0), c(1)).expect("route");
+        assert_eq!(r, shared, "group members must share the configuration");
+    }
+    // The shared reservation is sized for the compound (the largest
+    // same-pair demand in the group).
+    assert_eq!(shared.bandwidth, bw(450));
+}
+
+#[test]
+fn grouping_never_reduces_noc_size() {
+    // Forcing use-cases to share a configuration can only cost switches.
+    let soc = base_soc();
+    let spec = TdmaSpec::paper_default();
+    let opts = MapperOptions::default();
+    let free = noc_multiusecase::usecase::UseCaseGroups::singletons(3);
+    let frozen = noc_multiusecase::usecase::UseCaseGroups::single_group(3);
+    let a = design_smallest_mesh(&soc, &free, spec, &opts, 64).expect("free feasible");
+    let b = design_smallest_mesh(&soc, &frozen, spec, &opts, 64).expect("frozen feasible");
+    assert!(a.switch_count() <= b.switch_count());
+}
+
+#[test]
+fn compound_mode_requires_more_resources_than_members() {
+    // The compound's demand dominates each member's demand pair-wise.
+    let mut soc = base_soc();
+    let sets = vec![ParallelSet::new("all3", [u(0), u(1), u(2)])];
+    let compounds = expand_parallel_sets(&mut soc, &sets).expect("ids valid");
+    let compound = soc.use_case(compounds[0].0);
+    for member in [u(0), u(1), u(2)] {
+        for flow in soc.use_case(member).flows() {
+            let cf = compound
+                .flow_between(flow.src(), flow.dst())
+                .expect("member pair present in compound");
+            assert!(cf.bandwidth() >= flow.bandwidth());
+            assert!(cf.latency() <= flow.latency());
+        }
+    }
+    assert!(compound.total_bandwidth() >= soc.use_case(u(0)).total_bandwidth());
+}
+
+#[test]
+fn dangling_parallel_set_is_rejected_atomically() {
+    let mut soc = base_soc();
+    let sets = vec![
+        ParallelSet::new("ok", [u(0), u(1)]),
+        ParallelSet::new("dangling", [u(0), u(9)]),
+    ];
+    let err = expand_parallel_sets(&mut soc, &sets);
+    assert!(err.is_err());
+    assert_eq!(soc.use_case_count(), 3, "no partial expansion on error");
+}

@@ -1,0 +1,254 @@
+//! Property-based tests over the whole stack: specification algebra,
+//! grouping, TDMA reservation and the mapper's output contract.
+
+use std::collections::BTreeSet;
+
+use noc_multiusecase::map::design::design_smallest_mesh;
+use noc_multiusecase::map::wc::worst_case_use_case;
+use noc_multiusecase::map::MapperOptions;
+use noc_multiusecase::sim::{simulate_use_case, SimConfig};
+use noc_multiusecase::tdma::{ConnId, NetworkSlots, SlotPolicy, TdmaSpec};
+use noc_multiusecase::topology::units::{Bandwidth, Frequency, Latency, LinkWidth};
+use noc_multiusecase::topology::{LinkId, MeshBuilder};
+use noc_multiusecase::usecase::spec::{CoreId, Flow, SocSpec, UseCase, UseCaseBuilder};
+use noc_multiusecase::usecase::{compound_mode, SwitchingGraph, UseCaseGroups};
+use proptest::prelude::*;
+
+/// Strategy: a use-case over `cores` cores with 1..=max_flows random
+/// flows (distinct pairs, bandwidths in MB/s).
+fn use_case_strategy(cores: u32, max_flows: usize) -> impl Strategy<Value = UseCase> {
+    let pair = (0..cores, 0..cores).prop_filter("no self flows", |(a, b)| a != b);
+    proptest::collection::btree_set(pair, 1..=max_flows).prop_flat_map(move |pairs| {
+        let n = pairs.len();
+        (
+            Just(pairs),
+            proptest::collection::vec(1u64..800, n),
+            proptest::collection::vec(proptest::option::of(1u64..1000u64), n),
+        )
+            .prop_map(|(pairs, bws, lats)| {
+                let mut b = UseCaseBuilder::new("prop");
+                for (((src, dst), bw), lat) in pairs.into_iter().zip(bws).zip(lats) {
+                    let latency = lat.map_or(Latency::UNCONSTRAINED, Latency::from_us);
+                    b.add_flow(
+                        Flow::new(
+                            CoreId::new(src),
+                            CoreId::new(dst),
+                            Bandwidth::from_mbps(bw),
+                            latency,
+                        )
+                        .expect("strategy yields valid flows"),
+                    )
+                    .expect("btree_set pairs are distinct");
+                }
+                b.build()
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Compound bandwidth is the sum over constituents, latency the min.
+    #[test]
+    fn compound_mode_arithmetic(
+        a in use_case_strategy(6, 10),
+        b in use_case_strategy(6, 10),
+    ) {
+        let ab = compound_mode("ab", [&a, &b]);
+        let pairs: BTreeSet<_> = a
+            .flows()
+            .iter()
+            .chain(b.flows())
+            .map(|f| f.endpoints())
+            .collect();
+        prop_assert_eq!(ab.flow_count(), pairs.len());
+        for (src, dst) in pairs {
+            let fa = a.flow_between(src, dst);
+            let fb = b.flow_between(src, dst);
+            let expect_bw = fa.map_or(Bandwidth::ZERO, |f| f.bandwidth())
+                + fb.map_or(Bandwidth::ZERO, |f| f.bandwidth());
+            let expect_lat = fa
+                .map_or(Latency::UNCONSTRAINED, |f| f.latency())
+                .min(fb.map_or(Latency::UNCONSTRAINED, |f| f.latency()));
+            let got = ab.flow_between(src, dst).expect("pair present");
+            prop_assert_eq!(got.bandwidth(), expect_bw);
+            prop_assert_eq!(got.latency(), expect_lat);
+        }
+    }
+
+    /// Compounding is order-insensitive.
+    #[test]
+    fn compound_mode_commutes(
+        a in use_case_strategy(5, 8),
+        b in use_case_strategy(5, 8),
+    ) {
+        let ab = compound_mode("ab", [&a, &b]);
+        let ba = compound_mode("ba", [&b, &a]);
+        prop_assert_eq!(ab.flow_count(), ba.flow_count());
+        for f in ab.flows() {
+            let g = ba.flow_between(f.src(), f.dst()).expect("same pairs");
+            prop_assert_eq!(f.bandwidth(), g.bandwidth());
+            prop_assert_eq!(f.latency(), g.latency());
+        }
+    }
+
+    /// The worst-case use-case dominates every member flow.
+    #[test]
+    fn worst_case_dominates_members(
+        ucs in proptest::collection::vec(use_case_strategy(6, 8), 1..4),
+    ) {
+        let mut soc = SocSpec::new("prop");
+        for uc in ucs {
+            soc.add_use_case(uc);
+        }
+        let wc = worst_case_use_case(&soc);
+        for uc in soc.use_cases() {
+            for f in uc.flows() {
+                let w = wc.flow_between(f.src(), f.dst()).expect("pair in union");
+                prop_assert!(w.bandwidth() >= f.bandwidth());
+                prop_assert!(w.latency() <= f.latency());
+            }
+        }
+    }
+
+    /// Algorithm 1 produces a partition where connectivity == same group.
+    #[test]
+    fn grouping_is_connectivity_partition(
+        n in 1usize..12,
+        edges in proptest::collection::vec((0u32..12, 0u32..12), 0..20),
+    ) {
+        let mut sg = SwitchingGraph::new(n);
+        let mut dsu: Vec<usize> = (0..n).collect();
+        fn find(dsu: &mut Vec<usize>, x: usize) -> usize {
+            if dsu[x] != x {
+                let r = find(dsu, dsu[x]);
+                dsu[x] = r;
+            }
+            dsu[x]
+        }
+        for (a, b) in edges {
+            let (a, b) = (a as usize % n, b as usize % n);
+            sg.add_smooth_pair(
+                noc_multiusecase::usecase::spec::UseCaseId::new(a as u32),
+                noc_multiusecase::usecase::spec::UseCaseId::new(b as u32),
+            );
+            let (ra, rb) = (find(&mut dsu, a), find(&mut dsu, b));
+            dsu[ra] = rb;
+        }
+        let groups = sg.group();
+        // Partition: every vertex in exactly one group.
+        let mut seen = vec![0u8; n];
+        for g in groups.groups() {
+            for m in g {
+                seen[m.index()] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+        // Same group <=> same union-find root.
+        for i in 0..n {
+            for j in 0..n {
+                let same_dsu = find(&mut dsu, i) == find(&mut dsu, j);
+                let same_grp = groups.same_group(
+                    noc_multiusecase::usecase::spec::UseCaseId::new(i as u32),
+                    noc_multiusecase::usecase::spec::UseCaseId::new(j as u32),
+                );
+                prop_assert_eq!(same_dsu, same_grp, "vertices {} and {}", i, j);
+            }
+        }
+    }
+
+    /// TDMA reservations never double-book and releases restore state.
+    #[test]
+    fn tdma_reserve_release_invariants(
+        reservations in proptest::collection::vec(
+            (0usize..6, 1usize..4), 1..10,
+        ),
+    ) {
+        let mesh = MeshBuilder::new(2, 3).nis_per_switch(1).build().unwrap();
+        let topo = mesh.into_topology();
+        let spec = TdmaSpec::new(16, Frequency::from_mhz(500), LinkWidth::BITS_32);
+        let mut slots = NetworkSlots::new(&topo, &spec);
+        let pristine = slots.clone();
+        let nis = topo.nis().to_vec();
+
+        // Deterministic path per (src_ni, length-ish): walk from the NI
+        // through its switch toward increasing switch ids.
+        let make_path = |start: usize| -> Vec<LinkId> {
+            let ni = nis[start % nis.len()];
+            let sw = topo.ni_switch(ni).unwrap();
+            let mut path = vec![topo.link_between(ni, sw).unwrap()];
+            let mut cur = sw;
+            for &l in topo.outgoing(cur) {
+                let next = topo.link(l).dst();
+                if topo.node(next).is_switch() {
+                    path.push(l);
+                    cur = next;
+                    break;
+                }
+            }
+            let back_ni = topo
+                .outgoing(cur)
+                .iter()
+                .map(|&l| topo.link(l).dst())
+                .find(|&m| topo.node(m).is_ni())
+                .unwrap();
+            path.push(topo.link_between(cur, back_ni).unwrap());
+            path
+        };
+
+        let mut committed: Vec<(Vec<LinkId>, Vec<usize>, ConnId)> = Vec::new();
+        for (i, (start, want)) in reservations.into_iter().enumerate() {
+            let path = make_path(start);
+            let conn = ConnId::new(i as u64);
+            if let Some(base) = slots.find_base_slots(&path, want, SlotPolicy::Spread) {
+                slots.reserve(&path, &base, conn).expect("found slots must reserve");
+                committed.push((path, base, conn));
+            }
+        }
+        // Occupancy equals the sum of committed reservations.
+        let used: usize = topo
+            .links()
+            .iter()
+            .map(|l| 16 - slots.free_slot_count(l.id()))
+            .sum();
+        let expected: usize = committed.iter().map(|(p, b, _)| p.len() * b.len()).sum();
+        prop_assert_eq!(used, expected);
+        // Releasing everything restores the pristine state.
+        for (path, base, conn) in committed.into_iter().rev() {
+            slots.release(&path, &base, conn).expect("release own slots");
+        }
+        prop_assert_eq!(slots, pristine);
+    }
+
+    /// Any random small SoC the mapper accepts yields a verifiable,
+    /// simulation-clean, deterministic solution.
+    #[test]
+    fn mapper_output_contract(
+        ucs in proptest::collection::vec(use_case_strategy(5, 6), 1..3),
+    ) {
+        let mut soc = SocSpec::new("prop");
+        for uc in ucs {
+            soc.add_use_case(uc);
+        }
+        let groups = UseCaseGroups::singletons(soc.use_case_count());
+        let spec = TdmaSpec::paper_default();
+        let opts = MapperOptions::default();
+        if let Ok(sol) = design_smallest_mesh(&soc, &groups, spec, &opts, 16) {
+            prop_assert!(sol.verify(&soc, &groups).is_ok());
+            let again = design_smallest_mesh(&soc, &groups, spec, &opts, 16)
+                .expect("determinism: feasible stays feasible");
+            prop_assert_eq!(&sol, &again);
+            for uc in 0..soc.use_case_count() {
+                let report = simulate_use_case(
+                    &sol,
+                    &soc,
+                    &groups,
+                    uc,
+                    &SimConfig { cycles: 1024, ..Default::default() },
+                );
+                prop_assert_eq!(report.contention_violations, 0);
+                prop_assert_eq!(report.latency_violations, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! The shipped spec files parse, design, and match the paper's figures.
+
+use noc_multiusecase::map::design::design_smallest_mesh;
+use noc_multiusecase::map::MapperOptions;
+use noc_multiusecase::tdma::TdmaSpec;
+use noc_multiusecase::topology::units::Bandwidth;
+use noc_multiusecase::usecase::spec::CoreId;
+use noc_multiusecase::usecase::{from_text, to_text, UseCaseGroups};
+
+#[test]
+fn figure2_spec_parses_and_matches_the_paper() {
+    let text = include_str!("../specs/figure2.spec");
+    let soc = from_text(text).expect("shipped spec parses");
+    assert_eq!(soc.name(), "figure2");
+    assert_eq!(soc.use_case_count(), 2);
+    assert_eq!(soc.core_count(), 7);
+
+    // Spot-check the numbers printed in Figure 2.
+    let uc1 = &soc.use_cases()[0];
+    let uc2 = &soc.use_cases()[1];
+    let f = |uc: &noc_multiusecase::usecase::spec::UseCase, s: u32, d: u32| {
+        uc.flow_between(CoreId::new(s), CoreId::new(d))
+            .unwrap_or_else(|| panic!("missing flow {s} -> {d}"))
+            .bandwidth()
+    };
+    assert_eq!(f(uc1, 2, 5), Bandwidth::from_mbps(200)); // filter2 -> mem2, UC1
+    assert_eq!(f(uc2, 2, 5), Bandwidth::from_mbps(50)); // same pair, UC2
+    assert_eq!(f(uc1, 5, 3), Bandwidth::from_mbps(150));
+    assert_eq!(f(uc2, 5, 3), Bandwidth::from_mbps(200));
+    assert_eq!(uc1.flow_count(), 7);
+    assert_eq!(uc2.flow_count(), 8);
+}
+
+#[test]
+fn figure2_designs_onto_one_switch() {
+    let soc = from_text(include_str!("../specs/figure2.spec")).unwrap();
+    let groups = UseCaseGroups::singletons(soc.use_case_count());
+    let sol = design_smallest_mesh(
+        &soc,
+        &groups,
+        TdmaSpec::paper_default(),
+        &MapperOptions::default(),
+        16,
+    )
+    .expect("the Figure 2 fragment is tiny");
+    sol.verify(&soc, &groups).unwrap();
+    assert_eq!(sol.switch_count(), 1, "7 cores at these rates fit one switch");
+}
+
+#[test]
+fn figure2_spec_roundtrips() {
+    let soc = from_text(include_str!("../specs/figure2.spec")).unwrap();
+    let back = from_text(&to_text(&soc)).unwrap();
+    assert_eq!(back, soc);
+}
