@@ -27,7 +27,10 @@ fn bench_placement(c: &mut Criterion) {
     let groups = UseCaseGroups::singletons(5);
     let spec = TdmaSpec::paper_default();
     let unified = MapperOptions::default();
-    let rr = MapperOptions { placement: Placement::RoundRobin, ..Default::default() };
+    let rr = MapperOptions {
+        placement: Placement::RoundRobin,
+        ..Default::default()
+    };
 
     // Quality gate: unified placement must not lose on comm cost at the
     // unified solution's own mesh size.
@@ -120,7 +123,10 @@ fn bench_annealing(c: &mut Criterion) {
     let spec = TdmaSpec::paper_default();
     let opts = MapperOptions::default();
     let initial = design_smallest_mesh(&soc, &groups, spec, &opts, 400).expect("feasible");
-    let cfg = AnnealConfig { iterations: 30, ..Default::default() };
+    let cfg = AnnealConfig {
+        iterations: 30,
+        ..Default::default()
+    };
 
     // Quality gate: refinement never worsens the solution.
     let refined = refine(&soc, &groups, &opts, &initial, &cfg).expect("refine runs");
@@ -134,5 +140,11 @@ fn bench_annealing(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_placement, bench_ordering, bench_grouping, bench_annealing);
+criterion_group!(
+    benches,
+    bench_placement,
+    bench_ordering,
+    bench_grouping,
+    bench_annealing
+);
 criterion_main!(benches);

@@ -31,8 +31,7 @@ fn bench_fig7b_d1(c: &mut Criterion) {
     let groups = UseCaseGroups::singletons(soc.use_case_count());
     let spec = TdmaSpec::paper_default();
     let opts = MapperOptions::default();
-    let sol =
-        design_smallest_mesh(&soc, &groups, spec, &opts, 400).expect("D1 maps at 500 MHz");
+    let sol = design_smallest_mesh(&soc, &groups, spec, &opts, 400).expect("D1 maps at 500 MHz");
     let dvs = DvsModel::cmos130();
     let mut g = c.benchmark_group("figures");
     g.sample_size(10);

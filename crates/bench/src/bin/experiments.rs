@@ -22,7 +22,13 @@ fn print_comparisons(title: &str, comps: &[Comparison]) {
         let norm = c
             .normalized()
             .map_or("-".to_string(), |n| format!("{n:.3}"));
-        println!("{:<8} {:>8} {:>8} {:>12}", c.label, fmt(c.ours), fmt(c.wc), norm);
+        println!(
+            "{:<8} {:>8} {:>8} {:>12}",
+            c.label,
+            fmt(c.ours),
+            fmt(c.wc),
+            norm
+        );
     }
 }
 
@@ -51,8 +57,11 @@ fn run(name: &str) {
                 println!("\n== Fig 7(b): DVS/DFS power savings ==");
                 println!("{:<8} {:>12} per-use-case min MHz", "design", "savings");
                 for p in points {
-                    let mhz: Vec<String> =
-                        p.per_use_case_mhz.iter().map(|f| format!("{f:.0}")).collect();
+                    let mhz: Vec<String> = p
+                        .per_use_case_mhz
+                        .iter()
+                        .map(|f| format!("{f:.0}"))
+                        .collect();
                     println!(
                         "{:<8} {:>11.1}% [{}]",
                         p.label,

@@ -47,7 +47,10 @@ fn take_opt(args: &mut Vec<String>, name: &str) -> Result<Option<u64>, String> {
         }
         let value = args.remove(pos + 1);
         args.remove(pos);
-        value.parse::<u64>().map(Some).map_err(|_| format!("invalid {name} '{value}'"))
+        value
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| format!("invalid {name} '{value}'"))
     } else {
         Ok(None)
     }
@@ -100,8 +103,8 @@ fn cmd_design(mut args: Vec<String>) -> Result<(), String> {
     let emit_path = take_string(&mut args, "--emit")?;
     let spec_path = args.first().ok_or("design needs a spec file")?;
 
-    let text = std::fs::read_to_string(spec_path)
-        .map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+    let text =
+        std::fs::read_to_string(spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
     let soc = noc_usecase::from_text(&text).map_err(|e| format!("{spec_path}: {e}"))?;
     println!(
         "loaded '{}': {} cores, {} use-cases, {} flows",
@@ -136,7 +139,10 @@ fn cmd_design(mut args: Vec<String>) -> Result<(), String> {
     if let Some(path) = emit_path {
         let artifact = emit_text(&solution, &soc, &groups);
         std::fs::write(&path, &artifact).map_err(|e| format!("cannot write {path}: {e}"))?;
-        println!("configuration artifact written to {path} ({} bytes)", artifact.len());
+        println!(
+            "configuration artifact written to {path} ({} bytes)",
+            artifact.len()
+        );
     }
     Ok(())
 }

@@ -67,7 +67,11 @@ fn run_pair(label: impl Into<String>, soc: &SocSpec) -> Comparison {
     let wc = design_worst_case(soc, spec, &opts, MAX_SWITCHES)
         .ok()
         .map(|s| s.switch_count());
-    Comparison { label: label.into(), ours, wc }
+    Comparison {
+        label: label.into(),
+        ours,
+        wc,
+    }
 }
 
 /// Figure 6(a): switch counts for the four SoC designs, ours vs WC.
@@ -89,7 +93,12 @@ pub fn fig6b(extended: bool) -> Vec<Comparison> {
     }
     counts
         .into_iter()
-        .map(|n| run_pair(format!("{n}"), &SpreadConfig::paper(n).generate(SEED + n as u64)))
+        .map(|n| {
+            run_pair(
+                format!("{n}"),
+                &SpreadConfig::paper(n).generate(SEED + n as u64),
+            )
+        })
         .collect()
 }
 
@@ -102,7 +111,10 @@ pub fn fig6c(extended: bool) -> Vec<Comparison> {
     counts
         .into_iter()
         .map(|n| {
-            run_pair(format!("{n}"), &BottleneckConfig::paper(n).generate(SEED + n as u64))
+            run_pair(
+                format!("{n}"),
+                &BottleneckConfig::paper(n).generate(SEED + n as u64),
+            )
         })
         .collect()
 }
@@ -124,25 +136,27 @@ pub fn fig7a() -> Vec<AreaPoint> {
     let groups = UseCaseGroups::singletons(soc.use_case_count());
     let opts = MapperOptions::default();
     let area = AreaModel::cmos130();
-    [100u64, 150, 200, 250, 300, 350, 400, 500, 650, 800, 1000, 1250, 1500, 1750, 2000]
-        .into_iter()
-        .map(|mhz| {
-            let f = Frequency::from_mhz(mhz);
-            let sol = design_smallest_mesh(
-                &soc,
-                &groups,
-                TdmaSpec::paper_default().at_frequency(f),
-                &opts,
-                MAX_SWITCHES,
-            )
-            .ok();
-            AreaPoint {
-                frequency: f,
-                switches: sol.as_ref().map(MappingSolution::switch_count),
-                area_mm2: sol.as_ref().map(|s| s.area_mm2(&area)),
-            }
-        })
-        .collect()
+    [
+        100u64, 150, 200, 250, 300, 350, 400, 500, 650, 800, 1000, 1250, 1500, 1750, 2000,
+    ]
+    .into_iter()
+    .map(|mhz| {
+        let f = Frequency::from_mhz(mhz);
+        let sol = design_smallest_mesh(
+            &soc,
+            &groups,
+            TdmaSpec::paper_default().at_frequency(f),
+            &opts,
+            MAX_SWITCHES,
+        )
+        .ok();
+        AreaPoint {
+            frequency: f,
+            switches: sol.as_ref().map(MappingSolution::switch_count),
+            area_mm2: sol.as_ref().map(|s| s.area_mm2(&area)),
+        }
+    })
+    .collect()
 }
 
 /// One design's DVS/DFS saving.
@@ -226,7 +240,10 @@ pub fn fig7c() -> Result<Vec<ParallelPoint>, MapError> {
             )
             .ok()
             .map(|(f, _)| f);
-            ParallelPoint { parallel: k, frequency: f }
+            ParallelPoint {
+                parallel: k,
+                frequency: f,
+            }
         })
         .collect())
 }
@@ -263,7 +280,10 @@ pub fn runtimes() -> Vec<RuntimePoint> {
         run(d.label().to_string(), &d.generate());
     }
     for n in [10usize, 20, 40] {
-        run(format!("sp{n}"), &SpreadConfig::paper(n).generate(SEED + n as u64));
+        run(
+            format!("sp{n}"),
+            &SpreadConfig::paper(n).generate(SEED + n as u64),
+        );
     }
     rows
 }
@@ -311,7 +331,10 @@ pub fn verify_designs() -> Result<Vec<VerifyPoint>, MapError> {
                     &soc,
                     &groups,
                     uc,
-                    &noc_sim::SimConfig { cycles: 4096, ..Default::default() },
+                    &noc_sim::SimConfig {
+                        cycles: 4096,
+                        ..Default::default()
+                    },
                 );
                 contention += report.contention_violations;
                 late += report.latency_violations;
@@ -366,14 +389,25 @@ pub fn ablations() -> Vec<AblationPoint> {
         run(
             "unsorted-flows",
             &groups,
-            &MapperOptions { sort_by_bandwidth: false, prefer_mapped: false, ..paper.clone() },
+            &MapperOptions {
+                sort_by_bandwidth: false,
+                prefer_mapped: false,
+                ..paper.clone()
+            },
         ),
         run(
             "round-robin-placement",
             &groups,
-            &MapperOptions { placement: Placement::RoundRobin, ..paper.clone() },
+            &MapperOptions {
+                placement: Placement::RoundRobin,
+                ..paper.clone()
+            },
         ),
-        run("single-shared-config", &UseCaseGroups::single_group(5), &paper),
+        run(
+            "single-shared-config",
+            &UseCaseGroups::single_group(5),
+            &paper,
+        ),
     ];
     // Annealing refinement of the paper-default solution.
     if let Ok(base) = design_smallest_mesh(&soc, &groups, spec, &paper, MAX_SWITCHES) {
@@ -382,7 +416,10 @@ pub fn ablations() -> Vec<AblationPoint> {
             &groups,
             &paper,
             &base,
-            &AnnealConfig { iterations: 100, ..Default::default() },
+            &AnnealConfig {
+                iterations: 100,
+                ..Default::default()
+            },
         )
         .ok();
         points.push(AblationPoint {
@@ -412,8 +449,11 @@ pub struct Headline {
 /// Propagates [`MapError`] from the underlying experiments.
 pub fn headline() -> Result<Headline, MapError> {
     let comps = fig6a();
-    let reductions: Vec<f64> =
-        comps.iter().filter_map(Comparison::normalized).map(|n| 1.0 - n).collect();
+    let reductions: Vec<f64> = comps
+        .iter()
+        .filter_map(Comparison::normalized)
+        .map(|n| 1.0 - n)
+        .collect();
     let mean_area_reduction = if reductions.is_empty() {
         0.0
     } else {
@@ -422,7 +462,10 @@ pub fn headline() -> Result<Headline, MapError> {
     let savings = fig7b()?;
     let mean_power_saving =
         savings.iter().map(|p| p.savings).sum::<f64>() / savings.len().max(1) as f64;
-    Ok(Headline { mean_area_reduction, mean_power_saving })
+    Ok(Headline {
+        mean_area_reduction,
+        mean_power_saving,
+    })
 }
 
 #[cfg(test)]
@@ -431,9 +474,17 @@ mod tests {
 
     #[test]
     fn comparison_normalization() {
-        let c = Comparison { label: "x".into(), ours: Some(4), wc: Some(16) };
+        let c = Comparison {
+            label: "x".into(),
+            ours: Some(4),
+            wc: Some(16),
+        };
         assert_eq!(c.normalized(), Some(0.25));
-        let c = Comparison { label: "x".into(), ours: Some(4), wc: None };
+        let c = Comparison {
+            label: "x".into(),
+            ours: Some(4),
+            wc: None,
+        };
         assert_eq!(c.normalized(), None);
     }
 
@@ -445,7 +496,10 @@ mod tests {
         let ours = comp.ours.expect("multi-use-case mapping must succeed");
         assert!(ours >= 1);
         if let Some(n) = comp.normalized() {
-            assert!(n <= 1.0 + 1e-9, "ours must not need more switches than WC, got {n}");
+            assert!(
+                n <= 1.0 + 1e-9,
+                "ours must not need more switches than WC, got {n}"
+            );
         }
     }
 }

@@ -36,7 +36,12 @@ pub struct AnnealConfig {
 
 impl Default for AnnealConfig {
     fn default() -> Self {
-        AnnealConfig { iterations: 200, initial_temperature: 500.0, cooling: 0.97, seed: 1 }
+        AnnealConfig {
+            iterations: 200,
+            initial_temperature: 500.0,
+            cooling: 0.97,
+            seed: 1,
+        }
     }
 }
 
@@ -54,7 +59,10 @@ pub fn refine(
     initial: &MappingSolution,
     config: &AnnealConfig,
 ) -> Result<MappingSolution, MapError> {
-    assert!(config.cooling > 0.0 && config.cooling < 1.0, "cooling must be in (0, 1)");
+    assert!(
+        config.cooling > 0.0 && config.cooling < 1.0,
+        "cooling must be in (0, 1)"
+    );
     let topo = initial.topology().clone();
     let spec = initial.spec();
     let mut rng = SmallRng::seed_from_u64(config.seed);
@@ -65,7 +73,10 @@ pub fn refine(
             groups,
             &topo,
             spec,
-            &MapperOptions { placement, ..options.clone() },
+            &MapperOptions {
+                placement,
+                ..options.clone()
+            },
         )
     };
 
@@ -133,9 +144,19 @@ mod tests {
         let mut soc = SocSpec::new("chatty");
         soc.add_use_case(
             UseCaseBuilder::new("u")
-                .flow(c(0), c(1), Bandwidth::from_mbps(500), Latency::UNCONSTRAINED)
+                .flow(
+                    c(0),
+                    c(1),
+                    Bandwidth::from_mbps(500),
+                    Latency::UNCONSTRAINED,
+                )
                 .unwrap()
-                .flow(c(2), c(3), Bandwidth::from_mbps(500), Latency::UNCONSTRAINED)
+                .flow(
+                    c(2),
+                    c(3),
+                    Bandwidth::from_mbps(500),
+                    Latency::UNCONSTRAINED,
+                )
                 .unwrap()
                 .flow(c(0), c(2), Bandwidth::from_mbps(5), Latency::UNCONSTRAINED)
                 .unwrap()
@@ -150,10 +171,15 @@ mod tests {
         let groups = UseCaseGroups::singletons(1);
         let opts = MapperOptions::default();
         let mesh = MeshBuilder::new(2, 2).nis_per_switch(1).build().unwrap();
-        let initial =
-            map_multi_usecase(&soc, &groups, mesh.topology(), TdmaSpec::paper_default(), &opts).unwrap();
-        let refined =
-            refine(&soc, &groups, &opts, &initial, &AnnealConfig::default()).unwrap();
+        let initial = map_multi_usecase(
+            &soc,
+            &groups,
+            mesh.topology(),
+            TdmaSpec::paper_default(),
+            &opts,
+        )
+        .unwrap();
+        let refined = refine(&soc, &groups, &opts, &initial, &AnnealConfig::default()).unwrap();
         assert!(refined.comm_cost() <= initial.comm_cost());
         refined.verify(&soc, &groups).unwrap();
     }
@@ -164,12 +190,23 @@ mod tests {
         let groups = UseCaseGroups::singletons(1);
         let mesh = MeshBuilder::new(2, 2).nis_per_switch(1).build().unwrap();
         // Deliberately poor start: round-robin ignores affinity.
-        let rr_opts =
-            MapperOptions { placement: Placement::RoundRobin, ..Default::default() };
-        let initial =
-            map_multi_usecase(&soc, &groups, mesh.topology(), TdmaSpec::paper_default(), &rr_opts).unwrap();
+        let rr_opts = MapperOptions {
+            placement: Placement::RoundRobin,
+            ..Default::default()
+        };
+        let initial = map_multi_usecase(
+            &soc,
+            &groups,
+            mesh.topology(),
+            TdmaSpec::paper_default(),
+            &rr_opts,
+        )
+        .unwrap();
         let opts = MapperOptions::default();
-        let cfg = AnnealConfig { iterations: 300, ..Default::default() };
+        let cfg = AnnealConfig {
+            iterations: 300,
+            ..Default::default()
+        };
         let refined = refine(&soc, &groups, &opts, &initial, &cfg).unwrap();
         assert!(
             refined.comm_cost() <= initial.comm_cost(),
@@ -186,9 +223,19 @@ mod tests {
         let groups = UseCaseGroups::singletons(1);
         let opts = MapperOptions::default();
         let mesh = MeshBuilder::new(2, 2).nis_per_switch(1).build().unwrap();
-        let initial =
-            map_multi_usecase(&soc, &groups, mesh.topology(), TdmaSpec::paper_default(), &opts).unwrap();
-        let cfg = AnnealConfig { iterations: 50, seed: 9, ..Default::default() };
+        let initial = map_multi_usecase(
+            &soc,
+            &groups,
+            mesh.topology(),
+            TdmaSpec::paper_default(),
+            &opts,
+        )
+        .unwrap();
+        let cfg = AnnealConfig {
+            iterations: 50,
+            seed: 9,
+            ..Default::default()
+        };
         let a = refine(&soc, &groups, &opts, &initial, &cfg).unwrap();
         let b = refine(&soc, &groups, &opts, &initial, &cfg).unwrap();
         assert_eq!(a, b);
@@ -201,9 +248,18 @@ mod tests {
         let groups = UseCaseGroups::singletons(1);
         let opts = MapperOptions::default();
         let mesh = MeshBuilder::new(2, 2).nis_per_switch(1).build().unwrap();
-        let initial =
-            map_multi_usecase(&soc, &groups, mesh.topology(), TdmaSpec::paper_default(), &opts).unwrap();
-        let cfg = AnnealConfig { cooling: 1.5, ..Default::default() };
+        let initial = map_multi_usecase(
+            &soc,
+            &groups,
+            mesh.topology(),
+            TdmaSpec::paper_default(),
+            &opts,
+        )
+        .unwrap();
+        let cfg = AnnealConfig {
+            cooling: 1.5,
+            ..Default::default()
+        };
         let _ = refine(&soc, &groups, &opts, &initial, &cfg);
     }
 }

@@ -101,8 +101,7 @@ pub fn design_smallest_fabric(
         if switches > max_switches {
             break;
         }
-        let Some(mesh) = candidate_mesh(rows, cols, cores, options.max_switch_ports, kind)
-        else {
+        let Some(mesh) = candidate_mesh(rows, cols, cores, options.max_switch_ports, kind) else {
             continue;
         };
         match map_multi_usecase(soc, groups, mesh.topology(), spec, options) {
@@ -290,7 +289,9 @@ mod tests {
             let mut s = SocSpec::new("light");
             let mut b = UseCaseBuilder::new("u0");
             for i in 0..40u32 {
-                b = b.flow(c(i), c((i + 1) % 40), bw(10), Latency::UNCONSTRAINED).unwrap();
+                b = b
+                    .flow(c(i), c((i + 1) % 40), bw(10), Latency::UNCONSTRAINED)
+                    .unwrap();
             }
             s.add_use_case(b.build());
             design_smallest_mesh(
@@ -338,7 +339,9 @@ mod tests {
     fn min_frequency_bisects() {
         let soc = ring_soc(200);
         let groups = UseCaseGroups::singletons(1);
-        let mesh = candidate_mesh(1, 1, 8, 10, FabricKind::Mesh).unwrap().into_topology();
+        let mesh = candidate_mesh(1, 1, 8, 10, FabricKind::Mesh)
+            .unwrap()
+            .into_topology();
         let (f, sol) = min_frequency(
             &soc,
             &groups,
@@ -372,7 +375,9 @@ mod tests {
         let err = min_frequency(
             &soc,
             &UseCaseGroups::singletons(1),
-            &candidate_mesh(1, 1, 8, 10, FabricKind::Mesh).unwrap().into_topology(),
+            &candidate_mesh(1, 1, 8, 10, FabricKind::Mesh)
+                .unwrap()
+                .into_topology(),
             TdmaSpec::paper_default(),
             &MapperOptions::default(),
             Frequency::from_mhz(1),
@@ -416,8 +421,10 @@ mod tests {
     fn area_sweep_shape() {
         let soc = ring_soc(300);
         let groups = UseCaseGroups::singletons(1);
-        let sweep: Vec<Frequency> =
-            [100u64, 250, 500, 1000].into_iter().map(Frequency::from_mhz).collect();
+        let sweep: Vec<Frequency> = [100u64, 250, 500, 1000]
+            .into_iter()
+            .map(Frequency::from_mhz)
+            .collect();
         let results = area_frequency_sweep(
             &soc,
             &groups,
@@ -428,11 +435,16 @@ mod tests {
         );
         assert_eq!(results.len(), 4);
         // Feasible points' switch counts never increase with frequency.
-        let counts: Vec<Option<usize>> =
-            results.iter().map(|(_, s)| s.as_ref().map(|s| s.switch_count())).collect();
+        let counts: Vec<Option<usize>> = results
+            .iter()
+            .map(|(_, s)| s.as_ref().map(|s| s.switch_count()))
+            .collect();
         let feasible: Vec<usize> = counts.iter().flatten().copied().collect();
         for w in feasible.windows(2) {
-            assert!(w[1] <= w[0], "switch count must not grow with frequency: {counts:?}");
+            assert!(
+                w[1] <= w[0],
+                "switch count must not grow with frequency: {counts:?}"
+            );
         }
     }
 }

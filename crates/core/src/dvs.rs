@@ -66,7 +66,10 @@ pub fn dvs_savings(
     floor: Frequency,
 ) -> Result<DvsReport, MapError> {
     let preset = Placement::Preset(solution.core_mapping().clone());
-    let per_uc_options = MapperOptions { placement: preset, ..options.clone() };
+    let per_uc_options = MapperOptions {
+        placement: preset,
+        ..options.clone()
+    };
 
     // The no-DVS baseline: the slowest clock at which the whole design
     // (all use-cases, same mesh and mapping) remains feasible.
@@ -98,7 +101,11 @@ pub fn dvs_savings(
         per_use_case.push((uc_id, f_min));
     }
     let n = per_use_case.len().max(1);
-    Ok(DvsReport { design_frequency, per_use_case, relative_power: rel_sum / n as f64 })
+    Ok(DvsReport {
+        design_frequency,
+        per_use_case,
+        relative_power: rel_sum / n as f64,
+    })
 }
 
 /// Re-derives the *design* frequency for running `k` use-cases in
@@ -125,12 +132,23 @@ pub fn parallel_min_frequency(
     lo: Frequency,
     hi: Frequency,
 ) -> Result<(Frequency, MappingSolution), MapError> {
-    assert!(k >= 1 && k <= soc.use_case_count(), "k must be in 1..=use_case_count");
+    assert!(
+        k >= 1 && k <= soc.use_case_count(),
+        "k must be in 1..=use_case_count"
+    );
     let members: Vec<_> = soc.use_cases().iter().take(k).collect();
     let compound = noc_usecase::compound_mode(format!("par{k}"), members.into_iter());
     let mut solo = SocSpec::new(format!("{}-par{k}", soc.name()));
     solo.add_use_case(compound);
-    min_frequency(&solo, &UseCaseGroups::singletons(1), topo, base_spec, options, lo, hi)
+    min_frequency(
+        &solo,
+        &UseCaseGroups::singletons(1),
+        topo,
+        base_spec,
+        options,
+        lo,
+        hi,
+    )
 }
 
 #[cfg(test)]
@@ -176,14 +194,23 @@ mod tests {
         let opts = MapperOptions::default();
         let spec = TdmaSpec::paper_default();
         let sol = design_smallest_mesh(&soc, &groups, spec, &opts, 100).unwrap();
-        let report =
-            dvs_savings(&soc, &groups, &sol, &opts, &DvsModel::cmos130(), Frequency::from_mhz(1))
-                .unwrap();
+        let report = dvs_savings(
+            &soc,
+            &groups,
+            &sol,
+            &opts,
+            &DvsModel::cmos130(),
+            Frequency::from_mhz(1),
+        )
+        .unwrap();
         assert!(report.design_frequency <= Frequency::from_mhz(500));
         assert_eq!(report.per_use_case.len(), 2);
         let f_heavy = report.per_use_case[0].1;
         let f_light = report.per_use_case[1].1;
-        assert!(f_light < f_heavy, "light {f_light} should scale below heavy {f_heavy}");
+        assert!(
+            f_light < f_heavy,
+            "light {f_light} should scale below heavy {f_heavy}"
+        );
         assert!(report.savings_fraction() > 0.0);
         assert!(report.savings_fraction() < 1.0);
     }
@@ -203,12 +230,22 @@ mod tests {
         let opts = MapperOptions::default();
         let sol =
             design_smallest_mesh(&soc, &groups, TdmaSpec::paper_default(), &opts, 100).unwrap();
-        let report =
-            dvs_savings(&soc, &groups, &sol, &opts, &DvsModel::cmos130(), Frequency::from_mhz(1))
-                .unwrap();
+        let report = dvs_savings(
+            &soc,
+            &groups,
+            &sol,
+            &opts,
+            &DvsModel::cmos130(),
+            Frequency::from_mhz(1),
+        )
+        .unwrap();
         // With one use-case the baseline IS that use-case's minimum:
         // savings must be (near) zero.
-        assert!(report.savings_fraction() < 0.05, "{}", report.savings_fraction());
+        assert!(
+            report.savings_fraction() < 0.05,
+            "{}",
+            report.savings_fraction()
+        );
     }
 
     #[test]
@@ -240,7 +277,10 @@ mod tests {
                 Frequency::from_ghz(4),
             )
             .unwrap();
-            assert!(f >= prev, "frequency must not drop as k grows: {f} < {prev}");
+            assert!(
+                f >= prev,
+                "frequency must not drop as k grows: {f} < {prev}"
+            );
             prev = f;
         }
         // 4 parallel copies of a 300 MB/s flow need ~4x the frequency of 1.
@@ -251,7 +291,10 @@ mod tests {
     #[should_panic(expected = "k must be")]
     fn parallel_k_validated() {
         let soc = skewed_soc();
-        let mesh = noc_topology::MeshBuilder::new(1, 1).nis_per_switch(4).build().unwrap();
+        let mesh = noc_topology::MeshBuilder::new(1, 1)
+            .nis_per_switch(4)
+            .build()
+            .unwrap();
         let _ = parallel_min_frequency(
             &soc,
             0,

@@ -56,7 +56,10 @@ pub fn config_diff(a: &GroupConfig, b: &GroupConfig) -> ConfigDiff {
             Some(_) => diff.changed += 1,
         }
     }
-    diff.added = b.iter().filter(|(p, _)| a.route(p.0, p.1).is_none()).count();
+    diff.added = b
+        .iter()
+        .filter(|(p, _)| a.route(p.0, p.1).is_none())
+        .count();
     diff
 }
 
@@ -125,8 +128,10 @@ pub fn emit_text(solution: &MappingSolution, soc: &SocSpec, groups: &UseCaseGrou
         }
 
         // Per-link slot tables, reconstructed from the routes.
-        let mut tables: BTreeMap<usize, Vec<Option<(noc_usecase::spec::CoreId, noc_usecase::spec::CoreId)>>> =
-            BTreeMap::new();
+        let mut tables: BTreeMap<
+            usize,
+            Vec<Option<(noc_usecase::spec::CoreId, noc_usecase::spec::CoreId)>>,
+        > = BTreeMap::new();
         for (&pair, route) in config.iter() {
             for &base in &route.base_slots {
                 for (i, link) in route.path.iter().enumerate() {
@@ -170,7 +175,12 @@ mod tests {
         let mut soc = SocSpec::new("emit-demo");
         soc.add_use_case(
             UseCaseBuilder::new("u0")
-                .flow(c(0), c(1), Bandwidth::from_mbps(300), Latency::UNCONSTRAINED)
+                .flow(
+                    c(0),
+                    c(1),
+                    Bandwidth::from_mbps(300),
+                    Latency::UNCONSTRAINED,
+                )
                 .unwrap()
                 .flow(c(1), c(2), Bandwidth::from_mbps(125), Latency::from_us(1))
                 .unwrap()
@@ -212,7 +222,10 @@ mod tests {
     #[test]
     fn emit_is_deterministic() {
         let (soc, groups, sol) = demo();
-        assert_eq!(emit_text(&sol, &soc, &groups), emit_text(&sol, &soc, &groups));
+        assert_eq!(
+            emit_text(&sol, &soc, &groups),
+            emit_text(&sol, &soc, &groups)
+        );
     }
 
     #[test]

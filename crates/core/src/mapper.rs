@@ -156,7 +156,9 @@ impl<'a> MapState<'a> {
             }
             let target = match dst_ni {
                 Some(ni) => Target::Ni(ni),
-                None => Target::AnyFreeNi { occupied: &self.ni_occupied },
+                None => Target::AnyFreeNi {
+                    occupied: &self.ni_occupied,
+                },
             };
             let Some(found) = query.shortest(&sources, target) else {
                 break;
@@ -255,7 +257,10 @@ pub fn map_multi_usecase(
     }
     let cores = soc.cores();
     if cores.len() > topo.ni_count() {
-        return Err(MapError::TooManyCores { cores: cores.len(), nis: topo.ni_count() });
+        return Err(MapError::TooManyCores {
+            cores: cores.len(),
+            nis: topo.ni_count(),
+        });
     }
 
     let merged = merged_group_flows(soc, groups);
@@ -289,7 +294,12 @@ pub fn map_multi_usecase(
         .map(|((src, dst), mut demands)| {
             demands.sort_by(|a, b| b.1.bandwidth.cmp(&a.1.bandwidth).then(a.0.cmp(&b.0)));
             let max_bw = demands[0].1.bandwidth;
-            PairTask { src, dst, demands, max_bw }
+            PairTask {
+                src,
+                dst,
+                demands,
+                max_bw,
+            }
         })
         .collect();
     if options.sort_by_bandwidth {
@@ -636,8 +646,18 @@ mod tests {
         let soc = small_soc();
         let groups = UseCaseGroups::singletons(2);
         let m = mesh(2, 2, 1);
-        let opts = MapperOptions { placement: Placement::RoundRobin, ..Default::default() };
-        let sol = map_multi_usecase(&soc, &groups, m.topology(), TdmaSpec::paper_default(), &opts).unwrap();
+        let opts = MapperOptions {
+            placement: Placement::RoundRobin,
+            ..Default::default()
+        };
+        let sol = map_multi_usecase(
+            &soc,
+            &groups,
+            m.topology(),
+            TdmaSpec::paper_default(),
+            &opts,
+        )
+        .unwrap();
         sol.verify(&soc, &groups).unwrap();
         // Round-robin: cores 0..3 land on NIs in id order.
         let nis = m.topology().nis().to_vec();
@@ -666,7 +686,10 @@ mod tests {
             &groups,
             m.topology(),
             TdmaSpec::paper_default(),
-            &MapperOptions { placement: Placement::RoundRobin, ..Default::default() },
+            &MapperOptions {
+                placement: Placement::RoundRobin,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(

@@ -18,8 +18,8 @@
 //!   targets may be a predicate (an unmapped core may land on any free NI).
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::collections::BTreeSet;
+use std::collections::BinaryHeap;
 
 use noc_tdma::NetworkSlots;
 use noc_topology::{LinkId, NodeId, Topology};
@@ -97,7 +97,14 @@ impl<'a> PathQuery<'a> {
         load_penalty_millis: u64,
         banned: &'a BTreeSet<LinkId>,
     ) -> Self {
-        PathQuery { topo, state, needed_slots, max_hops, load_penalty_millis, banned }
+        PathQuery {
+            topo,
+            state,
+            needed_slots,
+            max_hops,
+            load_penalty_millis,
+            banned,
+        }
     }
 
     fn link_usable(&self, l: LinkId) -> bool {
@@ -194,7 +201,13 @@ impl<'a> PathQuery<'a> {
                 if dominated {
                     continue;
                 }
-                heap.push(Reverse((d + self.link_cost(l), v.index(), origin, hop + 1, Some((l, slot)))));
+                heap.push(Reverse((
+                    d + self.link_cost(l),
+                    v.index(),
+                    origin,
+                    hop + 1,
+                    Some((l, slot)),
+                )));
             }
         }
         None
@@ -210,15 +223,21 @@ impl<'a> PathQuery<'a> {
         let mut links = Vec::new();
         let mut node = dst;
         let mut slot = dst_slot;
-        while let Some((l, pred_slot)) =
-            labels[node.index()][slot as usize].as_ref().and_then(|lb| lb.pred)
+        while let Some((l, pred_slot)) = labels[node.index()][slot as usize]
+            .as_ref()
+            .and_then(|lb| lb.pred)
         {
             links.push(l);
             node = self.topo.link(l).src();
             slot = pred_slot;
         }
         links.reverse();
-        FoundPath { links, src_ni: node, dst_ni: dst, cost_millis: cost }
+        FoundPath {
+            links,
+            src_ni: node,
+            dst_ni: dst,
+            cost_millis: cost,
+        }
     }
 }
 
@@ -266,7 +285,9 @@ mod tests {
         let sw0 = topo.ni_switch(nis[0]).unwrap();
         let sw1 = topo.ni_switch(nis[1]).unwrap();
         let l01 = topo.link_between(sw0, sw1).unwrap();
-        state.reserve(&[l01], &[0, 1, 2, 3, 4, 5], ConnId::new(42)).unwrap();
+        state
+            .reserve(&[l01], &[0, 1, 2, 3, 4, 5], ConnId::new(42))
+            .unwrap();
         let banned = BTreeSet::new();
         let q = PathQuery::new(&topo, &state, 1, 100, 2000, &banned);
         let p = q.shortest(&[nis[0]], Target::Ni(nis[1])).unwrap();
@@ -330,7 +351,14 @@ mod tests {
         // Source is ni0 (occupied by the src core itself); nearest free NI
         // is one mesh hop away (ni1 or ni2).
         let q = PathQuery::new(&topo, &state, 1, 100, 500, &banned);
-        let p = q.shortest(&[nis[0]], Target::AnyFreeNi { occupied: &occupied }).unwrap();
+        let p = q
+            .shortest(
+                &[nis[0]],
+                Target::AnyFreeNi {
+                    occupied: &occupied,
+                },
+            )
+            .unwrap();
         assert_eq!(p.hops(), 3);
         assert!(p.dst_ni == nis[1] || p.dst_ni == nis[2]);
     }
@@ -344,7 +372,14 @@ mod tests {
         // All NIs free, source ni0 free too: the target must still be a
         // different NI.
         let q = PathQuery::new(&topo, &state, 1, 100, 500, &banned);
-        let p = q.shortest(&[nis[0]], Target::AnyFreeNi { occupied: &occupied }).unwrap();
+        let p = q
+            .shortest(
+                &[nis[0]],
+                Target::AnyFreeNi {
+                    occupied: &occupied,
+                },
+            )
+            .unwrap();
         assert_ne!(p.dst_ni, nis[0]);
         assert!(p.hops() >= 2);
     }

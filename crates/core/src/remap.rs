@@ -36,7 +36,10 @@ pub struct RemapConfig {
 
 impl Default for RemapConfig {
     fn default() -> Self {
-        RemapConfig { max_moved_cores: 2, rounds: 3 }
+        RemapConfig {
+            max_moved_cores: 2,
+            rounds: 3,
+        }
     }
 }
 
@@ -120,7 +123,10 @@ pub fn refine_with_remap(
                 &sub_groups,
                 topo,
                 spec,
-                &MapperOptions { placement: Placement::Preset(placement), ..options.clone() },
+                &MapperOptions {
+                    placement: Placement::Preset(placement),
+                    ..options.clone()
+                },
             )
         };
 
@@ -140,15 +146,15 @@ pub fn refine_with_remap(
                     // Propose: move `core` to `target`, swapping with any
                     // occupant.
                     let mut candidate = current_map.clone();
-                    let occupant =
-                        candidate.iter().find(|(_, &ni)| ni == target).map(|(&c, _)| c);
+                    let occupant = candidate
+                        .iter()
+                        .find(|(_, &ni)| ni == target)
+                        .map(|(&c, _)| c);
                     if let Some(o) = occupant {
                         candidate.insert(o, from);
                     }
                     candidate.insert(core, target);
-                    if moved_cores(base.core_mapping(), &candidate).len()
-                        > config.max_moved_cores
-                    {
+                    if moved_cores(base.core_mapping(), &candidate).len() > config.max_moved_cores {
                         continue;
                     }
                     if let Ok(sol) = route(candidate.clone()) {
@@ -169,7 +175,11 @@ pub fn refine_with_remap(
         per_group.push(current);
     }
 
-    Ok(RemappedDesign { base: base.clone(), per_group, moved })
+    Ok(RemappedDesign {
+        base: base.clone(),
+        per_group,
+        moved,
+    })
 }
 
 #[cfg(test)]
@@ -191,17 +201,37 @@ mod tests {
         let mut soc = SocSpec::new("conflict");
         soc.add_use_case(
             UseCaseBuilder::new("u0")
-                .flow(c(0), c(1), Bandwidth::from_mbps(600), Latency::UNCONSTRAINED)
+                .flow(
+                    c(0),
+                    c(1),
+                    Bandwidth::from_mbps(600),
+                    Latency::UNCONSTRAINED,
+                )
                 .unwrap()
-                .flow(c(2), c(3), Bandwidth::from_mbps(600), Latency::UNCONSTRAINED)
+                .flow(
+                    c(2),
+                    c(3),
+                    Bandwidth::from_mbps(600),
+                    Latency::UNCONSTRAINED,
+                )
                 .unwrap()
                 .build(),
         );
         soc.add_use_case(
             UseCaseBuilder::new("u1")
-                .flow(c(0), c(2), Bandwidth::from_mbps(600), Latency::UNCONSTRAINED)
+                .flow(
+                    c(0),
+                    c(2),
+                    Bandwidth::from_mbps(600),
+                    Latency::UNCONSTRAINED,
+                )
                 .unwrap()
-                .flow(c(1), c(3), Bandwidth::from_mbps(600), Latency::UNCONSTRAINED)
+                .flow(
+                    c(1),
+                    c(3),
+                    Bandwidth::from_mbps(600),
+                    Latency::UNCONSTRAINED,
+                )
                 .unwrap()
                 .build(),
         );
@@ -212,14 +242,8 @@ mod tests {
         let soc = conflicted_soc();
         let groups = UseCaseGroups::singletons(2);
         let opts = MapperOptions::default();
-        let base = design_smallest_mesh(
-            &soc,
-            &groups,
-            TdmaSpec::paper_default(),
-            &opts,
-            16,
-        )
-        .unwrap();
+        let base =
+            design_smallest_mesh(&soc, &groups, TdmaSpec::paper_default(), &opts, 16).unwrap();
         (soc, groups, base, opts)
     }
 
@@ -227,7 +251,10 @@ mod tests {
     fn remap_respects_move_budget() {
         let (soc, groups, base, opts) = setup();
         for budget in [0usize, 1, 2, 4] {
-            let cfg = RemapConfig { max_moved_cores: budget, rounds: 2 };
+            let cfg = RemapConfig {
+                max_moved_cores: budget,
+                rounds: 2,
+            };
             let design = refine_with_remap(&soc, &groups, &opts, &base, &cfg).unwrap();
             for m in &design.moved {
                 assert!(m.len() <= budget, "moved {m:?} exceeds budget {budget}");
@@ -238,7 +265,10 @@ mod tests {
     #[test]
     fn zero_budget_keeps_base_placement() {
         let (soc, groups, base, opts) = setup();
-        let cfg = RemapConfig { max_moved_cores: 0, rounds: 2 };
+        let cfg = RemapConfig {
+            max_moved_cores: 0,
+            rounds: 2,
+        };
         let design = refine_with_remap(&soc, &groups, &opts, &base, &cfg).unwrap();
         for (g, sol) in design.per_group.iter().enumerate() {
             assert!(design.moved[g].is_empty());
@@ -292,7 +322,10 @@ mod tests {
             // Single switch: all placements equal, nothing to improve.
             return;
         }
-        let cfg = RemapConfig { max_moved_cores: 4, rounds: 4 };
+        let cfg = RemapConfig {
+            max_moved_cores: 4,
+            rounds: 4,
+        };
         let mut base_costs = Vec::new();
         for g in 0..groups.group_count() {
             let (sub, subg) = group_spec(&soc, &groups, g);

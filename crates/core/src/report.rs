@@ -146,8 +146,10 @@ impl fmt::Display for SolutionReport {
         }
         writeln!(f, "reconfiguration cost (connections reprogrammed):")?;
         for (a, row) in self.reconfiguration.iter().enumerate() {
-            let cells: Vec<String> =
-                row.iter().map(|d| format!("{:>4}", d.reprogrammed())).collect();
+            let cells: Vec<String> = row
+                .iter()
+                .map(|d| format!("{:>4}", d.reprogrammed()))
+                .collect();
             writeln!(f, "  from {a}: [{}]", cells.join(" "))?;
         }
         Ok(())
@@ -172,7 +174,12 @@ mod tests {
         let mut soc = SocSpec::new("report");
         soc.add_use_case(
             UseCaseBuilder::new("u0")
-                .flow(c(0), c(1), Bandwidth::from_mbps(500), Latency::UNCONSTRAINED)
+                .flow(
+                    c(0),
+                    c(1),
+                    Bandwidth::from_mbps(500),
+                    Latency::UNCONSTRAINED,
+                )
                 .unwrap()
                 .flow(c(1), c(2), Bandwidth::from_mbps(200), Latency::from_us(2))
                 .unwrap()
@@ -180,7 +187,12 @@ mod tests {
         );
         soc.add_use_case(
             UseCaseBuilder::new("u1")
-                .flow(c(0), c(2), Bandwidth::from_mbps(100), Latency::UNCONSTRAINED)
+                .flow(
+                    c(0),
+                    c(2),
+                    Bandwidth::from_mbps(100),
+                    Latency::UNCONSTRAINED,
+                )
                 .unwrap()
                 .build(),
         );

@@ -99,7 +99,13 @@ impl MappingSolution {
         core_to_ni: BTreeMap<CoreId, NodeId>,
         group_configs: Vec<GroupConfig>,
     ) -> Self {
-        MappingSolution { topology, label: label.into(), spec, core_to_ni, group_configs }
+        MappingSolution {
+            topology,
+            label: label.into(),
+            spec,
+            core_to_ni,
+            group_configs,
+        }
     }
 
     /// The topology the solution is mapped onto (a mesh in the paper's
@@ -229,7 +235,9 @@ mod tests {
             bandwidth: Bandwidth::from_mbps(10),
             worst_case_latency: Latency::from_ns(100),
         };
-        assert!(cfg.insert(CoreId::new(0), CoreId::new(1), route.clone()).is_none());
+        assert!(cfg
+            .insert(CoreId::new(0), CoreId::new(1), route.clone())
+            .is_none());
         assert_eq!(cfg.len(), 1);
         assert_eq!(cfg.route(CoreId::new(0), CoreId::new(1)), Some(&route));
         assert!(cfg.route(CoreId::new(1), CoreId::new(0)).is_none());

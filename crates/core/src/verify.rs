@@ -143,8 +143,16 @@ impl fmt::Display for VerifyError {
             VerifyError::MissingRoute { uc, src, dst } => {
                 write!(f, "flow {src} -> {dst} of {uc} has no configured route")
             }
-            VerifyError::BrokenPath { group, src, dst, reason } => {
-                write!(f, "route {src} -> {dst} in group {group} is broken: {reason}")
+            VerifyError::BrokenPath {
+                group,
+                src,
+                dst,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "route {src} -> {dst} in group {group} is broken: {reason}"
+                )
             }
             VerifyError::WrongEndpoints { group, src, dst } => write!(
                 f,
@@ -153,15 +161,33 @@ impl fmt::Display for VerifyError {
             VerifyError::SlotConflict { group, detail } => {
                 write!(f, "slot conflict in group {group}: {detail}")
             }
-            VerifyError::InsufficientSlots { group, src, dst, reserved, required } => write!(
+            VerifyError::InsufficientSlots {
+                group,
+                src,
+                dst,
+                reserved,
+                required,
+            } => write!(
                 f,
                 "route {src} -> {dst} in group {group} reserves {reserved} slots, needs {required}"
             ),
-            VerifyError::LatencyViolated { uc, src, dst, worst_case, bound } => write!(
+            VerifyError::LatencyViolated {
+                uc,
+                src,
+                dst,
+                worst_case,
+                bound,
+            } => write!(
                 f,
                 "flow {src} -> {dst} of {uc} has worst case {worst_case}, bound {bound}"
             ),
-            VerifyError::BandwidthViolated { uc, src, dst, provisioned, demand } => write!(
+            VerifyError::BandwidthViolated {
+                uc,
+                src,
+                dst,
+                provisioned,
+                demand,
+            } => write!(
                 f,
                 "flow {src} -> {dst} of {uc} demands {demand}, provisioned {provisioned}"
             ),
@@ -193,12 +219,18 @@ pub fn verify_solution(
     // --- Core mapping sanity -------------------------------------------
     let mut ni_owner: BTreeMap<NodeId, CoreId> = BTreeMap::new();
     for core in soc.cores() {
-        let ni = solution.ni_of(core).ok_or(VerifyError::UnmappedCore { core })?;
+        let ni = solution
+            .ni_of(core)
+            .ok_or(VerifyError::UnmappedCore { core })?;
         if !topo.node(ni).is_ni() {
             return Err(VerifyError::NotAnNi { core, node: ni });
         }
         if let Some(&other) = ni_owner.get(&ni) {
-            return Err(VerifyError::SharedNi { a: other, b: core, ni });
+            return Err(VerifyError::SharedNi {
+                a: other,
+                b: core,
+                ni,
+            });
         }
         ni_owner.insert(ni, core);
     }
@@ -209,7 +241,12 @@ pub fn verify_solution(
         for (seq, (&(src, dst), route)) in config.iter().enumerate() {
             // Path shape.
             if route.path.is_empty() {
-                return Err(VerifyError::BrokenPath { group: g, src, dst, reason: "empty path" });
+                return Err(VerifyError::BrokenPath {
+                    group: g,
+                    src,
+                    dst,
+                    reason: "empty path",
+                });
             }
             for w in route.path.windows(2) {
                 if topo.link(w[0]).dst() != topo.link(w[1]).src() {
@@ -251,7 +288,10 @@ pub fn verify_solution(
             // Contention-freedom: replay all reservations of the group.
             let conn = ConnId::from_usecase_flow(g as u32, seq as u32);
             if let Err(e) = slots.reserve(&route.path, &route.base_slots, conn) {
-                return Err(VerifyError::SlotConflict { group: g, detail: e.to_string() });
+                return Err(VerifyError::SlotConflict {
+                    group: g,
+                    detail: e.to_string(),
+                });
             }
             // Latency record consistency.
             let recomputed = spec.worst_case_latency(&route.base_slots, route.hops());
@@ -266,10 +306,15 @@ pub fn verify_solution(
         let g = groups.group_of(uc_id);
         for flow in soc.use_case(uc_id).flows() {
             let (src, dst) = flow.endpoints();
-            let route = solution
-                .group_config(g)
-                .route(src, dst)
-                .ok_or(VerifyError::MissingRoute { uc: uc_id, src, dst })?;
+            let route =
+                solution
+                    .group_config(g)
+                    .route(src, dst)
+                    .ok_or(VerifyError::MissingRoute {
+                        uc: uc_id,
+                        src,
+                        dst,
+                    })?;
             if route.bandwidth < flow.bandwidth() {
                 return Err(VerifyError::BandwidthViolated {
                     uc: uc_id,
@@ -318,7 +363,12 @@ mod tests {
         let mut soc = SocSpec::new("v");
         soc.add_use_case(
             UseCaseBuilder::new("u0")
-                .flow(c(0), c(1), Bandwidth::from_mbps(100), Latency::UNCONSTRAINED)
+                .flow(
+                    c(0),
+                    c(1),
+                    Bandwidth::from_mbps(100),
+                    Latency::UNCONSTRAINED,
+                )
                 .unwrap()
                 .flow(c(1), c(2), Bandwidth::from_mbps(200), Latency::from_us(1))
                 .unwrap()
@@ -348,7 +398,12 @@ mod tests {
         let (_, groups, sol) = solved();
         // A spec with a flow the solution never saw.
         let extra = UseCaseBuilder::new("u0")
-            .flow(c(0), c(1), Bandwidth::from_mbps(100), Latency::UNCONSTRAINED)
+            .flow(
+                c(0),
+                c(1),
+                Bandwidth::from_mbps(100),
+                Latency::UNCONSTRAINED,
+            )
             .unwrap()
             .flow(c(2), c(0), Bandwidth::from_mbps(10), Latency::UNCONSTRAINED)
             .unwrap()
@@ -365,7 +420,12 @@ mod tests {
         let mut soc2 = SocSpec::new("v");
         soc2.add_use_case(
             UseCaseBuilder::new("u0")
-                .flow(c(0), c(1), Bandwidth::from_mbps(1999), Latency::UNCONSTRAINED)
+                .flow(
+                    c(0),
+                    c(1),
+                    Bandwidth::from_mbps(1999),
+                    Latency::UNCONSTRAINED,
+                )
                 .unwrap()
                 .flow(c(1), c(2), Bandwidth::from_mbps(200), Latency::from_us(1))
                 .unwrap()
@@ -428,7 +488,10 @@ mod tests {
         let cfg = sol.group_configs()[0].clone();
         let mut tampered = cfg.clone();
         let (&(src, dst), route) = cfg.iter().next().unwrap();
-        let bogus = Route { worst_case_latency: Latency::from_ns(1), ..route.clone() };
+        let bogus = Route {
+            worst_case_latency: Latency::from_ns(1),
+            ..route.clone()
+        };
         tampered.insert(src, dst, bogus);
         let broken = MappingSolution::new(
             sol.topology().clone(),

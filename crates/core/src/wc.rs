@@ -80,7 +80,13 @@ pub fn design_worst_case(
     max_switches: usize,
 ) -> Result<MappingSolution, MapError> {
     let wc = worst_case_soc(soc);
-    design_smallest_mesh(&wc, &UseCaseGroups::singletons(1), spec, options, max_switches)
+    design_smallest_mesh(
+        &wc,
+        &UseCaseGroups::singletons(1),
+        spec,
+        options,
+        max_switches,
+    )
 }
 
 /// Aggregate demand of the worst-case use-case, a quick gauge of
@@ -157,14 +163,8 @@ mod tests {
         let soc = diverse_soc(6); // 12 cores, per-UC demand tiny, union heavy
         let spec = TdmaSpec::paper_default();
         let opts = MapperOptions::default();
-        let ours = design_smallest_mesh(
-            &soc,
-            &UseCaseGroups::singletons(6),
-            spec,
-            &opts,
-            400,
-        )
-        .unwrap();
+        let ours =
+            design_smallest_mesh(&soc, &UseCaseGroups::singletons(6), spec, &opts, 400).unwrap();
         let wc = design_worst_case(&soc, spec, &opts, 400).unwrap();
         assert!(
             wc.switch_count() >= ours.switch_count(),

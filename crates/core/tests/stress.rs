@@ -199,7 +199,11 @@ fn min_frequency_matches_linear_scan() {
     };
     let mhz = f.as_hz() / 1_000_000;
     assert!(feasible(mhz));
-    assert!(!feasible(mhz - 1), "bisection overshot: {} - 1 also feasible", mhz);
+    assert!(
+        !feasible(mhz - 1),
+        "bisection overshot: {} - 1 also feasible",
+        mhz
+    );
 }
 
 /// First-fit and spread policies both produce valid (if different)
@@ -209,12 +213,22 @@ fn slot_policies_both_valid() {
     let mut soc = SocSpec::new("policies");
     let mut b = UseCaseBuilder::new("u");
     for i in 0..6u32 {
-        b = b.flow(c(i), c((i + 1) % 6), bw(100 + 50 * u64::from(i)), Latency::UNCONSTRAINED).unwrap();
+        b = b
+            .flow(
+                c(i),
+                c((i + 1) % 6),
+                bw(100 + 50 * u64::from(i)),
+                Latency::UNCONSTRAINED,
+            )
+            .unwrap();
     }
     soc.add_use_case(b.build());
     let groups = UseCaseGroups::singletons(1);
     for policy in [SlotPolicy::Spread, SlotPolicy::FirstFit] {
-        let opts = MapperOptions { slot_policy: policy, ..Default::default() };
+        let opts = MapperOptions {
+            slot_policy: policy,
+            ..Default::default()
+        };
         let sol = design_smallest_mesh(&soc, &groups, TdmaSpec::paper_default(), &opts, 64)
             .unwrap_or_else(|e| panic!("{policy:?} failed: {e}"));
         sol.verify(&soc, &groups).unwrap();
@@ -237,10 +251,8 @@ fn capacity_scaling_reduces_slot_demand() {
     let slow = TdmaSpec::new(128, Frequency::from_mhz(500), LinkWidth::BITS_32);
     let fast = TdmaSpec::new(128, Frequency::from_ghz(1), LinkWidth::BITS_64);
     let opts = MapperOptions::default();
-    let s1 =
-        map_multi_usecase(&soc, &groups, mesh.topology(), slow, &opts).unwrap();
-    let s2 =
-        map_multi_usecase(&soc, &groups, mesh.topology(), fast, &opts).unwrap();
+    let s1 = map_multi_usecase(&soc, &groups, mesh.topology(), slow, &opts).unwrap();
+    let s2 = map_multi_usecase(&soc, &groups, mesh.topology(), fast, &opts).unwrap();
     let k1 = s1.group_config(0).route(c(0), c(1)).unwrap().slot_count();
     let k2 = s2.group_config(0).route(c(0), c(1)).unwrap().slot_count();
     assert_eq!(k1, 32); // 500 of 2000 MB/s = 1/4 of 128
@@ -261,14 +273,16 @@ fn preset_placement_validation() {
     let topo = mesh.topology();
     // Map both cores onto the SAME NI: must be rejected.
     let ni = topo.nis()[0];
-    let preset: std::collections::BTreeMap<_, _> =
-        [(c(0), ni), (c(1), ni)].into_iter().collect();
+    let preset: std::collections::BTreeMap<_, _> = [(c(0), ni), (c(1), ni)].into_iter().collect();
     let err = map_multi_usecase(
         &soc,
         &UseCaseGroups::singletons(1),
         topo,
         TdmaSpec::paper_default(),
-        &MapperOptions { placement: Placement::Preset(preset), ..Default::default() },
+        &MapperOptions {
+            placement: Placement::Preset(preset),
+            ..Default::default()
+        },
     );
     assert!(err.is_err());
 }

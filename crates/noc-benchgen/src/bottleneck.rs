@@ -75,8 +75,14 @@ impl BottleneckConfig {
     ///
     /// [`SpreadConfig::generate`]: crate::SpreadConfig::generate
     pub fn generate(&self, seed: u64) -> SocSpec {
-        assert!(self.cores >= 2, "bottleneck benchmark needs at least 2 cores");
-        assert!(self.use_cases > 0, "bottleneck benchmark needs at least one use-case");
+        assert!(
+            self.cores >= 2,
+            "bottleneck benchmark needs at least 2 cores"
+        );
+        assert!(
+            self.use_cases > 0,
+            "bottleneck benchmark needs at least one use-case"
+        );
         assert!(
             self.hubs >= 1 && self.hubs < self.cores,
             "hub count must be in 1..cores"
@@ -192,10 +198,18 @@ mod tests {
         let soc = cfg.generate(3);
         let hub = CoreId::new(0);
         for uc in soc.use_cases() {
-            let incoming: Bandwidth =
-                uc.flows().iter().filter(|f| f.dst() == hub).map(|f| f.bandwidth()).sum();
-            let outgoing: Bandwidth =
-                uc.flows().iter().filter(|f| f.src() == hub).map(|f| f.bandwidth()).sum();
+            let incoming: Bandwidth = uc
+                .flows()
+                .iter()
+                .filter(|f| f.dst() == hub)
+                .map(|f| f.bandwidth())
+                .sum();
+            let outgoing: Bandwidth = uc
+                .flows()
+                .iter()
+                .filter(|f| f.src() == hub)
+                .map(|f| f.bandwidth())
+                .sum();
             assert!(
                 incoming < Bandwidth::from_mbps(1800),
                 "hub ingress {incoming} too close to NI capacity"

@@ -43,9 +43,21 @@ impl TrafficClass {
         latency: Latency,
         weight: f64,
     ) -> Self {
-        assert!((0.0..1.0).contains(&deviation), "deviation must be in [0, 1)");
-        assert!(weight > 0.0 && weight.is_finite(), "weight must be positive and finite");
-        TrafficClass { name: name.into(), nominal, deviation, latency, weight }
+        assert!(
+            (0.0..1.0).contains(&deviation),
+            "deviation must be in [0, 1)"
+        );
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "weight must be positive and finite"
+        );
+        TrafficClass {
+            name: name.into(),
+            nominal,
+            deviation,
+            latency,
+            weight,
+        }
     }
 
     /// Samples a bandwidth from this cluster: uniform within
@@ -54,7 +66,11 @@ impl TrafficClass {
         let nominal = self.nominal.as_mbps_f64();
         let lo = nominal * (1.0 - self.deviation);
         let hi = nominal * (1.0 + self.deviation);
-        let v = if hi > lo { rng.gen_range(lo..=hi) } else { nominal };
+        let v = if hi > lo {
+            rng.gen_range(lo..=hi)
+        } else {
+            nominal
+        };
         Bandwidth::from_mbps_f64(v.max(1.0))
     }
 }
@@ -72,7 +88,10 @@ impl TrafficMix {
     ///
     /// Panics if `classes` is empty.
     pub fn new(classes: Vec<TrafficClass>) -> Self {
-        assert!(!classes.is_empty(), "a traffic mix needs at least one class");
+        assert!(
+            !classes.is_empty(),
+            "a traffic mix needs at least one class"
+        );
         TrafficMix { classes }
     }
 
@@ -97,7 +116,13 @@ impl TrafficMix {
                 Latency::UNCONSTRAINED,
                 4.0,
             ),
-            TrafficClass::new("audio", Bandwidth::from_mbps(3), 0.50, Latency::UNCONSTRAINED, 2.5),
+            TrafficClass::new(
+                "audio",
+                Bandwidth::from_mbps(3),
+                0.50,
+                Latency::UNCONSTRAINED,
+                2.5,
+            ),
             TrafficClass::new(
                 "control",
                 Bandwidth::from_mbps(2),
@@ -128,7 +153,13 @@ impl TrafficMix {
                 Latency::UNCONSTRAINED,
                 4.0,
             ),
-            TrafficClass::new("audio", Bandwidth::from_mbps(3), 0.50, Latency::UNCONSTRAINED, 2.0),
+            TrafficClass::new(
+                "audio",
+                Bandwidth::from_mbps(3),
+                0.50,
+                Latency::UNCONSTRAINED,
+                2.0,
+            ),
             TrafficClass::new(
                 "control",
                 Bandwidth::from_mbps(2),
@@ -159,7 +190,13 @@ impl TrafficMix {
                 Latency::UNCONSTRAINED,
                 4.0,
             ),
-            TrafficClass::new("mem-ctrl", Bandwidth::from_mbps(3), 0.50, Latency::from_us(10), 3.0),
+            TrafficClass::new(
+                "mem-ctrl",
+                Bandwidth::from_mbps(3),
+                0.50,
+                Latency::from_us(10),
+                3.0,
+            ),
         ])
     }
 
@@ -216,8 +253,13 @@ mod tests {
 
     #[test]
     fn zero_deviation_is_exact() {
-        let class =
-            TrafficClass::new("fix", Bandwidth::from_mbps(30), 0.0, Latency::UNCONSTRAINED, 1.0);
+        let class = TrafficClass::new(
+            "fix",
+            Bandwidth::from_mbps(30),
+            0.0,
+            Latency::UNCONSTRAINED,
+            1.0,
+        );
         let mut rng = SmallRng::seed_from_u64(2);
         assert_eq!(class.sample_bandwidth(&mut rng), Bandwidth::from_mbps(30));
     }
@@ -271,8 +313,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "deviation")]
     fn invalid_deviation_rejected() {
-        let _ =
-            TrafficClass::new("bad", Bandwidth::from_mbps(1), 1.5, Latency::UNCONSTRAINED, 1.0);
+        let _ = TrafficClass::new(
+            "bad",
+            Bandwidth::from_mbps(1),
+            1.5,
+            Latency::UNCONSTRAINED,
+            1.0,
+        );
     }
 
     #[test]

@@ -99,11 +99,7 @@ impl PairPool {
 
 /// A shuffled deck of `size` classes in proportion to the mix weights
 /// (largest-remainder apportionment).
-fn class_deck<R: Rng + ?Sized>(
-    rng: &mut R,
-    mix: &TrafficMix,
-    size: usize,
-) -> Vec<TrafficClass> {
+fn class_deck<R: Rng + ?Sized>(rng: &mut R, mix: &TrafficMix, size: usize) -> Vec<TrafficClass> {
     let total: f64 = mix.classes().iter().map(|c| c.weight).sum();
     let mut deck: Vec<TrafficClass> = Vec::with_capacity(size);
     let mut remainders: Vec<(f64, usize)> = Vec::new();
@@ -180,8 +176,9 @@ pub(crate) fn sample_pairs<R: Rng + ?Sized>(
 
     // Hub-touching pairs first (direction alternates to exercise both
     // request and response traffic).
-    let mut non_hub: Vec<u32> =
-        (0..cores).filter(|c| !hubs.iter().any(|h| h.raw() == *c)).collect();
+    let mut non_hub: Vec<u32> = (0..cores)
+        .filter(|c| !hubs.iter().any(|h| h.raw() == *c))
+        .collect();
     non_hub.shuffle(rng);
     if !hubs.is_empty() {
         let mut i = 0;
@@ -192,7 +189,11 @@ pub(crate) fn sample_pairs<R: Rng + ?Sized>(
                 Some(&o) => CoreId::new(o),
                 None => break,
             };
-            let pair = if rng.gen_bool(0.5) { (other, hub) } else { (hub, other) };
+            let pair = if rng.gen_bool(0.5) {
+                (other, hub)
+            } else {
+                (hub, other)
+            };
             chosen.insert(pair);
         }
     }
@@ -323,8 +324,7 @@ mod tests {
             let mut rng = SmallRng::seed_from_u64(6);
             let sampled = pool.sample(&mut rng, 80);
             assert_eq!(sampled.len(), 80);
-            let distinct: std::collections::BTreeSet<_> =
-                sampled.iter().map(|(p, _)| *p).collect();
+            let distinct: std::collections::BTreeSet<_> = sampled.iter().map(|(p, _)| *p).collect();
             assert_eq!(distinct.len(), 80);
             for (p, _) in &sampled {
                 assert!(pool.pairs.contains(p));
@@ -356,7 +356,11 @@ mod tests {
                 let class = class.as_ref().expect("versatile 0");
                 let is_hub_pair = pair.0 == hub || pair.1 == hub;
                 let from_hub_mix = hub_names.contains(&class.name);
-                assert_eq!(is_hub_pair, from_hub_mix, "pair {pair:?} class {}", class.name);
+                assert_eq!(
+                    is_hub_pair, from_hub_mix,
+                    "pair {pair:?} class {}",
+                    class.name
+                );
             }
         }
     }

@@ -207,8 +207,7 @@ mod tests {
                 }
             }
             let hub_touch = touch[0];
-            let rest_mean =
-                touch[1..].iter().sum::<usize>() as f64 / (touch.len() - 1) as f64;
+            let rest_mean = touch[1..].iter().sum::<usize>() as f64 / (touch.len() - 1) as f64;
             assert!(
                 hub_touch as f64 > 2.5 * rest_mean,
                 "{}: hub endpoint count {hub_touch} vs mean {rest_mean:.1}",

@@ -60,7 +60,10 @@ impl SpreadConfig {
     /// use-cases, or an empty flow range).
     pub fn generate(&self, seed: u64) -> SocSpec {
         assert!(self.cores >= 2, "spread benchmark needs at least 2 cores");
-        assert!(self.use_cases > 0, "spread benchmark needs at least one use-case");
+        assert!(
+            self.use_cases > 0,
+            "spread benchmark needs at least one use-case"
+        );
         let (lo, hi) = self.flows_per_use_case;
         assert!(lo > 0 && lo <= hi, "invalid flow range {lo}..={hi}");
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -96,9 +99,7 @@ impl SpreadConfig {
                     }
                 }
                 None => {
-                    for (src, dst) in
-                        sample_pairs(&mut rng, self.cores, flow_count, &[], 0.0)
-                    {
+                    for (src, dst) in sample_pairs(&mut rng, self.cores, flow_count, &[], 0.0) {
                         let (bw, lat) = self.mix.sample(&mut rng);
                         builder
                             .add_flow(

@@ -47,14 +47,21 @@ fn latency_critical_flows_exist_and_are_small() {
     // "the control streams have low bandwidth needs, but are latency
     // critical" — every generated suite must contain such flows, and
     // their bandwidth must sit in the lowest cluster.
-    for soc in [SpreadConfig::paper(4).generate(1), BottleneckConfig::paper(4).generate(1)] {
+    for soc in [
+        SpreadConfig::paper(4).generate(1),
+        BottleneckConfig::paper(4).generate(1),
+    ] {
         let constrained: Vec<_> = soc
             .use_cases()
             .iter()
             .flat_map(|u| u.flows())
             .filter(|f| !f.latency().is_unconstrained())
             .collect();
-        assert!(!constrained.is_empty(), "no latency-critical flows in {}", soc.name());
+        assert!(
+            !constrained.is_empty(),
+            "no latency-critical flows in {}",
+            soc.name()
+        );
         for f in &constrained {
             assert!(
                 f.bandwidth() <= Bandwidth::from_mbps(5),
@@ -69,15 +76,24 @@ fn latency_critical_flows_exist_and_are_small() {
 fn bandwidths_cluster_around_mix_centers() {
     let soc = SpreadConfig::paper(6).generate(9);
     let mix = TrafficMix::video_soc();
-    let centers: Vec<f64> = mix.classes().iter().map(|c| c.nominal.as_mbps_f64()).collect();
-    let max_dev = mix.classes().iter().map(|c| c.deviation).fold(0.0f64, f64::max);
+    let centers: Vec<f64> = mix
+        .classes()
+        .iter()
+        .map(|c| c.nominal.as_mbps_f64())
+        .collect();
+    let max_dev = mix
+        .classes()
+        .iter()
+        .map(|c| c.deviation)
+        .fold(0.0f64, f64::max);
     for uc in soc.use_cases() {
         for f in uc.flows() {
             let bw = f.bandwidth().as_mbps_f64();
-            let near_some_center = centers
-                .iter()
-                .any(|&c| (bw - c).abs() <= c * max_dev + 1.0);
-            assert!(near_some_center, "flow bandwidth {bw} MB/s belongs to no cluster");
+            let near_some_center = centers.iter().any(|&c| (bw - c).abs() <= c * max_dev + 1.0);
+            assert!(
+                near_some_center,
+                "flow bandwidth {bw} MB/s belongs to no cluster"
+            );
         }
     }
 }

@@ -80,7 +80,10 @@ pub fn simulate_mixed(
     let gt_report = crate::engine::simulate_connections(
         spec,
         guaranteed,
-        &crate::engine::SimConfig { cycles, queueing_slack_tables: 1 },
+        &crate::engine::SimConfig {
+            cycles,
+            queueing_slack_tables: 1,
+        },
     );
 
     // Static reservation mask: (link, slot) cells owned by GT.
@@ -110,11 +113,13 @@ pub fn simulate_mixed(
         .iter()
         .map(|f| {
             assert!(!f.path.is_empty(), "BE flow {:?} has an empty path", f.key);
-            BeState { queue_credit: 0, stats: FlowStats::default() }
+            BeState {
+                queue_credit: 0,
+                stats: FlowStats::default(),
+            }
         })
         .collect();
-    let mut link_queues: Vec<VecDeque<(usize, u64, usize)>> =
-        vec![VecDeque::new(); max_link + 1];
+    let mut link_queues: Vec<VecDeque<(usize, u64, usize)>> = vec![VecDeque::new(); max_link + 1];
     let mut max_depth = 0usize;
 
     for t in 0..cycles {
@@ -261,7 +266,10 @@ mod tests {
         let g = gt(&path, vec![0, 4], 500);
         let alone = simulate_mixed(&spec, &[g.clone()], &[], 4096);
         let flooded = simulate_mixed(&spec, &[g], &[be(&path, 1500)], 4096);
-        assert_eq!(alone.guaranteed, flooded.guaranteed, "GT must be isolated from BE");
+        assert_eq!(
+            alone.guaranteed, flooded.guaranteed,
+            "GT must be isolated from BE"
+        );
     }
 
     #[test]

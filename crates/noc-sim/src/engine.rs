@@ -25,7 +25,10 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { cycles: 8192, queueing_slack_tables: 1 }
+        SimConfig {
+            cycles: 8192,
+            queueing_slack_tables: 1,
+        }
     }
 }
 
@@ -66,16 +69,20 @@ pub fn simulate_connections(
 
     // Per-connection state.
     struct ConnState {
-        in_slot: Vec<bool>,          // base-slot membership table
-        queue: VecDeque<u64>,        // enqueue cycle per queued word
-        credit: u64,                 // byte·Hz accumulator
+        in_slot: Vec<bool>,   // base-slot membership table
+        queue: VecDeque<u64>, // enqueue cycle per queued word
+        credit: u64,          // byte·Hz accumulator
         stats: FlowStats,
         bound: Option<u64>,
     }
     let mut states: Vec<ConnState> = connections
         .iter()
         .map(|c| {
-            assert!(!c.path.is_empty(), "connection {:?} has an empty path", c.key);
+            assert!(
+                !c.path.is_empty(),
+                "connection {:?} has an empty path",
+                c.key
+            );
             let mut in_slot = vec![false; slots];
             for &s in &c.base_slots {
                 assert!(s < slots, "base slot {s} out of range for {:?}", c.key);
@@ -160,8 +167,7 @@ pub fn simulate_connections(
     let mut flows = std::collections::BTreeMap::new();
     for (ci, conn) in connections.iter().enumerate() {
         let st = &mut states[ci];
-        st.stats.backlog_words =
-            st.stats.injected_words - st.stats.delivered_words;
+        st.stats.backlog_words = st.stats.injected_words - st.stats.delivered_words;
         flows.insert(conn.key, st.stats.clone());
     }
     SimReport {
@@ -184,11 +190,7 @@ fn bound_cycles(spec: &TdmaSpec, route: &nocmap::Route) -> u64 {
 /// # Panics
 ///
 /// Panics if `group` is out of range for the solution.
-pub fn simulate_group(
-    solution: &MappingSolution,
-    group: usize,
-    config: &SimConfig,
-) -> SimReport {
+pub fn simulate_group(solution: &MappingSolution, group: usize, config: &SimConfig) -> SimReport {
     let spec = solution.spec();
     let conns: Vec<Connection> = solution
         .group_config(group)
@@ -387,19 +389,39 @@ mod tests {
         let mut soc = SocSpec::new("sim-e2e");
         soc.add_use_case(
             UseCaseBuilder::new("u0")
-                .flow(c(0), c(1), Bandwidth::from_mbps(400), Latency::UNCONSTRAINED)
+                .flow(
+                    c(0),
+                    c(1),
+                    Bandwidth::from_mbps(400),
+                    Latency::UNCONSTRAINED,
+                )
                 .unwrap()
                 .flow(c(1), c(2), Bandwidth::from_mbps(250), Latency::from_us(1))
                 .unwrap()
-                .flow(c(2), c(3), Bandwidth::from_mbps(125), Latency::UNCONSTRAINED)
+                .flow(
+                    c(2),
+                    c(3),
+                    Bandwidth::from_mbps(125),
+                    Latency::UNCONSTRAINED,
+                )
                 .unwrap()
                 .build(),
         );
         soc.add_use_case(
             UseCaseBuilder::new("u1")
-                .flow(c(0), c(1), Bandwidth::from_mbps(100), Latency::UNCONSTRAINED)
+                .flow(
+                    c(0),
+                    c(1),
+                    Bandwidth::from_mbps(100),
+                    Latency::UNCONSTRAINED,
+                )
                 .unwrap()
-                .flow(c(3), c(0), Bandwidth::from_mbps(600), Latency::UNCONSTRAINED)
+                .flow(
+                    c(3),
+                    c(0),
+                    Bandwidth::from_mbps(600),
+                    Latency::UNCONSTRAINED,
+                )
                 .unwrap()
                 .build(),
         );

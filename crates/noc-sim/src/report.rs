@@ -112,7 +112,11 @@ mod tests {
         let pair = (CoreId::new(0), CoreId::new(1));
         flows.insert(
             pair,
-            FlowStats { injected_words: 100, delivered_words: 100, ..Default::default() },
+            FlowStats {
+                injected_words: 100,
+                delivered_words: 100,
+                ..Default::default()
+            },
         );
         let report = SimReport {
             cycles: 1000,
@@ -124,7 +128,9 @@ mod tests {
         // 100 words x 4 bytes over 1000 cycles at 500 MHz = 200 MB/s.
         let bw = report.delivered_bandwidth(pair, 4, 500_000_000).unwrap();
         assert_eq!(bw, Bandwidth::from_mbps(200));
-        assert!(report.delivered_bandwidth((CoreId::new(9), CoreId::new(9)), 4, 1).is_none());
+        assert!(report
+            .delivered_bandwidth((CoreId::new(9), CoreId::new(9)), 4, 1)
+            .is_none());
         assert!(report.all_flows_delivered());
     }
 }

@@ -30,7 +30,14 @@ fn d3_every_group_clean_at_full_load() {
     let (groups, sol) = design(&soc);
     sol.verify(&soc, &groups).unwrap();
     for g in 0..groups.group_count() {
-        let report = simulate_group(&sol, g, &SimConfig { cycles: 2048, ..Default::default() });
+        let report = simulate_group(
+            &sol,
+            g,
+            &SimConfig {
+                cycles: 2048,
+                ..Default::default()
+            },
+        );
         assert_eq!(report.contention_violations, 0, "group {g}");
         assert_eq!(report.latency_violations, 0, "group {g}");
     }
@@ -41,17 +48,27 @@ fn sp_use_cases_meet_delivered_bandwidth() {
     let soc = SpreadConfig::paper(3).generate(77);
     let (groups, sol) = design(&soc);
     let spec = sol.spec();
-    let report = simulate_use_case(&sol, &soc, &groups, 0, &SimConfig {
-        cycles: 65_536,
-        ..Default::default()
-    });
+    let report = simulate_use_case(
+        &sol,
+        &soc,
+        &groups,
+        0,
+        &SimConfig {
+            cycles: 65_536,
+            ..Default::default()
+        },
+    );
     assert_eq!(report.contention_violations, 0);
     assert!(report.all_flows_delivered());
     // Delivered bandwidth over a long window approaches the injected rate
     // for every flow (within one word of quantization).
     for flow in soc.use_cases()[0].flows() {
         let delivered = report
-            .delivered_bandwidth(flow.endpoints(), spec.width().bytes(), spec.frequency().as_hz())
+            .delivered_bandwidth(
+                flow.endpoints(),
+                spec.width().bytes(),
+                spec.frequency().as_hz(),
+            )
             .expect("flow simulated");
         let demand = flow.bandwidth().as_mbps_f64();
         let got = delivered.as_mbps_f64();
@@ -91,7 +108,10 @@ fn best_effort_rides_a_real_design() {
     assert_eq!(mixed.guaranteed.contention_violations, 0);
     assert_eq!(mixed.guaranteed.latency_violations, 0);
     let stats = &mixed.best_effort[&(src, dst)];
-    assert!(stats.delivered_words > 0, "BE finds leftover slots on a real design");
+    assert!(
+        stats.delivered_words > 0,
+        "BE finds leftover slots on a real design"
+    );
     // GT at full provisioned load must be byte-identical with and without
     // the BE rider.
     let alone = simulate_mixed(&spec, &gt, &[], 8192);

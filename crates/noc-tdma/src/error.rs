@@ -46,7 +46,10 @@ impl fmt::Display for TdmaError {
                 write!(f, "slot index {slot} out of range for a {size}-slot table")
             }
             TdmaError::NotOwner { link, slot, owner } => match owner {
-                Some(o) => write!(f, "slot {slot} on link {link} is owned by {o}, not the releaser"),
+                Some(o) => write!(
+                    f,
+                    "slot {slot} on link {link} is owned by {o}, not the releaser"
+                ),
                 None => write!(f, "slot {slot} on link {link} is free, nothing to release"),
             },
         }
@@ -68,6 +71,9 @@ mod tests {
     #[test]
     fn display_messages() {
         let e = TdmaError::SlotOutOfRange { slot: 20, size: 16 };
-        assert_eq!(e.to_string(), "slot index 20 out of range for a 16-slot table");
+        assert_eq!(
+            e.to_string(),
+            "slot index 20 out of range for a 16-slot table"
+        );
     }
 }

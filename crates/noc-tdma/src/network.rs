@@ -40,7 +40,9 @@ impl NetworkSlots {
     /// Creates all-free slot state for every link of `topo`.
     pub fn new(topo: &Topology, spec: &TdmaSpec) -> Self {
         NetworkSlots {
-            tables: (0..topo.link_count()).map(|_| SlotTable::new(spec.slots())).collect(),
+            tables: (0..topo.link_count())
+                .map(|_| SlotTable::new(spec.slots()))
+                .collect(),
             slots_per_table: spec.slots(),
         }
     }
@@ -159,12 +161,19 @@ impl NetworkSlots {
     ) -> Result<(), TdmaError> {
         for &s in base_slots {
             if s >= self.slots_per_table {
-                return Err(TdmaError::SlotOutOfRange { slot: s, size: self.slots_per_table });
+                return Err(TdmaError::SlotOutOfRange {
+                    slot: s,
+                    size: self.slots_per_table,
+                });
             }
             for (i, &l) in path.iter().enumerate() {
                 let idx = (s + i) % self.slots_per_table;
                 if let Some(owner) = self.tables[l.index()].owner(idx) {
-                    return Err(TdmaError::SlotOccupied { link: l, slot: idx, owner });
+                    return Err(TdmaError::SlotOccupied {
+                        link: l,
+                        slot: idx,
+                        owner,
+                    });
                 }
             }
         }
@@ -194,7 +203,10 @@ impl NetworkSlots {
     ) -> Result<(), TdmaError> {
         for &s in base_slots {
             if s >= self.slots_per_table {
-                return Err(TdmaError::SlotOutOfRange { slot: s, size: self.slots_per_table });
+                return Err(TdmaError::SlotOutOfRange {
+                    slot: s,
+                    size: self.slots_per_table,
+                });
             }
             for (i, &l) in path.iter().enumerate() {
                 let idx = (s + i) % self.slots_per_table;
@@ -311,7 +323,12 @@ mod tests {
         ns.reserve(&path, &[0, 3], ConnId::new(1)).unwrap();
         let free = ns.free_base_slots(&path);
         assert_eq!(free, vec![1, 2, 4, 5, 6, 7]);
-        assert_eq!(ns.find_base_slots(&path, 6, SlotPolicy::FirstFit).unwrap().len(), 6);
+        assert_eq!(
+            ns.find_base_slots(&path, 6, SlotPolicy::FirstFit)
+                .unwrap()
+                .len(),
+            6
+        );
         assert!(ns.find_base_slots(&path, 7, SlotPolicy::FirstFit).is_none());
     }
 
@@ -320,7 +337,11 @@ mod tests {
         let (topo, path, spec) = setup();
         let ns = NetworkSlots::new(&topo, &spec);
         let picked = ns.find_base_slots(&path, 2, SlotPolicy::Spread).unwrap();
-        assert_eq!(picked, vec![0, 4], "2 of 8 free slots should sit half a table apart");
+        assert_eq!(
+            picked,
+            vec![0, 4],
+            "2 of 8 free slots should sit half a table apart"
+        );
         let ff = ns.find_base_slots(&path, 2, SlotPolicy::FirstFit).unwrap();
         assert_eq!(ff, vec![0, 1]);
         // Spread yields a strictly better worst-case latency here.
@@ -334,7 +355,10 @@ mod tests {
     fn zero_needed_is_empty() {
         let (topo, path, spec) = setup();
         let ns = NetworkSlots::new(&topo, &spec);
-        assert_eq!(ns.find_base_slots(&path, 0, SlotPolicy::Spread), Some(vec![]));
+        assert_eq!(
+            ns.find_base_slots(&path, 0, SlotPolicy::Spread),
+            Some(vec![])
+        );
         assert!(ns.find_base_slots(&path, 9, SlotPolicy::Spread).is_none());
     }
 

@@ -34,7 +34,11 @@ impl TdmaSpec {
     pub fn new(slots: usize, frequency: Frequency, width: LinkWidth) -> Self {
         assert!(slots > 0, "slot table must have at least one slot");
         assert!(!frequency.is_zero(), "TDMA frequency must be non-zero");
-        TdmaSpec { slots, frequency, width }
+        TdmaSpec {
+            slots,
+            frequency,
+            width,
+        }
     }
 
     /// The paper's evaluation setup: 500 MHz, 32-bit links, 128-slot
@@ -104,12 +108,19 @@ impl TdmaSpec {
     ///
     /// Panics if `base_slots` is empty or contains a slot `>= slots()`.
     pub fn worst_case_latency_cycles(&self, base_slots: &[usize], hops: usize) -> u64 {
-        assert!(!base_slots.is_empty(), "a GT connection needs at least one slot");
+        assert!(
+            !base_slots.is_empty(),
+            "a GT connection needs at least one slot"
+        );
         let mut sorted: Vec<usize> = base_slots.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
         for &s in &sorted {
-            assert!(s < self.slots, "slot index {s} out of range (S = {})", self.slots);
+            assert!(
+                s < self.slots,
+                "slot index {s} out of range (S = {})",
+                self.slots
+            );
         }
         let mut max_gap = 0usize;
         for (i, &s) in sorted.iter().enumerate() {
@@ -153,7 +164,10 @@ mod tests {
         assert_eq!(s.slots_for_bandwidth(Bandwidth::ZERO), 0);
         assert_eq!(s.slots_for_bandwidth(Bandwidth::from_mbps(1)), 1);
         assert_eq!(s.slots_for_bandwidth(Bandwidth::from_mbps(125)), 1);
-        assert_eq!(s.slots_for_bandwidth(Bandwidth::from_bytes_per_sec(125_000_001)), 2);
+        assert_eq!(
+            s.slots_for_bandwidth(Bandwidth::from_bytes_per_sec(125_000_001)),
+            2
+        );
         assert_eq!(s.slots_for_bandwidth(Bandwidth::from_mbps(2000)), 16);
         // Over-capacity demand needs more slots than exist; caller rejects.
         assert_eq!(s.slots_for_bandwidth(Bandwidth::from_mbps(2100)), 17);

@@ -70,7 +70,10 @@ impl SlotTable {
     /// Panics if `size` is zero.
     pub fn new(size: usize) -> Self {
         assert!(size > 0, "slot table must have at least one slot");
-        SlotTable { slots: vec![None; size], free: size }
+        SlotTable {
+            slots: vec![None; size],
+            free: size,
+        }
     }
 
     /// Number of slots.

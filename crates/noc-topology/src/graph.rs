@@ -15,9 +15,7 @@ use crate::error::TopologyError;
 ///
 /// Ids are dense indices assigned in insertion order; they are only
 /// meaningful within the topology that produced them.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(u32);
 
 impl NodeId {
@@ -38,9 +36,7 @@ impl fmt::Display for NodeId {
 }
 
 /// Identifier of a directed link inside one [`Topology`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct LinkId(u32);
 
 impl LinkId {
@@ -257,7 +253,9 @@ impl Topology {
             self.node(switch).is_switch(),
             "switch_ports called on non-switch node {switch}"
         );
-        self.out_adj[switch.index()].len().max(self.in_adj[switch.index()].len())
+        self.out_adj[switch.index()]
+            .len()
+            .max(self.in_adj[switch.index()].len())
     }
 
     /// Grid coordinates of a switch (meshes set these; irregular topologies
@@ -372,7 +370,10 @@ impl TopologyBuilder {
     /// Adds a switch at grid coordinates `(x, y)` and returns its id.
     pub fn add_switch(&mut self, x: u16, y: u16) -> NodeId {
         let id = NodeId::new(self.nodes.len());
-        self.nodes.push(Node { id, kind: NodeKind::Switch { x, y } });
+        self.nodes.push(Node {
+            id,
+            kind: NodeKind::Switch { x, y },
+        });
         self.out_adj.push(Vec::new());
         self.in_adj.push(Vec::new());
         self.switches.push(id);
@@ -395,7 +396,13 @@ impl TopologyBuilder {
         let local_index = self.ni_counts[sw_pos];
         self.ni_counts[sw_pos] += 1;
         let id = NodeId::new(self.nodes.len());
-        self.nodes.push(Node { id, kind: NodeKind::Ni { switch, local_index } });
+        self.nodes.push(Node {
+            id,
+            kind: NodeKind::Ni {
+                switch,
+                local_index,
+            },
+        });
         self.out_adj.push(Vec::new());
         self.in_adj.push(Vec::new());
         self.nis.push(id);
@@ -431,7 +438,11 @@ impl TopologyBuilder {
     /// # Errors
     ///
     /// Same conditions as [`TopologyBuilder::connect`], for either direction.
-    pub fn connect_bidir(&mut self, a: NodeId, b: NodeId) -> Result<(LinkId, LinkId), TopologyError> {
+    pub fn connect_bidir(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+    ) -> Result<(LinkId, LinkId), TopologyError> {
         let ab = self.connect(a, b)?;
         let ba = self.connect(b, a)?;
         Ok((ab, ba))
@@ -553,7 +564,10 @@ mod tests {
             b.connect(s0, s1),
             Err(TopologyError::DuplicateLink { .. })
         ));
-        assert!(matches!(b.connect(s0, s0), Err(TopologyError::SelfLoop { .. })));
+        assert!(matches!(
+            b.connect(s0, s0),
+            Err(TopologyError::SelfLoop { .. })
+        ));
     }
 
     #[test]
@@ -561,7 +575,10 @@ mod tests {
         let mut b = TopologyBuilder::new();
         let s0 = b.add_switch(0, 0);
         let ni = b.add_ni(s0).unwrap();
-        assert!(matches!(b.add_ni(ni), Err(TopologyError::NotASwitch { .. })));
+        assert!(matches!(
+            b.add_ni(ni),
+            Err(TopologyError::NotASwitch { .. })
+        ));
     }
 
     #[test]

@@ -70,7 +70,10 @@ impl Mesh {
     ///
     /// Panics if the coordinates are out of range.
     pub fn switch_at(&self, row: u16, col: u16) -> NodeId {
-        assert!(row < self.rows && col < self.cols, "mesh coordinates out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "mesh coordinates out of range"
+        );
         self.switch_grid[row as usize * self.cols as usize + col as usize]
     }
 
@@ -97,7 +100,12 @@ pub struct MeshBuilder {
 impl MeshBuilder {
     /// Starts a mesh of `rows × cols` switches with one NI per switch.
     pub fn new(rows: u16, cols: u16) -> Self {
-        MeshBuilder { rows, cols, nis_per_switch: 1, torus: false }
+        MeshBuilder {
+            rows,
+            cols,
+            nis_per_switch: 1,
+            torus: false,
+        }
     }
 
     /// Sets how many NIs hang off each switch (each NI hosts one core).
@@ -131,7 +139,9 @@ impl MeshBuilder {
             return Err(TopologyError::EmptyDimension { what: "mesh cols" });
         }
         if self.nis_per_switch == 0 {
-            return Err(TopologyError::EmptyDimension { what: "NIs per switch" });
+            return Err(TopologyError::EmptyDimension {
+                what: "NIs per switch",
+            });
         }
         let mut b = TopologyBuilder::new();
         let mut grid = Vec::with_capacity(self.rows as usize * self.cols as usize);

@@ -59,9 +59,16 @@ impl DvsModel {
     ///
     /// Panics if the nominal frequency is zero or the voltage non-positive.
     pub fn nominal(nominal_freq: Frequency, nominal_voltage: f64) -> Self {
-        assert!(!nominal_freq.is_zero(), "nominal frequency must be non-zero");
+        assert!(
+            !nominal_freq.is_zero(),
+            "nominal frequency must be non-zero"
+        );
         assert!(nominal_voltage > 0.0, "nominal voltage must be positive");
-        DvsModel { nominal_freq, nominal_voltage, min_voltage: 0.0 }
+        DvsModel {
+            nominal_freq,
+            nominal_voltage,
+            min_voltage: 0.0,
+        }
     }
 
     /// The default 0.13 µm anchor: 1.2 V at 500 MHz with a 0.6 V floor.
@@ -86,7 +93,10 @@ impl DvsModel {
         let voltage = (self.nominal_voltage * self.nominal_voltage * scale)
             .sqrt()
             .max(self.min_voltage);
-        OperatingPoint { frequency: freq, voltage }
+        OperatingPoint {
+            frequency: freq,
+            voltage,
+        }
     }
 
     /// Power at `freq` relative to power at `reference`: `(f/f_ref)²`
@@ -184,7 +194,10 @@ mod tests {
     fn voltage_floor_limits_scaling() {
         let dvs = DvsModel::cmos130(); // floor 0.6 V
         let op = dvs.operating_point(Frequency::from_mhz(10));
-        assert!((op.voltage - 0.6).abs() < 1e-12, "voltage clamps at the floor");
+        assert!(
+            (op.voltage - 0.6).abs() < 1e-12,
+            "voltage clamps at the floor"
+        );
         // Below the floor, power decays linearly (f · V_min²), not quadratically.
         let r10 = dvs.relative_power(Frequency::from_mhz(10), Frequency::from_mhz(500));
         let r20 = dvs.relative_power(Frequency::from_mhz(20), Frequency::from_mhz(500));
@@ -203,7 +216,10 @@ mod tests {
                 > pm.power_mw(small.topology(), f)
         );
         let p = pm.power_mw(small.topology(), f);
-        assert!(p > 1.0 && p < 1000.0, "2x2 mesh should draw O(10-100) mW, got {p}");
+        assert!(
+            p > 1.0 && p < 1000.0,
+            "2x2 mesh should draw O(10-100) mW, got {p}"
+        );
     }
 
     #[test]

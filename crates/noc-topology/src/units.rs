@@ -318,7 +318,10 @@ impl LinkWidth {
     /// Panics if `bits` is zero or not a multiple of 8 (links carry whole
     /// bytes per cycle).
     pub fn from_bits(bits: u32) -> Self {
-        assert!(bits > 0 && bits % 8 == 0, "link width must be a positive multiple of 8 bits");
+        assert!(
+            bits > 0 && bits % 8 == 0,
+            "link width must be a positive multiple of 8 bits"
+        );
         LinkWidth(bits)
     }
 
@@ -364,7 +367,10 @@ mod tests {
 
     #[test]
     fn bandwidth_constructors_agree() {
-        assert_eq!(Bandwidth::from_mbps(50), Bandwidth::from_bytes_per_sec(50_000_000));
+        assert_eq!(
+            Bandwidth::from_mbps(50),
+            Bandwidth::from_bytes_per_sec(50_000_000)
+        );
         assert_eq!(Bandwidth::from_mbps_f64(50.0), Bandwidth::from_mbps(50));
         assert_eq!(Bandwidth::from_mbps_f64(-3.0), Bandwidth::ZERO);
     }
@@ -385,7 +391,11 @@ mod tests {
 
     #[test]
     fn bandwidth_sum_and_ordering() {
-        let flows = [Bandwidth::from_mbps(50), Bandwidth::from_mbps(150), Bandwidth::from_mbps(100)];
+        let flows = [
+            Bandwidth::from_mbps(50),
+            Bandwidth::from_mbps(150),
+            Bandwidth::from_mbps(100),
+        ];
         let total: Bandwidth = flows.iter().copied().sum();
         assert_eq!(total, Bandwidth::from_mbps(300));
         assert!(flows[1] > flows[2] && flows[2] > flows[0]);
@@ -440,7 +450,10 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(format!("{}", Bandwidth::from_mbps(200)), "200 MB/s");
-        assert_eq!(format!("{}", Bandwidth::from_bytes_per_sec(1_500_000)), "1.500 MB/s");
+        assert_eq!(
+            format!("{}", Bandwidth::from_bytes_per_sec(1_500_000)),
+            "1.500 MB/s"
+        );
         assert_eq!(format!("{}", Frequency::from_mhz(500)), "500 MHz");
         assert_eq!(format!("{}", Frequency::from_hz(1234)), "1234 Hz");
         assert_eq!(format!("{}", LinkWidth::BITS_32), "32 bits");

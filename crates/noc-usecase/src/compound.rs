@@ -77,7 +77,10 @@ impl ParallelSet {
     /// Declares that `members` can run in parallel, naming the compound
     /// mode `name`.
     pub fn new(name: impl Into<String>, members: impl IntoIterator<Item = UseCaseId>) -> Self {
-        ParallelSet { members: members.into_iter().collect(), name: name.into() }
+        ParallelSet {
+            members: members.into_iter().collect(),
+            name: name.into(),
+        }
     }
 }
 
@@ -99,7 +102,10 @@ pub fn expand_parallel_sets(
     for set in sets {
         for &m in &set.members {
             if m.index() >= original_count {
-                return Err(SpecError::UnknownUseCase { id: m, count: original_count });
+                return Err(SpecError::UnknownUseCase {
+                    id: m,
+                    count: original_count,
+                });
             }
         }
     }
@@ -159,7 +165,10 @@ mod tests {
         let ab = compound_mode("ab", [&uc_a(), &uc_b()]);
         assert_eq!(ab.flow_count(), 3);
         assert_eq!(ab.flow_between(c(1), c(2)).unwrap().bandwidth(), bw(50));
-        assert_eq!(ab.flow_between(c(2), c(3)).unwrap().latency(), Latency::from_us(1));
+        assert_eq!(
+            ab.flow_between(c(2), c(3)).unwrap().latency(),
+            Latency::from_us(1)
+        );
     }
 
     #[test]
@@ -201,7 +210,10 @@ mod tests {
         assert_eq!(members, &vec![i_a, i_b]);
         assert_eq!(soc.use_case(*compound_id).name(), "a||b");
         assert_eq!(
-            soc.use_case(*compound_id).flow_between(c(0), c(1)).unwrap().bandwidth(),
+            soc.use_case(*compound_id)
+                .flow_between(c(0), c(1))
+                .unwrap()
+                .bandwidth(),
             bw(140)
         );
     }

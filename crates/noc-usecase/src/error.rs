@@ -68,7 +68,11 @@ mod tests {
 
     #[test]
     fn messages() {
-        let m = SpecError::UnknownUseCase { id: UseCaseId::new(9), count: 3 }.to_string();
+        let m = SpecError::UnknownUseCase {
+            id: UseCaseId::new(9),
+            count: 3,
+        }
+        .to_string();
         assert_eq!(m, "use-case U9 does not exist (only 3 defined)");
     }
 }

@@ -47,6 +47,6 @@ mod error;
 
 pub use compound::{compound_mode, expand_parallel_sets, ParallelSet};
 pub use error::SpecError;
-pub use textio::{from_text, to_text, ParseSpecError};
 pub use spec::{CoreId, Flow, FlowId, SocSpec, UseCase, UseCaseBuilder, UseCaseId};
 pub use switching::{SwitchingGraph, UseCaseGroups};
+pub use textio::{from_text, to_text, ParseSpecError};

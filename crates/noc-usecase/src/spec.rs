@@ -13,9 +13,7 @@ use crate::error::SpecError;
 /// Core ids are global to the SoC: the same core appears in several
 /// use-cases under the same id, which is what lets the mapper share one
 /// core→NI mapping across all use-cases.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct CoreId(u32);
 
 impl CoreId {
@@ -42,9 +40,7 @@ impl fmt::Display for CoreId {
 }
 
 /// Identifier of a use-case within a [`SocSpec`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct UseCaseId(u32);
 
 impl UseCaseId {
@@ -71,9 +67,7 @@ impl fmt::Display for UseCaseId {
 }
 
 /// Identifier of a flow within one use-case.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FlowId(u32);
 
 impl FlowId {
@@ -129,7 +123,12 @@ impl Flow {
         if bandwidth.is_zero() {
             return Err(SpecError::ZeroBandwidth { src, dst });
         }
-        Ok(Flow { src, dst, bandwidth, latency })
+        Ok(Flow {
+            src,
+            dst,
+            bandwidth,
+            latency,
+        })
     }
 
     /// Producer core.
@@ -192,7 +191,10 @@ impl From<UseCaseRepr> for UseCase {
 
 impl From<UseCase> for UseCaseRepr {
     fn from(u: UseCase) -> Self {
-        UseCaseRepr { name: u.name, flows: u.flows }
+        UseCaseRepr {
+            name: u.name,
+            flows: u.flows,
+        }
     }
 }
 
@@ -203,7 +205,11 @@ impl UseCase {
             .enumerate()
             .map(|(i, f)| (f.endpoints(), FlowId::new(i as u32)))
             .collect();
-        UseCase { name, flows, by_pair }
+        UseCase {
+            name,
+            flows,
+            by_pair,
+        }
     }
 
     /// The use-case's human-readable name.
@@ -242,10 +248,7 @@ impl UseCase {
 
     /// Every core referenced by this use-case.
     pub fn cores(&self) -> BTreeSet<CoreId> {
-        self.flows
-            .iter()
-            .flat_map(|f| [f.src(), f.dst()])
-            .collect()
+        self.flows.iter().flat_map(|f| [f.src(), f.dst()]).collect()
     }
 
     /// Sum of all flow bandwidths.
@@ -274,7 +277,11 @@ pub struct UseCaseBuilder {
 impl UseCaseBuilder {
     /// Starts a use-case named `name`.
     pub fn new(name: impl Into<String>) -> Self {
-        UseCaseBuilder { name: name.into(), flows: Vec::new(), pairs: BTreeSet::new() }
+        UseCaseBuilder {
+            name: name.into(),
+            flows: Vec::new(),
+            pairs: BTreeSet::new(),
+        }
     }
 
     /// Adds a flow.
@@ -301,7 +308,10 @@ impl UseCaseBuilder {
     /// [`SpecError::DuplicateFlow`] when the pair already has a flow.
     pub fn add_flow(&mut self, flow: Flow) -> Result<&mut Self, SpecError> {
         if !self.pairs.insert(flow.endpoints()) {
-            return Err(SpecError::DuplicateFlow { src: flow.src(), dst: flow.dst() });
+            return Err(SpecError::DuplicateFlow {
+                src: flow.src(),
+                dst: flow.dst(),
+            });
         }
         self.flows.push(flow);
         Ok(self)
@@ -340,7 +350,10 @@ pub struct SocSpec {
 impl SocSpec {
     /// Creates an empty spec named `name`.
     pub fn new(name: impl Into<String>) -> Self {
-        SocSpec { name: name.into(), use_cases: Vec::new() }
+        SocSpec {
+            name: name.into(),
+            use_cases: Vec::new(),
+        }
     }
 
     /// The SoC's name.
@@ -448,7 +461,10 @@ mod tests {
             .unwrap()
             .build();
         assert_eq!(uc.flow_count(), 3);
-        assert_eq!(uc.flow_between(c(1), c(2)).unwrap().latency(), Latency::from_us(3));
+        assert_eq!(
+            uc.flow_between(c(1), c(2)).unwrap().latency(),
+            Latency::from_us(3)
+        );
         assert!(uc.flow_between(c(2), c(1)).is_none());
         assert_eq!(uc.cores().len(), 3);
         assert_eq!(uc.total_bandwidth(), bw(350));
@@ -496,7 +512,13 @@ mod tests {
         assert_eq!(format!("{}", CoreId::new(3)), "core3");
         assert_eq!(format!("{}", UseCaseId::new(2)), "U2");
         assert_eq!(format!("{}", FlowId::new(1)), "f1");
-        let f = Flow::new(CoreId::new(0), CoreId::new(1), bw(100), Latency::UNCONSTRAINED).unwrap();
+        let f = Flow::new(
+            CoreId::new(0),
+            CoreId::new(1),
+            bw(100),
+            Latency::UNCONSTRAINED,
+        )
+        .unwrap();
         assert_eq!(format!("{f}"), "core0 -> core1 @ 100 MB/s");
     }
 
@@ -512,6 +534,9 @@ mod tests {
         let repr = UseCaseRepr::from(uc.clone());
         let restored = UseCase::from(repr);
         assert_eq!(restored, uc);
-        assert_eq!(restored.flow_between(c(0), c(1)).unwrap().bandwidth(), bw(10));
+        assert_eq!(
+            restored.flow_between(c(0), c(1)).unwrap().bandwidth(),
+            bw(10)
+        );
     }
 }

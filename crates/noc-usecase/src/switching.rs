@@ -157,7 +157,9 @@ impl UseCaseGroups {
     pub fn single_group(use_case_count: usize) -> Self {
         UseCaseGroups {
             group_of: vec![0; use_case_count],
-            groups: vec![(0..use_case_count).map(|i| UseCaseId::new(i as u32)).collect()],
+            groups: vec![(0..use_case_count)
+                .map(|i| UseCaseId::new(i as u32))
+                .collect()],
         }
     }
 

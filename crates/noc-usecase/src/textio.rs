@@ -116,12 +116,11 @@ pub fn from_text(text: &str) -> Result<SocSpec, ParseSpecError> {
     let mut soc: Option<SocSpec> = None;
     let mut current: Option<UseCaseBuilder> = None;
 
-    let finish =
-        |soc: &mut Option<SocSpec>, current: &mut Option<UseCaseBuilder>| {
-            if let (Some(s), Some(b)) = (soc.as_mut(), current.take()) {
-                s.add_use_case(b.build());
-            }
-        };
+    let finish = |soc: &mut Option<SocSpec>, current: &mut Option<UseCaseBuilder>| {
+        if let (Some(s), Some(b)) = (soc.as_mut(), current.take()) {
+            s.add_use_case(b.build());
+        }
+    };
 
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
@@ -197,11 +196,16 @@ pub fn from_text(text: &str) -> Result<SocSpec, ParseSpecError> {
                     }
                     None => Latency::UNCONSTRAINED,
                 };
-                let flow = Flow::new(src, dst, bw, lat)
-                    .map_err(|source| ParseSpecError::Spec { line: line_no, source })?;
+                let flow = Flow::new(src, dst, bw, lat).map_err(|source| ParseSpecError::Spec {
+                    line: line_no,
+                    source,
+                })?;
                 builder
                     .add_flow(flow)
-                    .map_err(|source| ParseSpecError::Spec { line: line_no, source })?;
+                    .map_err(|source| ParseSpecError::Spec {
+                        line: line_no,
+                        source,
+                    })?;
             }
             Some(other) => {
                 return Err(ParseSpecError::Syntax {
@@ -289,7 +293,10 @@ mod tests {
         let e = from_text("soc x\nusecase u\nflow 0 1 5\nflow 0 1 6").unwrap_err();
         assert!(matches!(
             e,
-            ParseSpecError::Spec { line: 4, source: SpecError::DuplicateFlow { .. } }
+            ParseSpecError::Spec {
+                line: 4,
+                source: SpecError::DuplicateFlow { .. }
+            }
         ));
     }
 
@@ -312,7 +319,11 @@ mod tests {
                         c(i),
                         c((i + u + 1) % 12),
                         Bandwidth::from_bytes_per_sec(1_000_000 + 37_500 * u64::from(i)),
-                        if i % 3 == 0 { Latency::from_us(7) } else { Latency::UNCONSTRAINED },
+                        if i % 3 == 0 {
+                            Latency::from_us(7)
+                        } else {
+                            Latency::UNCONSTRAINED
+                        },
                     )
                     .unwrap(),
                 )
@@ -330,7 +341,10 @@ mod tests {
             assert_eq!(a.flow_count(), b.flow_count());
             for f in a.flows() {
                 let g = b.flow_between(f.src(), f.dst()).unwrap();
-                let diff = f.bandwidth().as_bytes_per_sec().abs_diff(g.bandwidth().as_bytes_per_sec());
+                let diff = f
+                    .bandwidth()
+                    .as_bytes_per_sec()
+                    .abs_diff(g.bandwidth().as_bytes_per_sec());
                 assert!(diff <= 1, "bandwidth drift {diff}");
                 assert_eq!(f.latency(), g.latency());
             }

@@ -117,7 +117,9 @@ proptest! {
 
 #[test]
 fn compound_of_many_empties_is_empty() {
-    let empties: Vec<_> = (0..5).map(|i| UseCaseBuilder::new(format!("e{i}")).build()).collect();
+    let empties: Vec<_> = (0..5)
+        .map(|i| UseCaseBuilder::new(format!("e{i}")).build())
+        .collect();
     let merged = compound_mode("all", empties.iter());
     assert_eq!(merged.flow_count(), 0);
 }

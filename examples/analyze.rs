@@ -21,13 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let soc = SocDesign::D1.generate();
     let groups = UseCaseGroups::singletons(soc.use_case_count());
     let spec = TdmaSpec::paper_default();
-    let solution = design_smallest_mesh(
-        &soc,
-        &groups,
-        spec,
-        &MapperOptions::default(),
-        400,
-    )?;
+    let solution = design_smallest_mesh(&soc, &groups, spec, &MapperOptions::default(), 400)?;
     solution.verify(&soc, &groups)?;
 
     // Analytics: what the architect reads off the design.
@@ -70,8 +64,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     // Reuse the first configured route's path for the BE probe.
     let (&(src, dst), probe) = solution.group_config(g).iter().next().expect("non-empty");
-    println!("BE probe along {src} -> {dst} ({} hops) on top of group {g}:", probe.hops());
-    println!("{:>10} {:>12} {:>14} {:>12}", "BE MB/s", "delivered", "mean lat (cy)", "backlog");
+    println!(
+        "BE probe along {src} -> {dst} ({} hops) on top of group {g}:",
+        probe.hops()
+    );
+    println!(
+        "{:>10} {:>12} {:>14} {:>12}",
+        "BE MB/s", "delivered", "mean lat (cy)", "backlog"
+    );
     for mbps in [50u64, 200, 400, 800] {
         let be = BestEffortFlow {
             key: (src, dst),

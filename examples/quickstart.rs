@@ -70,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         solution.switch_count()
     );
     for core in soc.cores() {
-        println!("  {core} -> NI {}", solution.ni_of(core).expect("all cores mapped"));
+        println!(
+            "  {core} -> NI {}",
+            solution.ni_of(core).expect("all cores mapped")
+        );
     }
     for (g, config) in solution.group_configs().iter().enumerate() {
         println!("configuration for {}:", soc.use_cases()[g].name());

@@ -80,7 +80,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .map(|(_, f)| f.as_mhz_f64().round() as u64)
                 .collect::<Vec<_>>()
         );
-        println!("   DVS/DFS power saving: {:.1}%", 100.0 * report.savings_fraction());
+        println!(
+            "   DVS/DFS power saving: {:.1}%",
+            100.0 * report.savings_fraction()
+        );
         println!();
     }
     Ok(())

@@ -18,10 +18,7 @@ use noc_multiusecase::usecase::{SwitchingGraph, UseCaseGroups};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let soc = SocDesign::D3.generate();
     let n = soc.use_case_count();
-    println!(
-        "D3 TV processor: {} cores, {n} use-cases",
-        soc.core_count()
-    );
+    println!("D3 TV processor: {} cores, {n} use-cases", soc.core_count());
 
     let spec = TdmaSpec::paper_default();
     let options = MapperOptions::default();

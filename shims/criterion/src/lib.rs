@@ -1,0 +1,195 @@
+//! Offline shim for `criterion`.
+//!
+//! Supports the API surface the workspace's bench targets use:
+//! [`Criterion`], benchmark groups with `sample_size`,
+//! `bench_function`/`bench_with_input`, [`BenchmarkId`], the
+//! [`criterion_group!`]/[`criterion_main!`] macros, and
+//! [`black_box`]. Instead of statistical sampling, each benchmark
+//! body runs `sample_size` iterations (capped at 10) and prints the
+//! per-iteration mean — enough to compare orders of magnitude and to
+//! keep `cargo bench` runnable offline.
+
+use std::fmt;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, 10, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the iteration count used by this group (capped at 10 in
+    /// the shim).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.min(10);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value under `id`.
+    pub fn bench_with_input<I, D, F>(&mut self, id: I, input: &D, mut f: F) -> &mut Self
+    where
+        I: fmt::Display,
+        D: ?Sized,
+        F: FnMut(&mut Bencher, &D),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Passed to benchmark closures; `iter` times its argument.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: usize,
+    nanos: u128,
+}
+
+impl Bencher {
+    /// Runs `f` the configured number of times, recording wall time.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.nanos = start.elapsed().as_nanos();
+    }
+}
+
+fn run_one<F>(label: &str, iters: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let iters = iters.max(1);
+    let mut b = Bencher { iters, nanos: 0 };
+    f(&mut b);
+    let mean_ns = b.nanos / iters as u128;
+    let (value, unit) = if mean_ns >= 1_000_000_000 {
+        (mean_ns as f64 / 1e9, "s")
+    } else if mean_ns >= 1_000_000 {
+        (mean_ns as f64 / 1e6, "ms")
+    } else if mean_ns >= 1_000 {
+        (mean_ns as f64 / 1e3, "µs")
+    } else {
+        (mean_ns as f64, "ns")
+    };
+    println!("bench {label:<50} {value:>10.3} {unit}/iter ({iters} iters)");
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_ids_run() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut runs = 0usize;
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.bench_with_input(BenchmarkId::new("with", 7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+        assert_eq!(runs, 3);
+        assert_eq!(BenchmarkId::from_parameter(5).to_string(), "5");
+        assert_eq!(BenchmarkId::new("f", 5).to_string(), "f/5");
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline shim for `serde`.
+//!
+//! The container building this workspace has no crates.io access, so
+//! this crate provides the minimal surface the workspace uses: the
+//! `Serialize`/`Deserialize` marker traits and their derive macros
+//! (which emit empty impls). No code in the workspace performs actual
+//! serialization yet; when a real format backend (e.g. `serde_json`)
+//! is introduced, replace the `shims/serde` path dependency in the
+//! root `Cargo.toml` with the real crates.io `serde`.
+
+/// Marker for types that can be serialized.
+///
+/// The real trait's methods are unused in this workspace; the derive
+/// records intent (and validates `#[serde(...)]` attribute placement)
+/// without generating code.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,41 @@
+//! Offline shim for `serde_derive`: the derives parse just enough of
+//! the item to find its name and emit an empty marker-trait impl.
+//! Helper `#[serde(...)]` attributes are accepted and ignored.
+
+use proc_macro::{TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}
+
+/// Finds the `struct`/`enum`/`union` name in `input` and emits
+/// `impl ::serde::<Trait> for <Name> {}`. Generic items are not
+/// supported (nothing in this workspace derives serde on generics).
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let mut tokens = input.into_iter().peekable();
+    let mut name: Option<String> = None;
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                for tt in tokens.by_ref() {
+                    if let TokenTree::Ident(id) = tt {
+                        name = Some(id.to_string());
+                        break;
+                    }
+                }
+                break;
+            }
+        }
+    }
+    let name = name.expect("serde shim derive: could not find item name");
+    format!("impl ::serde::{trait_name} for {name} {{}}")
+        .parse()
+        .expect("serde shim derive: generated impl parses")
+}

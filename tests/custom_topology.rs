@@ -16,7 +16,8 @@ fn ring(n: u16) -> Topology {
     let mut b = TopologyBuilder::new();
     let switches: Vec<_> = (0..n).map(|i| b.add_switch(i, 0)).collect();
     for i in 0..n as usize {
-        b.connect_bidir(switches[i], switches[(i + 1) % n as usize]).unwrap();
+        b.connect_bidir(switches[i], switches[(i + 1) % n as usize])
+            .unwrap();
     }
     for &s in &switches {
         b.add_ni(s).unwrap();
@@ -27,7 +28,12 @@ fn ring(n: u16) -> Topology {
 /// Two 2-switch clusters joined by a single bridge link pair.
 fn dumbbell() -> Topology {
     let mut b = TopologyBuilder::new();
-    let s = [b.add_switch(0, 0), b.add_switch(1, 0), b.add_switch(2, 0), b.add_switch(3, 0)];
+    let s = [
+        b.add_switch(0, 0),
+        b.add_switch(1, 0),
+        b.add_switch(2, 0),
+        b.add_switch(3, 0),
+    ];
     b.connect_bidir(s[0], s[1]).unwrap();
     b.connect_bidir(s[2], s[3]).unwrap();
     b.connect_bidir(s[1], s[2]).unwrap(); // the bridge
@@ -121,9 +127,19 @@ fn ring_detour_respects_capacity() {
     let mut soc = SocSpec::new("ring-heavy");
     soc.add_use_case(
         UseCaseBuilder::new("heavy")
-            .flow(c(0), c(2), Bandwidth::from_mbps(1500), Latency::UNCONSTRAINED)
+            .flow(
+                c(0),
+                c(2),
+                Bandwidth::from_mbps(1500),
+                Latency::UNCONSTRAINED,
+            )
             .unwrap()
-            .flow(c(1), c(3), Bandwidth::from_mbps(1500), Latency::UNCONSTRAINED)
+            .flow(
+                c(1),
+                c(3),
+                Bandwidth::from_mbps(1500),
+                Latency::UNCONSTRAINED,
+            )
             .unwrap()
             .build(),
     );

@@ -1,0 +1,73 @@
+//! Deterministic-regression tests: a fixed RNG seed through the
+//! benchmark generator and the mapper must produce bit-identical
+//! results on every run, and the headline numbers for the pinned seed
+//! are golden values that future refactors must preserve (or
+//! consciously update alongside an explanation).
+
+use noc_multiusecase::benchgen::{BottleneckConfig, SpreadConfig};
+use noc_multiusecase::map::design::design_smallest_mesh;
+use noc_multiusecase::map::{MapperOptions, MappingSolution};
+use noc_multiusecase::tdma::TdmaSpec;
+use noc_multiusecase::usecase::spec::SocSpec;
+use noc_multiusecase::usecase::UseCaseGroups;
+
+const SEED: u64 = 2006;
+const MAX_SWITCHES: usize = 400;
+
+fn design(soc: &SocSpec) -> MappingSolution {
+    let groups = UseCaseGroups::singletons(soc.use_case_count());
+    design_smallest_mesh(
+        soc,
+        &groups,
+        TdmaSpec::paper_default(),
+        &MapperOptions::default(),
+        MAX_SWITCHES,
+    )
+    .expect("pinned-seed benchmarks are feasible")
+}
+
+#[test]
+fn same_seed_same_solution_across_runs() {
+    let generators: [fn() -> SocSpec; 2] = [
+        || SpreadConfig::paper(4).generate(SEED),
+        || BottleneckConfig::paper(4).generate(SEED),
+    ];
+    for gen_soc in generators {
+        let soc = gen_soc();
+        assert_eq!(
+            soc,
+            gen_soc(),
+            "generator must be a pure function of the seed"
+        );
+        assert_eq!(
+            design(&soc),
+            design(&soc),
+            "mapper must be deterministic for a fixed spec"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = SpreadConfig::paper(4).generate(SEED);
+    let b = SpreadConfig::paper(4).generate(SEED + 1);
+    assert_ne!(a, b, "seed must actually drive the generator");
+}
+
+/// Golden values for seed 2006. If an intentional change to the
+/// generator or mapper shifts these, re-pin them in the same commit
+/// and say why in its message.
+#[test]
+fn pinned_seed_golden_values() {
+    let sp = design(&SpreadConfig::paper(4).generate(SEED));
+    assert_eq!(sp.switch_count(), 4);
+    assert_eq!(sp.connection_count(), 352);
+    assert_eq!(sp.mean_hops(), 3.0113636363636362);
+    assert_eq!(sp.comm_cost(), 12277.501411999994);
+
+    let bot = design(&BottleneckConfig::paper(4).generate(SEED));
+    assert_eq!(bot.switch_count(), 4);
+    assert_eq!(bot.connection_count(), 312);
+    assert_eq!(bot.mean_hops(), 3.0384615384615383);
+    assert_eq!(bot.comm_cost(), 21249.120245999995);
+}

@@ -22,20 +22,34 @@ fn d1_designs_verifies_and_simulates_clean() {
         400,
     )
     .expect("D1 is feasible");
-    sol.verify(&soc, &groups).expect("mapper output is self-consistent");
+    sol.verify(&soc, &groups)
+        .expect("mapper output is self-consistent");
 
     // Simulate every use-case at its own rates on its configuration.
     for uc in 0..soc.use_case_count() {
         let report = simulate_use_case(&sol, &soc, &groups, uc, &SimConfig::default());
         assert_eq!(report.contention_violations, 0, "use-case {uc} contended");
-        assert_eq!(report.latency_violations, 0, "use-case {uc} missed latency bound");
+        assert_eq!(
+            report.latency_violations, 0,
+            "use-case {uc} missed latency bound"
+        );
         assert!(report.all_flows_delivered(), "use-case {uc} dropped words");
     }
     // And every group configuration at full provisioned load.
     for g in 0..groups.group_count() {
-        let report = simulate_group(&sol, g, &SimConfig { cycles: 4096, ..Default::default() });
+        let report = simulate_group(
+            &sol,
+            g,
+            &SimConfig {
+                cycles: 4096,
+                ..Default::default()
+            },
+        );
         assert_eq!(report.contention_violations, 0, "group {g} contended");
-        assert_eq!(report.latency_violations, 0, "group {g} missed latency bound");
+        assert_eq!(
+            report.latency_violations, 0,
+            "group {g} missed latency bound"
+        );
     }
 }
 
@@ -101,8 +115,14 @@ fn worst_case_method_degrades_with_use_case_count() {
         ours_sizes.push(ours.switch_count());
         wc_sizes.push(design_worst_case(&soc, spec, &opts, 400).map(|s| s.switch_count()));
     }
-    assert!(ours_sizes.iter().all(|&s| s == ours_sizes[0]), "ours flat: {ours_sizes:?}");
-    let feasible: Vec<usize> = wc_sizes.iter().filter_map(|r| r.as_ref().ok().copied()).collect();
+    assert!(
+        ours_sizes.iter().all(|&s| s == ours_sizes[0]),
+        "ours flat: {ours_sizes:?}"
+    );
+    let feasible: Vec<usize> = wc_sizes
+        .iter()
+        .filter_map(|r| r.as_ref().ok().copied())
+        .collect();
     assert!(
         feasible.windows(2).all(|w| w[0] <= w[1]),
         "WC should not shrink with more use-cases: {wc_sizes:?}"

@@ -62,7 +62,9 @@ fn full_three_phase_pipeline() {
     // Compound arithmetic: shared pair (0,1) sums bandwidth, takes min
     // latency; disjoint pairs carry over.
     let compound = soc.use_case(compound_id);
-    let f01 = compound.flow_between(c(0), c(1)).expect("shared pair present");
+    let f01 = compound
+        .flow_between(c(0), c(1))
+        .expect("shared pair present");
     assert_eq!(f01.bandwidth(), bw(450));
     assert_eq!(f01.latency(), Latency::from_us(2));
     assert_eq!(compound.flow_count(), 3);

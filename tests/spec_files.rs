@@ -44,7 +44,11 @@ fn figure2_designs_onto_one_switch() {
     )
     .expect("the Figure 2 fragment is tiny");
     sol.verify(&soc, &groups).unwrap();
-    assert_eq!(sol.switch_count(), 1, "7 cores at these rates fit one switch");
+    assert_eq!(
+        sol.switch_count(),
+        1,
+        "7 cores at these rates fit one switch"
+    );
 }
 
 #[test]
