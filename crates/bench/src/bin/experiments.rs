@@ -8,10 +8,15 @@
 //! Valid experiment names: `fig6a`, `fig6b`, `fig6c`, `fig7a`, `fig7b`,
 //! `fig7c`, `headline`, `all`. `fig6b`/`fig6c` accept the paper's prose
 //! 40-use-case extension with `fig6b+` / `fig6c+`.
+//!
+//! A global `--threads N` pins the `noc-par` worker count (same effect
+//! as `NOC_PAR_THREADS=N`); every experiment produces identical numbers
+//! at any setting, only wall-clock changes. The `runtime` experiment
+//! additionally reports the measured 1-thread vs N-thread speedup.
 
 use noc_bench::{
-    ablations, fig6a, fig6b, fig6c, fig7a, fig7b, fig7c, headline, runtimes, verify_designs,
-    Comparison,
+    ablations, fig6a, fig6b, fig6c, fig7a, fig7b, fig7c, headline, runtime_speedups, runtimes,
+    verify_designs, Comparison,
 };
 
 fn print_comparisons(title: &str, comps: &[Comparison]) {
@@ -121,6 +126,22 @@ fn run(name: &str) {
             for r in runtimes() {
                 println!("{:<8} {:>12?} {:>12?}", r.label, r.ours, r.wc);
             }
+            let speedups = runtime_speedups();
+            let threads = speedups.first().map_or(1, |s| s.threads);
+            println!("\n-- parallel speedup (1 thread vs {threads} threads) --");
+            println!(
+                "{:<8} {:>12} {:>12} {:>9}",
+                "bench", "1 thread", "parallel", "speedup"
+            );
+            for s in speedups {
+                println!(
+                    "{:<8} {:>12?} {:>12?} {:>8.2}x",
+                    s.label,
+                    s.sequential,
+                    s.parallel,
+                    s.speedup()
+                );
+            }
         }
         "headline" => match headline() {
             Ok(h) => {
@@ -141,17 +162,39 @@ fn run(name: &str) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "all") {
-        for name in [
-            "fig6a", "fig6b+", "fig6c+", "fig7a", "fig7b", "fig7c", "verify", "ablation",
-            "runtime", "headline",
-        ] {
-            run(name);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threads = None;
+    if let Some(pos) = args.iter().position(|a| a == "--threads") {
+        if pos + 1 >= args.len() {
+            eprintln!("error: --threads needs a value");
+            std::process::exit(1);
         }
-    } else {
-        for name in &args {
-            run(name);
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        match value.parse::<usize>() {
+            Ok(n) => threads = Some(n),
+            Err(_) => {
+                eprintln!("error: invalid --threads '{value}'");
+                std::process::exit(1);
+            }
         }
+    }
+    let run_all = move || {
+        if args.is_empty() || args.iter().any(|a| a == "all") {
+            for name in [
+                "fig6a", "fig6b+", "fig6c+", "fig7a", "fig7b", "fig7c", "verify", "ablation",
+                "runtime", "headline",
+            ] {
+                run(name);
+            }
+        } else {
+            for name in &args {
+                run(name);
+            }
+        }
+    };
+    match threads {
+        Some(n) => noc_par::with_threads(n, run_all),
+        None => run_all(),
     }
 }

@@ -17,6 +17,11 @@
 //!   [--emit FILE]` — design the smallest mesh, print the analytic
 //!   report, optionally compare with the worst-case baseline and emit the
 //!   configuration artifact.
+//!
+//! Both subcommands accept a global `--threads N` to pin the `noc-par`
+//! worker count (equivalent to `NOC_PAR_THREADS=N`; results are
+//! identical at any setting, only wall-clock changes). `design` reports
+//! its wall-clock and thread count.
 
 use std::process::ExitCode;
 
@@ -34,7 +39,8 @@ use nocmap::MapperOptions;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  nocmap_cli gen {{d1|d2|d3|d4|sp|bot}} [--use-cases N] [--seed S]\n  \
-         nocmap_cli design SPEC [--freq MHZ] [--slots N] [--max-switches N] [--wc] [--emit FILE]"
+         nocmap_cli design SPEC [--freq MHZ] [--slots N] [--max-switches N] [--wc] [--emit FILE]\n  \
+         (global: --threads N — pin the noc-par worker count)"
     );
     ExitCode::FAILURE
 }
@@ -117,12 +123,23 @@ fn cmd_design(mut args: Vec<String>) -> Result<(), String> {
     let tdma = TdmaSpec::new(slots, Frequency::from_mhz(freq), LinkWidth::BITS_32);
     let options = MapperOptions::default();
     let groups = UseCaseGroups::singletons(soc.use_case_count());
+    let t0 = std::time::Instant::now();
     let solution = design_smallest_mesh(&soc, &groups, tdma, &options, max_switches)
         .map_err(|e| format!("design failed: {e}"))?;
+    let elapsed = t0.elapsed();
     solution
         .verify(&soc, &groups)
         .map_err(|e| format!("internal error, produced invalid solution: {e}"))?;
 
+    println!(
+        "designed in {elapsed:.2?} ({} noc-par worker{})",
+        noc_par::current_threads(),
+        if noc_par::current_threads() == 1 {
+            ""
+        } else {
+            "s"
+        }
+    );
     println!("{}", SolutionReport::analyze(&solution));
 
     if compare_wc {
@@ -149,18 +166,30 @@ fn cmd_design(mut args: Vec<String>) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = match take_opt(&mut args, "--threads") {
+        Ok(t) => t.map(|n| n as usize),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     if args.is_empty() {
         return usage();
     }
     let cmd = args.remove(0);
-    let result = match cmd.as_str() {
-        "gen" => cmd_gen(args),
-        "design" => cmd_design(args),
-        _ => return usage(),
+    let run = || match cmd.as_str() {
+        "gen" => Some(cmd_gen(args)),
+        "design" => Some(cmd_design(args)),
+        _ => None,
+    };
+    let result = match threads {
+        Some(n) => noc_par::with_threads(n, run),
+        None => run(),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        None => usage(),
+        Some(Ok(())) => ExitCode::SUCCESS,
+        Some(Err(e)) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }

@@ -61,12 +61,19 @@ fn run_pair(label: impl Into<String>, soc: &SocSpec) -> Comparison {
     let spec = TdmaSpec::paper_default();
     let opts = MapperOptions::default();
     let groups = UseCaseGroups::singletons(soc.use_case_count());
-    let ours = design_smallest_mesh(soc, &groups, spec, &opts, MAX_SWITCHES)
-        .ok()
-        .map(|s| s.switch_count());
-    let wc = design_worst_case(soc, spec, &opts, MAX_SWITCHES)
-        .ok()
-        .map(|s| s.switch_count());
+    // The two methods are independent design flows — fork them.
+    let (ours, wc) = noc_par::join(
+        || {
+            design_smallest_mesh(soc, &groups, spec, &opts, MAX_SWITCHES)
+                .ok()
+                .map(|s| s.switch_count())
+        },
+        || {
+            design_worst_case(soc, spec, &opts, MAX_SWITCHES)
+                .ok()
+                .map(|s| s.switch_count())
+        },
+    );
     Comparison {
         label: label.into(),
         ours,
@@ -76,10 +83,9 @@ fn run_pair(label: impl Into<String>, soc: &SocSpec) -> Comparison {
 
 /// Figure 6(a): switch counts for the four SoC designs, ours vs WC.
 pub fn fig6a() -> Vec<Comparison> {
-    SocDesign::ALL
-        .iter()
-        .map(|d| run_pair(d.label(), &d.generate()))
-        .collect()
+    noc_par::par_map(SocDesign::ALL.to_vec(), |_, d| {
+        run_pair(d.label(), &d.generate())
+    })
 }
 
 /// Figure 6(b): Sp benchmarks, 20 cores, varying use-case counts.
@@ -91,15 +97,12 @@ pub fn fig6b(extended: bool) -> Vec<Comparison> {
     if extended {
         counts.push(40);
     }
-    counts
-        .into_iter()
-        .map(|n| {
-            run_pair(
-                format!("{n}"),
-                &SpreadConfig::paper(n).generate(SEED + n as u64),
-            )
-        })
-        .collect()
+    noc_par::par_map(counts, |_, n| {
+        run_pair(
+            format!("{n}"),
+            &SpreadConfig::paper(n).generate(SEED + n as u64),
+        )
+    })
 }
 
 /// Figure 6(c): Bot benchmarks, 20 cores, varying use-case counts.
@@ -108,15 +111,12 @@ pub fn fig6c(extended: bool) -> Vec<Comparison> {
     if extended {
         counts.push(40);
     }
-    counts
-        .into_iter()
-        .map(|n| {
-            run_pair(
-                format!("{n}"),
-                &BottleneckConfig::paper(n).generate(SEED + n as u64),
-            )
-        })
-        .collect()
+    noc_par::par_map(counts, |_, n| {
+        run_pair(
+            format!("{n}"),
+            &BottleneckConfig::paper(n).generate(SEED + n as u64),
+        )
+    })
 }
 
 /// One point of the area–frequency Pareto curve.
@@ -136,11 +136,10 @@ pub fn fig7a() -> Vec<AreaPoint> {
     let groups = UseCaseGroups::singletons(soc.use_case_count());
     let opts = MapperOptions::default();
     let area = AreaModel::cmos130();
-    [
+    let sweep = vec![
         100u64, 150, 200, 250, 300, 350, 400, 500, 650, 800, 1000, 1250, 1500, 1750, 2000,
-    ]
-    .into_iter()
-    .map(|mhz| {
+    ];
+    noc_par::par_map(sweep, |_, mhz| {
         let f = Frequency::from_mhz(mhz);
         let sol = design_smallest_mesh(
             &soc,
@@ -156,7 +155,6 @@ pub fn fig7a() -> Vec<AreaPoint> {
             area_mm2: sol.as_ref().map(|s| s.area_mm2(&area)),
         }
     })
-    .collect()
 }
 
 /// One design's DVS/DFS saving.
@@ -179,24 +177,21 @@ pub fn fig7b() -> Result<Vec<DvsPoint>, MapError> {
     let spec = TdmaSpec::paper_default();
     let opts = MapperOptions::default();
     let dvs = DvsModel::cmos130();
-    SocDesign::ALL
-        .iter()
-        .map(|d| {
-            let soc = d.generate();
-            let groups = UseCaseGroups::singletons(soc.use_case_count());
-            let sol = design_smallest_mesh(&soc, &groups, spec, &opts, MAX_SWITCHES)?;
-            let report = dvs_savings(&soc, &groups, &sol, &opts, &dvs, Frequency::from_mhz(10))?;
-            Ok(DvsPoint {
-                label: d.label().to_string(),
-                savings: report.savings_fraction(),
-                per_use_case_mhz: report
-                    .per_use_case
-                    .iter()
-                    .map(|(_, f)| f.as_mhz_f64())
-                    .collect(),
-            })
+    noc_par::try_par_map(SocDesign::ALL.to_vec(), |_, d| {
+        let soc = d.generate();
+        let groups = UseCaseGroups::singletons(soc.use_case_count());
+        let sol = design_smallest_mesh(&soc, &groups, spec, &opts, MAX_SWITCHES)?;
+        let report = dvs_savings(&soc, &groups, &sol, &opts, &dvs, Frequency::from_mhz(10))?;
+        Ok(DvsPoint {
+            label: d.label().to_string(),
+            savings: report.savings_fraction(),
+            per_use_case_mhz: report
+                .per_use_case
+                .iter()
+                .map(|(_, f)| f.as_mhz_f64())
+                .collect(),
         })
-        .collect()
+    })
 }
 
 /// One point of the parallel-use-case frequency study.
@@ -227,25 +222,23 @@ pub fn fig7c() -> Result<Vec<ParallelPoint>, MapError> {
     let spec = TdmaSpec::paper_default();
     let opts = MapperOptions::default();
     let base = design_smallest_mesh(&soc, &groups, spec, &opts, MAX_SWITCHES)?;
-    Ok((1..=4)
-        .map(|k| {
-            let f = parallel_min_frequency(
-                &soc,
-                k,
-                base.topology(),
-                spec,
-                &opts,
-                Frequency::from_mhz(10),
-                Frequency::from_ghz(4),
-            )
-            .ok()
-            .map(|(f, _)| f);
-            ParallelPoint {
-                parallel: k,
-                frequency: f,
-            }
-        })
-        .collect())
+    Ok(noc_par::par_map((1..=4).collect(), |_, k| {
+        let f = parallel_min_frequency(
+            &soc,
+            k,
+            base.topology(),
+            spec,
+            &opts,
+            Frequency::from_mhz(10),
+            Frequency::from_ghz(4),
+        )
+        .ok()
+        .map(|(f, _)| f);
+        ParallelPoint {
+            parallel: k,
+            frequency: f,
+        }
+    }))
 }
 
 /// One row of the runtime study.
@@ -288,6 +281,75 @@ pub fn runtimes() -> Vec<RuntimePoint> {
     rows
 }
 
+/// One row of the parallel-speedup study: the same design flow timed at
+/// one worker and at the ambient `noc-par` thread count.
+#[derive(Debug, Clone)]
+pub struct SpeedupPoint {
+    /// Benchmark label.
+    pub label: String,
+    /// Wall-clock with the effective thread count pinned to 1.
+    pub sequential: std::time::Duration,
+    /// Wall-clock at the ambient thread count.
+    pub parallel: std::time::Duration,
+    /// The ambient thread count the parallel run used.
+    pub threads: usize,
+}
+
+impl SpeedupPoint {
+    /// `sequential / parallel` — how much faster the parallel run was.
+    pub fn speedup(&self) -> f64 {
+        let par = self.parallel.as_secs_f64();
+        if par <= 0.0 {
+            1.0
+        } else {
+            self.sequential.as_secs_f64() / par
+        }
+    }
+}
+
+/// Times the multi-use-case design flow on multi-group suites at one
+/// worker vs the ambient thread count (`NOC_PAR_THREADS` or a
+/// [`noc_par::with_threads`] override). The solutions of both runs are
+/// asserted identical — the determinism contract made visible — and the
+/// speedup backs the runtime report of the `experiments` binary.
+///
+/// The suites use a shared pair pool (like the Figure 7(c) study), so
+/// the same core pairs communicate in many use-cases: that is the
+/// workload whose per-group routing the mapper parallelizes. Speedup
+/// requires idle cores — on a single-core host expect ≈ 1.0x (the
+/// parallel pass is work-conserving, never speculative).
+pub fn runtime_speedups() -> Vec<SpeedupPoint> {
+    let spec = TdmaSpec::paper_default();
+    let opts = MapperOptions::default();
+    let threads = noc_par::current_threads();
+    let mut rows = Vec::new();
+    for n in [10usize, 20, 40] {
+        let mut cfg = SpreadConfig::paper(n);
+        cfg.pair_pool = Some(150);
+        cfg.versatile_fraction = 0.3;
+        let soc = cfg.generate(SEED + n as u64);
+        let groups = UseCaseGroups::singletons(soc.use_case_count());
+        let run = || {
+            let t0 = std::time::Instant::now();
+            let sol = design_smallest_mesh(&soc, &groups, spec, &opts, MAX_SWITCHES).ok();
+            (t0.elapsed(), sol)
+        };
+        let (sequential, seq_sol) = noc_par::with_threads(1, run);
+        let (parallel, par_sol) = run();
+        assert_eq!(
+            seq_sol, par_sol,
+            "thread count must not change the solution (sp{n})"
+        );
+        rows.push(SpeedupPoint {
+            label: format!("sp{n}"),
+            sequential,
+            parallel,
+            threads,
+        });
+    }
+    rows
+}
+
 /// Verification outcome for one design: the paper's phase-4 check
 /// (analytical + simulation) over every use-case.
 #[derive(Debug, Clone)]
@@ -315,41 +377,38 @@ pub struct VerifyPoint {
 pub fn verify_designs() -> Result<Vec<VerifyPoint>, MapError> {
     let spec = TdmaSpec::paper_default();
     let opts = MapperOptions::default();
-    SocDesign::ALL
-        .iter()
-        .map(|d| {
-            let soc = d.generate();
-            let groups = UseCaseGroups::singletons(soc.use_case_count());
-            let sol = design_smallest_mesh(&soc, &groups, spec, &opts, MAX_SWITCHES)?;
-            sol.verify(&soc, &groups).map_err(MapError::Inconsistent)?;
-            let mut contention = 0;
-            let mut late = 0;
-            let mut delivered = true;
-            for uc in 0..soc.use_case_count() {
-                let report = noc_sim::simulate_use_case(
-                    &sol,
-                    &soc,
-                    &groups,
-                    uc,
-                    &noc_sim::SimConfig {
-                        cycles: 4096,
-                        ..Default::default()
-                    },
-                );
-                contention += report.contention_violations;
-                late += report.latency_violations;
-                delivered &= report.all_flows_delivered();
-            }
-            Ok(VerifyPoint {
-                label: d.label().to_string(),
-                use_cases: soc.use_case_count(),
-                connections: sol.connection_count(),
-                contention,
-                late_words: late,
-                all_delivered: delivered,
-            })
+    noc_par::try_par_map(SocDesign::ALL.to_vec(), |_, d| {
+        let soc = d.generate();
+        let groups = UseCaseGroups::singletons(soc.use_case_count());
+        let sol = design_smallest_mesh(&soc, &groups, spec, &opts, MAX_SWITCHES)?;
+        sol.verify(&soc, &groups).map_err(MapError::Inconsistent)?;
+        // Replay every use-case on the simulator, in parallel; the
+        // aggregates are integer sums and an `and`, so reduction order
+        // cannot change them.
+        let reports = noc_par::par_map((0..soc.use_case_count()).collect(), |_, uc| {
+            noc_sim::simulate_use_case(
+                &sol,
+                &soc,
+                &groups,
+                uc,
+                &noc_sim::SimConfig {
+                    cycles: 4096,
+                    ..Default::default()
+                },
+            )
+        });
+        let contention = reports.iter().map(|r| r.contention_violations).sum();
+        let late = reports.iter().map(|r| r.latency_violations).sum();
+        let delivered = reports.iter().all(|r| r.all_flows_delivered());
+        Ok(VerifyPoint {
+            label: d.label().to_string(),
+            use_cases: soc.use_case_count(),
+            connections: sol.connection_count(),
+            contention,
+            late_words: late,
+            all_delivered: delivered,
         })
-        .collect()
+    })
 }
 
 /// Quality outcome of one ablation variant.
@@ -384,32 +443,33 @@ pub fn ablations() -> Vec<AblationPoint> {
     };
 
     let paper = MapperOptions::default();
-    let mut points = vec![
-        run("paper-defaults", &groups, &paper),
-        run(
+    let single = UseCaseGroups::single_group(5);
+    let variants: Vec<(&str, &UseCaseGroups, MapperOptions)> = vec![
+        ("paper-defaults", &groups, paper.clone()),
+        (
             "unsorted-flows",
             &groups,
-            &MapperOptions {
+            MapperOptions {
                 sort_by_bandwidth: false,
                 prefer_mapped: false,
                 ..paper.clone()
             },
         ),
-        run(
+        (
             "round-robin-placement",
             &groups,
-            &MapperOptions {
+            MapperOptions {
                 placement: Placement::RoundRobin,
                 ..paper.clone()
             },
         ),
-        run(
-            "single-shared-config",
-            &UseCaseGroups::single_group(5),
-            &paper,
-        ),
+        ("single-shared-config", &single, paper.clone()),
     ];
-    // Annealing refinement of the paper-default solution.
+    let mut points = noc_par::par_map(variants, |_, (label, groups, opts)| {
+        run(label, groups, &opts)
+    });
+    // Annealing refinement of the paper-default solution, with a small
+    // multi-chain portfolio (chains are themselves parallelized).
     if let Ok(base) = design_smallest_mesh(&soc, &groups, spec, &paper, MAX_SWITCHES) {
         let refined = refine(
             &soc,
@@ -418,6 +478,7 @@ pub fn ablations() -> Vec<AblationPoint> {
             &base,
             &AnnealConfig {
                 iterations: 100,
+                chains: 2,
                 ..Default::default()
             },
         )

@@ -9,6 +9,13 @@
 //! lower the bandwidth-weighted hop cost ([`MappingSolution::comm_cost`])
 //! are always accepted; uphill moves are accepted with the Metropolis
 //! probability under a geometrically cooling temperature.
+//!
+//! With [`AnnealConfig::chains`] > 1, that search runs as several
+//! **independent chains in parallel** (via [`noc_par`]), each seeded
+//! deterministically from `(seed, chain index)`; the winner is picked by
+//! `(cost, chain index)`, so results are bit-identical at any thread
+//! count and `chains = 1` reproduces the historical single-chain walk
+//! exactly.
 
 use noc_usecase::spec::SocSpec;
 use noc_usecase::UseCaseGroups;
@@ -32,6 +39,11 @@ pub struct AnnealConfig {
     pub cooling: f64,
     /// RNG seed (annealing is deterministic given the seed).
     pub seed: u64,
+    /// Number of independent chains to run (in parallel when the
+    /// effective `noc-par` thread count allows). Chain `i` walks with
+    /// seed `chain_seed(seed, i)` where chain 0 reuses `seed` itself, so
+    /// the default of 1 is exactly the historical behavior.
+    pub chains: usize,
 }
 
 impl Default for AnnealConfig {
@@ -41,8 +53,17 @@ impl Default for AnnealConfig {
             initial_temperature: 500.0,
             cooling: 0.97,
             seed: 1,
+            chains: 1,
         }
     }
+}
+
+/// The RNG seed of chain `chain` under base seed `seed`: chain 0 keeps
+/// the base seed, later chains stride by the 64-bit golden ratio (the
+/// splitmix64 increment), which cannot collide for chain counts below
+/// 2^64.
+pub fn chain_seed(seed: u64, chain: usize) -> u64 {
+    seed.wrapping_add((chain as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
 /// Refines `initial` by annealing over core swaps, returning the best
@@ -65,7 +86,6 @@ pub fn refine(
     );
     let topo = initial.topology().clone();
     let spec = initial.spec();
-    let mut rng = SmallRng::seed_from_u64(config.seed);
 
     let reroute = |placement: Placement| {
         map_multi_usecase(
@@ -82,47 +102,62 @@ pub fn refine(
 
     // Re-route the initial placement so current/best are produced by the
     // same pipeline as every candidate (comparable costs).
-    let mut current = reroute(Placement::Preset(initial.core_mapping().clone()))?;
-    if initial.comm_cost() <= current.comm_cost() {
-        current = initial.clone();
+    let mut start = reroute(Placement::Preset(initial.core_mapping().clone()))?;
+    if initial.comm_cost() <= start.comm_cost() {
+        start = initial.clone();
     }
-    let mut best = current.clone();
-    let mut temperature = config.initial_temperature;
     let nis = topo.nis().to_vec();
 
-    for _ in 0..config.iterations {
-        let mut mapping = current.core_mapping().clone();
-        let cores: Vec<_> = mapping.keys().copied().collect();
-        if cores.is_empty() || nis.len() < 2 {
-            break;
-        }
-        // Propose: swap two cores, or move one core to a free NI.
-        let a = cores[rng.gen_range(0..cores.len())];
-        let ni_a = mapping[&a];
-        let target_ni = nis[rng.gen_range(0..nis.len())];
-        if target_ni == ni_a {
-            temperature *= config.cooling;
-            continue;
-        }
-        if let Some(b) = cores.iter().copied().find(|c| mapping[c] == target_ni) {
-            mapping.insert(b, ni_a);
-        }
-        mapping.insert(a, target_ni);
+    let run_chain = |chain: usize| -> MappingSolution {
+        let mut rng = SmallRng::seed_from_u64(chain_seed(config.seed, chain));
+        let mut current = start.clone();
+        let mut best = current.clone();
+        let mut temperature = config.initial_temperature;
 
-        if let Ok(candidate) = reroute(Placement::Preset(mapping)) {
-            let delta = candidate.comm_cost() - current.comm_cost();
-            let accept = delta <= 0.0
-                || rng.gen_bool((-delta / temperature.max(1e-9)).exp().clamp(0.0, 1.0));
-            if accept {
-                current = candidate;
-                if current.comm_cost() < best.comm_cost() {
-                    best = current.clone();
+        for _ in 0..config.iterations {
+            let mut mapping = current.core_mapping().clone();
+            let cores: Vec<_> = mapping.keys().copied().collect();
+            if cores.is_empty() || nis.len() < 2 {
+                break;
+            }
+            // Propose: swap two cores, or move one core to a free NI.
+            let a = cores[rng.gen_range(0..cores.len())];
+            let ni_a = mapping[&a];
+            let target_ni = nis[rng.gen_range(0..nis.len())];
+            if target_ni == ni_a {
+                temperature *= config.cooling;
+                continue;
+            }
+            if let Some(b) = cores.iter().copied().find(|c| mapping[c] == target_ni) {
+                mapping.insert(b, ni_a);
+            }
+            mapping.insert(a, target_ni);
+
+            if let Ok(candidate) = reroute(Placement::Preset(mapping)) {
+                let delta = candidate.comm_cost() - current.comm_cost();
+                let accept = delta <= 0.0
+                    || rng.gen_bool((-delta / temperature.max(1e-9)).exp().clamp(0.0, 1.0));
+                if accept {
+                    current = candidate;
+                    if current.comm_cost() < best.comm_cost() {
+                        best = current.clone();
+                    }
                 }
             }
+            temperature *= config.cooling;
         }
-        temperature *= config.cooling;
-    }
-    Ok(best)
+        best
+    };
+
+    // Independent chains; the winner is picked by (exact integer cost,
+    // chain index), so ties always resolve to the earliest chain and the
+    // result is identical at any thread count.
+    let chains = config.chains.max(1);
+    let bests = noc_par::par_map((0..chains).collect(), |_, chain| run_chain(chain));
+    Ok(bests
+        .into_iter()
+        .min_by_key(MappingSolution::comm_cost_bytes_hops)
+        .expect("at least one chain"))
 }
 
 #[cfg(test)]

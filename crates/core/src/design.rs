@@ -94,6 +94,12 @@ pub fn design_smallest_fabric(
     max_switches: usize,
     kind: FabricKind,
 ) -> Result<MappingSolution, MapError> {
+    // The growth loop itself stays sequential: failed attempts abort at
+    // the first unroutable pair (cheap), so the final successful attempt
+    // dominates the cost and speculatively mapping larger sizes would
+    // mostly duplicate that expensive success. Parallelism lives
+    // *inside* each attempt instead — `map_multi_usecase` routes
+    // use-case groups concurrently.
     let cores = soc.cores().len();
     let mut last_err = None;
     for (rows, cols) in mesh_sizes() {

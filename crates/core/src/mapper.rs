@@ -2,6 +2,7 @@
 //! multiple use-cases.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Mutex;
 
 use noc_tdma::{ConnId, NetworkSlots, SlotPolicy, TdmaSpec};
 use noc_topology::units::{Bandwidth, Latency};
@@ -84,21 +85,31 @@ struct PairTask {
     max_bw: Bandwidth,
 }
 
-/// Mutable mapping state shared across the run.
+/// Routing state private to one use-case group: its slot table ("each
+/// use-case maintains separate data structures", scoped to groups since
+/// group members share one configuration) plus its connection-id
+/// sequence. Both are per group so that different groups can be routed
+/// in parallel without a shared counter whose values would depend on
+/// cross-group scheduling.
+struct GroupState {
+    slots: NetworkSlots,
+    conn_seq: u32,
+}
+
+/// Mutable mapping state shared across the run. Core placement is only
+/// ever mutated between parallel regions (by the sequential task loop),
+/// while each group's [`GroupState`] sits behind its own lock so a
+/// pair's demands in *different* groups can be routed concurrently.
 struct MapState<'a> {
     topo: &'a Topology,
     spec: TdmaSpec,
     options: &'a MapperOptions,
-    /// Per-group slot tables ("each use-case maintains separate data
-    /// structures", scoped to groups since group members share one
-    /// configuration).
-    group_slots: Vec<NetworkSlots>,
+    group_states: Vec<Mutex<GroupState>>,
     core_to_ni: BTreeMap<CoreId, NodeId>,
     /// Occupancy flags indexed by node id (only NI entries are used).
     ni_occupied: Vec<bool>,
     /// All NI ids, cached.
     free_nis: Vec<NodeId>,
-    conn_seq: u32,
 }
 
 impl<'a> MapState<'a> {
@@ -121,15 +132,21 @@ impl<'a> MapState<'a> {
         lat_cycles.saturating_sub(1).min(bound)
     }
 
-    /// Routes `(src, dst)` in `group`'s state, placing unmapped endpoints
-    /// on the NIs at the ends of the chosen path (step 4 of Algorithm 2).
-    fn route_pair(
-        &mut self,
+    /// Path and slot search for `(src, dst)` inside `gs`, one group's
+    /// private routing state (step 4 of Algorithm 2). Placement is read
+    /// but never written: on success the NIs at the ends of the chosen
+    /// path are returned so the (sequential) caller can commit any
+    /// placements. Taking `&self` plus one group's state keeps this
+    /// callable from parallel workers — different groups share nothing
+    /// but read-only context.
+    fn route_in_group(
+        &self,
         group: usize,
+        gs: &mut GroupState,
         src: CoreId,
         dst: CoreId,
         demand: MergedFlow,
-    ) -> Result<Route, MapError> {
+    ) -> Result<(Route, NodeId, NodeId), MapError> {
         let needed = self.spec.slots_for_bandwidth(demand.bandwidth);
         debug_assert!(needed >= 1);
         let max_hops = self.max_hops_for(demand.latency);
@@ -139,7 +156,7 @@ impl<'a> MapState<'a> {
         for _attempt in 0..=self.options.path_retries {
             let query = PathQuery::new(
                 topo,
-                &self.group_slots[group],
+                &gs.slots,
                 needed,
                 max_hops,
                 self.options.load_penalty_millis,
@@ -166,11 +183,13 @@ impl<'a> MapState<'a> {
 
             // Contention-free slot allocation, growing the reservation
             // until the worst-case latency bound is met.
-            let state = &self.group_slots[group];
             let mut alloc = None;
             let mut k = needed;
             while k <= self.spec.slots() {
-                match state.find_base_slots(&found.links, k, self.options.slot_policy) {
+                match gs
+                    .slots
+                    .find_base_slots(&found.links, k, self.options.slot_policy)
+                {
                     None => break,
                     Some(slots) => {
                         let wc = self.spec.worst_case_latency(&slots, found.hops());
@@ -185,33 +204,29 @@ impl<'a> MapState<'a> {
 
             match alloc {
                 Some((slots, wc)) => {
-                    // Commit: place endpoints, reserve, record.
-                    if src_ni.is_none() {
-                        self.place(src, found.src_ni);
-                    }
-                    if dst_ni.is_none() {
-                        self.place(dst, found.dst_ni);
-                    }
-                    let conn = ConnId::from_usecase_flow(group as u32, self.conn_seq);
-                    self.conn_seq += 1;
-                    self.group_slots[group]
+                    // Commit the reservation; the conn id comes from the
+                    // group's own sequence, so it is independent of how
+                    // routing interleaves across groups.
+                    let conn = ConnId::from_usecase_flow(group as u32, gs.conn_seq);
+                    gs.conn_seq += 1;
+                    gs.slots
                         .reserve(&found.links, &slots, conn)
                         .expect("slots were found free");
-                    return Ok(Route {
+                    let route = Route {
                         path: found.links,
                         base_slots: slots,
                         bandwidth: demand.bandwidth,
                         worst_case_latency: wc,
-                    });
+                    };
+                    return Ok((route, found.src_ni, found.dst_ni));
                 }
                 None => {
                     // Ban the path's bottleneck link and search again.
-                    let state = &self.group_slots[group];
                     let bottleneck = found
                         .links
                         .iter()
                         .copied()
-                        .min_by_key(|&l| state.free_slot_count(l))
+                        .min_by_key(|&l| gs.slots.free_slot_count(l))
                         .expect("paths are non-empty");
                     if !banned.insert(bottleneck) {
                         break; // no progress to be made
@@ -220,6 +235,28 @@ impl<'a> MapState<'a> {
             }
         }
         Err(MapError::Unroutable { src, dst, group })
+    }
+
+    /// Routes `(src, dst)` in `group`'s state, placing unmapped endpoints
+    /// on the NIs at the ends of the chosen path (step 4 of Algorithm 2).
+    fn route_pair(
+        &mut self,
+        group: usize,
+        src: CoreId,
+        dst: CoreId,
+        demand: MergedFlow,
+    ) -> Result<Route, MapError> {
+        let (route, src_ni, dst_ni) = {
+            let mut gs = self.group_states[group].lock().expect("no poisoned groups");
+            self.route_in_group(group, &mut gs, src, dst, demand)?
+        };
+        if !self.core_to_ni.contains_key(&src) {
+            self.place(src, src_ni);
+        }
+        if !self.core_to_ni.contains_key(&dst) {
+            self.place(dst, dst_ni);
+        }
+        Ok(route)
     }
 }
 
@@ -315,13 +352,17 @@ pub fn map_multi_usecase(
         topo,
         spec,
         options,
-        group_slots: (0..groups.group_count())
-            .map(|_| NetworkSlots::new(topo, &spec))
+        group_states: (0..groups.group_count())
+            .map(|_| {
+                Mutex::new(GroupState {
+                    slots: NetworkSlots::new(topo, &spec),
+                    conn_seq: 0,
+                })
+            })
             .collect(),
         core_to_ni: BTreeMap::new(),
         ni_occupied: vec![false; topo.node_count()],
         free_nis: topo.nis().to_vec(),
-        conn_seq: 0,
     };
 
     match &options.placement {
@@ -346,6 +387,11 @@ pub fn map_multi_usecase(
     }
 
     let mut configs: Vec<GroupConfig> = vec![GroupConfig::new(); groups.group_count()];
+    // Demands deferred to the parallel per-group pass, in placement-pass
+    // processing order (each group's routing order must not depend on
+    // scheduling).
+    let mut deferred: Vec<Vec<(CoreId, CoreId, MergedFlow)>> =
+        vec![Vec::new(); groups.group_count()];
     let mut done = vec![false; tasks.len()];
     for _round in 0..tasks.len() {
         // Step 3: pick the largest-bandwidth pending pair, preferring
@@ -370,12 +416,45 @@ pub fn map_multi_usecase(
         done[idx] = true;
         let task = &tasks[idx];
 
-        // Steps 4-6: route the pair in its largest-demand group first
-        // (possibly placing the endpoint cores), then in every other group
-        // that communicates over this pair, each in its own slot state.
-        for &(g, demand) in &task.demands {
-            let route = state.route_pair(g, task.src, task.dst, demand)?;
-            configs[g].insert(task.src, task.dst, route);
+        // Step 4 (placement pass): route the pair in its largest-demand
+        // group, placing unmapped endpoint cores on the NIs at the ends
+        // of the chosen path. The same pair's demands in *other* groups
+        // don't influence placement — they are deferred to the parallel
+        // per-group pass below.
+        let (&(g0, d0), rest) = task.demands.split_first().expect("tasks have >= 1 demand");
+        let route = state.route_pair(g0, task.src, task.dst, d0)?;
+        configs[g0].insert(task.src, task.dst, route);
+        for &(g, demand) in rest {
+            deferred[g].push((task.src, task.dst, demand));
+        }
+    }
+
+    // Steps 5-6 (group pass): with every core placed, each group's
+    // remaining demands touch only that group's own slot state, so the
+    // groups are routed **in parallel** — one coarse task per group, in
+    // the placement pass's processing order within each group. Ordered
+    // reduction (and `try_par_map`'s smallest-index error rule) makes
+    // the outcome independent of the thread count.
+    let state_ref = &state;
+    let group_work: Vec<(usize, Vec<(CoreId, CoreId, MergedFlow)>)> = deferred
+        .into_iter()
+        .enumerate()
+        .filter(|(_, demands)| !demands.is_empty())
+        .collect();
+    let routed = noc_par::try_par_map(group_work, |_, (g, demands)| {
+        let mut gs = state_ref.group_states[g]
+            .lock()
+            .expect("no poisoned groups");
+        let mut routes = Vec::with_capacity(demands.len());
+        for (src, dst, demand) in demands {
+            let (route, _, _) = state_ref.route_in_group(g, &mut gs, src, dst, demand)?;
+            routes.push((src, dst, route));
+        }
+        Ok::<_, MapError>((g, routes))
+    })?;
+    for (g, routes) in routed {
+        for (src, dst, route) in routes {
+            configs[g].insert(src, dst, route);
         }
     }
 

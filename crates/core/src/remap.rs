@@ -14,6 +14,11 @@
 //! to a second NI port). A greedy hill-climb proposes single-core moves
 //! and core swaps, re-routes the group's traffic with the candidate
 //! placement fixed, and keeps improvements.
+//!
+//! Each group's search only reads the shared base solution and writes
+//! its own slot state, so the groups are refined **in parallel** (via
+//! [`noc_par`]); results are reduced in group order, making the outcome
+//! independent of the thread count.
 
 use std::collections::BTreeMap;
 
@@ -112,10 +117,7 @@ pub fn refine_with_remap(
     let spec = base.spec();
     let all_nis: Vec<_> = topo.nis().to_vec();
 
-    let mut per_group = Vec::with_capacity(groups.group_count());
-    let mut moved = Vec::with_capacity(groups.group_count());
-
-    for g in 0..groups.group_count() {
+    let refine_group = |g: usize| -> Result<(MappingSolution, Vec<CoreId>), MapError> {
         let (sub_soc, sub_groups) = group_spec(soc, groups, g);
         let route = |placement: BTreeMap<CoreId, noc_topology::NodeId>| {
             map_multi_usecase(
@@ -171,9 +173,13 @@ pub fn refine_with_remap(
             }
         }
 
-        moved.push(moved_cores(base.core_mapping(), &current_map));
-        per_group.push(current);
-    }
+        Ok((current, moved_cores(base.core_mapping(), &current_map)))
+    };
+
+    // One independent hill-climb per group, reduced in group order.
+    let refined =
+        noc_par::try_par_map((0..groups.group_count()).collect(), |_, g| refine_group(g))?;
+    let (per_group, moved) = refined.into_iter().unzip();
 
     Ok(RemappedDesign {
         base: base.clone(),

@@ -202,11 +202,23 @@ impl MappingSolution {
     /// ablation benches: `Σ bandwidth × hops` over all routes, in
     /// MB/s·hops. Lower is better (shorter paths for bigger flows ⇒ lower
     /// power, per Section 5's sorting rationale).
+    ///
+    /// Accumulated exactly in integer bytes/s·hops and converted to MB/s
+    /// once at the end, so the value cannot depend on summation order —
+    /// parallel or re-ordered evaluation yields bit-identical costs (see
+    /// `tests/determinism.rs` and `tests/parallel_determinism.rs`).
     pub fn comm_cost(&self) -> f64 {
+        self.comm_cost_bytes_hops() as f64 / 1e6
+    }
+
+    /// The exact integer form of [`Self::comm_cost`]: `Σ bandwidth ×
+    /// hops` in bytes/s·hops. Order-insensitive by construction; prefer
+    /// this for equality comparisons between solutions.
+    pub fn comm_cost_bytes_hops(&self) -> u128 {
         self.group_configs
             .iter()
             .flat_map(|g| g.iter())
-            .map(|(_, r)| r.bandwidth.as_mbps_f64() * r.hops() as f64)
+            .map(|(_, r)| r.bandwidth.as_bytes_per_sec() as u128 * r.hops() as u128)
             .sum()
     }
 

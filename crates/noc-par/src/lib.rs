@@ -1,0 +1,489 @@
+//! `noc-par` — deterministic fork-join parallelism for the NoC mapping
+//! stack.
+//!
+//! The container this workspace builds in has no crates.io access, so
+//! `rayon` is unavailable; this crate hand-rolls the small subset the
+//! stack needs: [`join`], scoped [`spawn`](Scope::spawn), and an indexed
+//! [`par_map`] whose results are always reduced **in input order**, so
+//! output is bit-identical regardless of thread count.
+//!
+//! # Execution model
+//!
+//! Each parallel region spawns a team of workers (scoped threads, so
+//! borrowed closures need no `'static` bound and no `unsafe`). Tasks are
+//! dealt into per-worker deques in contiguous index blocks; a worker pops
+//! from the front of its own deque and, when empty, **steals from the
+//! back** of its neighbours' deques. Regions are coarse in this workspace
+//! (a whole annealing chain, a whole mesh-size mapping attempt, a whole
+//! figure suite), so per-region thread spawning is noise compared to the
+//! work each task performs.
+//!
+//! # Determinism contract
+//!
+//! * [`par_map`] writes each result into the slot of its input index and
+//!   returns the slots in input order — the *schedule* is racy, the
+//!   *reduction* is not.
+//! * [`try_par_map`] reports the error of the **smallest failing index**,
+//!   matching what a sequential left-to-right loop would return.
+//! * With an effective thread count of 1 every primitive degenerates to
+//!   plain sequential execution on the calling thread (no threads are
+//!   spawned at all).
+//!
+//! Callers remain responsible for making each *task* a pure function of
+//! its inputs (per-task RNG seeds derived from `(base_seed, index)`, no
+//! shared accumulators with order-sensitive arithmetic).
+//!
+//! # Choosing the thread count
+//!
+//! Resolution order, first match wins:
+//!
+//! 1. an active [`with_threads`] override on the calling thread (regions
+//!    propagate it to their workers, so nesting inherits it),
+//! 2. the `NOC_PAR_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the default worker count.
+pub const THREADS_ENV: &str = "NOC_PAR_THREADS";
+
+thread_local! {
+    /// Per-thread override installed by [`with_threads`] (and propagated
+    /// into region workers).
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with the effective thread count pinned to `max(threads, 1)`
+/// on this thread (and any parallel regions it enters, transitively).
+///
+/// This is the race-free alternative to mutating [`THREADS_ENV`] from
+/// tests: overrides are thread-local, so concurrently running tests
+/// cannot observe each other's setting.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    let previous = THREAD_OVERRIDE.with(|c| c.replace(Some(threads.max(1))));
+    // Restore on unwind too, so a panicking test doesn't poison later
+    // tests running on the same thread.
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(previous);
+    f()
+}
+
+/// The effective worker count for parallel regions entered from this
+/// thread: [`with_threads`] override, else [`THREADS_ENV`], else
+/// available parallelism (min 1). A value of 1 means sequential
+/// execution.
+pub fn current_threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(Cell::get) {
+        return n.max(1);
+    }
+    if let Ok(value) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Work-stealing deques for one region: `pop_own` takes from the front
+/// of the worker's own deque, `steal` from the back of the first
+/// non-empty victim (scanning right from the thief).
+struct TaskQueues<T> {
+    queues: Vec<Mutex<VecDeque<T>>>,
+}
+
+impl<T> TaskQueues<T> {
+    /// Deals `items` into `workers` deques in contiguous blocks, so that
+    /// under zero stealing each worker handles a cache-friendly index
+    /// range.
+    fn deal(items: Vec<T>, workers: usize) -> Self {
+        let n = items.len();
+        let per = n.div_ceil(workers);
+        let mut queues: Vec<Mutex<VecDeque<T>>> = Vec::with_capacity(workers);
+        let mut iter = items.into_iter();
+        for _ in 0..workers {
+            queues.push(Mutex::new(iter.by_ref().take(per).collect()));
+        }
+        TaskQueues { queues }
+    }
+
+    fn pop_own(&self, worker: usize) -> Option<T> {
+        self.queues[worker].lock().unwrap().pop_front()
+    }
+
+    fn steal(&self, thief: usize) -> Option<T> {
+        let n = self.queues.len();
+        for offset in 1..n {
+            let victim = (thief + offset) % n;
+            if let Some(task) = self.queues[victim].lock().unwrap().pop_back() {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    fn next_task(&self, worker: usize) -> Option<T> {
+        self.pop_own(worker).or_else(|| self.steal(worker))
+    }
+}
+
+/// Runs `f(index, item)` over all items and returns the results **in
+/// input order**, regardless of thread count or schedule.
+///
+/// With an effective thread count of 1 (or fewer than 2 items) the map
+/// runs inline on the calling thread. Worker panics are propagated to
+/// the caller (first worker in spawn order wins).
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    // Workers inherit the caller's *configured* width, not the
+    // item-count clamp below — a 2-item region at 8 threads must not
+    // throttle nested regions inside those 2 tasks down to 2.
+    let configured = current_threads();
+    let threads = configured.min(n);
+    if threads <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+
+    let queues = TaskQueues::deal(items.into_iter().enumerate().collect(), threads);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let slots_mutex = Mutex::new(&mut slots);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for worker in 0..threads {
+            let queues = &queues;
+            let f = &f;
+            let slots_mutex = &slots_mutex;
+            handles.push(scope.spawn(move || {
+                with_threads(configured, || {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    while let Some((index, item)) = queues.next_task(worker) {
+                        local.push((index, f(index, item)));
+                    }
+                    let mut slots = slots_mutex.lock().unwrap();
+                    for (index, result) in local {
+                        slots[index] = Some(result);
+                    }
+                })
+            }));
+        }
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                resume_unwind(payload);
+            }
+        }
+    });
+    drop(slots_mutex);
+
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index executed exactly once"))
+        .collect()
+}
+
+/// Fallible [`par_map`]: `Ok` with all results in input order, or the
+/// `Err` of the **smallest failing index** — exactly the error a
+/// sequential left-to-right loop would have returned first.
+///
+/// All tasks run to completion even when one fails (no cancellation);
+/// failed runs are expected to be cheap in this workspace because the
+/// mapper aborts a whole attempt on the first unroutable pair.
+pub fn try_par_map<T, R, E, F>(items: Vec<T>, f: F) -> Result<Vec<R>, E>
+where
+    T: Send,
+    R: Send,
+    E: Send,
+    F: Fn(usize, T) -> Result<R, E> + Sync,
+{
+    let mut out = Vec::with_capacity(items.len());
+    for result in par_map(items, f) {
+        out.push(result?);
+    }
+    Ok(out)
+}
+
+/// Runs `a` and `b`, potentially in parallel, and returns both results.
+///
+/// `a` always runs on the calling thread; with an effective thread count
+/// of 1, `a` then `b` run sequentially.
+pub fn join<RA, RB, A, B>(a: A, b: B) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB + Send,
+{
+    let threads = current_threads();
+    if threads <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(move || with_threads(threads, b));
+        let ra = a();
+        let rb = match handle.join() {
+            Ok(rb) => rb,
+            Err(payload) => resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+/// A fork-join scope handed to the closure of [`scope`]: tasks spawned
+/// on it may borrow data living outside the `scope` call and may spawn
+/// further tasks; all of them complete before `scope` returns.
+pub struct Scope<'env> {
+    tasks: Mutex<Vec<Box<dyn FnOnce(&Scope<'env>) + Send + 'env>>>,
+    in_flight: AtomicUsize,
+}
+
+impl<'env> Scope<'env> {
+    /// Queues `task` for execution by the scope's worker team. Spawn
+    /// order is **not** execution order; tasks needing ordered results
+    /// should write into pre-indexed slots (or use [`par_map`]).
+    pub fn spawn(&self, task: impl FnOnce(&Scope<'env>) + Send + 'env) {
+        self.tasks.lock().unwrap().push(Box::new(task));
+    }
+}
+
+/// Creates a fork-join scope: runs `f`, then executes every task spawned
+/// on the scope (including tasks spawned by other tasks) across the
+/// effective thread count, returning `f`'s result once all tasks
+/// finished.
+pub fn scope<'env, R>(f: impl FnOnce(&Scope<'env>) -> R) -> R {
+    let sc = Scope {
+        tasks: Mutex::new(Vec::new()),
+        in_flight: AtomicUsize::new(0),
+    };
+    let result = f(&sc);
+
+    // Decrements `in_flight` even when the task unwinds: a leaked
+    // increment would leave idle workers spinning on "someone is still
+    // running" forever instead of letting the panic propagate.
+    struct InFlight<'a>(&'a AtomicUsize);
+    impl Drop for InFlight<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    let run_worker = |sc: &Scope<'env>| loop {
+        let task = sc.tasks.lock().unwrap().pop();
+        match task {
+            Some(task) => {
+                sc.in_flight.fetch_add(1, Ordering::SeqCst);
+                let _in_flight = InFlight(&sc.in_flight);
+                task(sc);
+            }
+            // Another worker may still be executing a task that spawns
+            // more; stay alive until the scope is fully quiescent.
+            None if sc.in_flight.load(Ordering::SeqCst) > 0 => std::thread::yield_now(),
+            None => break,
+        }
+    };
+
+    let threads = current_threads();
+    if threads <= 1 {
+        run_worker(&sc);
+        return result;
+    }
+    std::thread::scope(|ts| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let sc = &sc;
+            let run_worker = &run_worker;
+            handles.push(ts.spawn(move || with_threads(threads, || run_worker(sc))));
+        }
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                resume_unwind(payload);
+            }
+        }
+    });
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        for threads in [1, 2, 3, 8] {
+            let got = with_threads(threads, || {
+                par_map((0..100).collect::<Vec<u64>>(), |i, x| {
+                    assert_eq!(i as u64, x);
+                    x * x
+                })
+            });
+            let want: Vec<u64> = (0..100).map(|x| x * x).collect();
+            assert_eq!(got, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert_eq!(par_map(empty, |_, x: u32| x), Vec::<u32>::new());
+        assert_eq!(
+            with_threads(8, || par_map(vec![7], |_, x: u32| x + 1)),
+            vec![8]
+        );
+    }
+
+    #[test]
+    fn try_par_map_reports_smallest_failing_index() {
+        for threads in [1, 2, 8] {
+            let err = with_threads(threads, || {
+                try_par_map((0..64).collect::<Vec<usize>>(), |_, x| {
+                    if x % 7 == 3 {
+                        Err(x)
+                    } else {
+                        Ok(x)
+                    }
+                })
+            })
+            .unwrap_err();
+            assert_eq!(err, 3, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn try_par_map_ok_round_trips() {
+        let got: Result<Vec<i32>, ()> =
+            with_threads(4, || try_par_map(vec![1, 2, 3], |_, x| Ok(x * 10)));
+        assert_eq!(got.unwrap(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        for threads in [1, 4] {
+            let (a, b) = with_threads(threads, || join(|| 6 * 7, || "ok"));
+            assert_eq!((a, b), (42, "ok"));
+        }
+    }
+
+    #[test]
+    fn scope_runs_all_spawned_tasks_including_nested() {
+        for threads in [1, 2, 8] {
+            let counter = AtomicUsize::new(0);
+            with_threads(threads, || {
+                scope(|s| {
+                    for _ in 0..10 {
+                        s.spawn(|s| {
+                            counter.fetch_add(1, Ordering::SeqCst);
+                            s.spawn(|_| {
+                                counter.fetch_add(1, Ordering::SeqCst);
+                            });
+                        });
+                    }
+                });
+            });
+            assert_eq!(counter.load(Ordering::SeqCst), 20, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn with_threads_propagates_into_workers() {
+        // Nested regions inside workers must see the caller's override.
+        let seen = with_threads(3, || par_map(vec![(); 3], |_, ()| current_threads()));
+        assert_eq!(seen, vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn item_count_clamp_does_not_throttle_nested_regions() {
+        // A 2-item region at 8 configured threads spawns 2 workers, but
+        // nested regions inside those tasks still get the full width.
+        let seen = with_threads(8, || par_map(vec![(), ()], |_, ()| current_threads()));
+        assert_eq!(seen, vec![8, 8]);
+    }
+
+    #[test]
+    fn scope_task_panic_propagates_instead_of_hanging() {
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                scope(|s| {
+                    s.spawn(|_| panic!("task boom"));
+                    for _ in 0..8 {
+                        s.spawn(|_| std::thread::yield_now());
+                    }
+                });
+            })
+        });
+        assert!(result.is_err(), "the panic must reach the caller");
+    }
+
+    #[test]
+    fn sequential_fallback_spawns_nothing() {
+        // With one thread the closure runs on the calling thread, so a
+        // non-Sync-unfriendly pattern like a thread-local is observable.
+        thread_local! {
+            static MARK: Cell<u32> = const { Cell::new(0) };
+        }
+        MARK.with(|m| m.set(17));
+        let seen = with_threads(1, || par_map(vec![(), ()], |_, ()| MARK.with(Cell::get)));
+        assert_eq!(seen, vec![17, 17]);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        // A mildly stateful per-task computation (seeded by index) must
+        // reduce identically at every width.
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                par_map((0..257).collect::<Vec<u64>>(), |i, seed| {
+                    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i as u64;
+                    for _ in 0..100 {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                    }
+                    x
+                })
+            })
+        };
+        let baseline = run(1);
+        for threads in [2, 3, 8, 16] {
+            assert_eq!(run(threads), baseline, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn panics_propagate_to_caller() {
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_map(vec![0, 1, 2, 3], |_, x| {
+                    if x == 2 {
+                        panic!("boom");
+                    }
+                    x
+                })
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,12 +1,13 @@
 //! Integration: the simulator replaying full mapped designs, including
-//! mixed GT + best-effort loads.
+//! mixed GT + best-effort loads, saturated links, and idle use-cases.
 
-use noc_benchgen::{SocDesign, SpreadConfig};
+use noc_benchgen::{BottleneckConfig, SocDesign, SpreadConfig};
 use noc_sim::{
     simulate_group, simulate_mixed, simulate_use_case, BestEffortFlow, Connection, SimConfig,
 };
 use noc_tdma::TdmaSpec;
-use noc_topology::units::Bandwidth;
+use noc_topology::units::{Bandwidth, Latency};
+use noc_usecase::spec::{CoreId, SocSpec, UseCaseBuilder};
 use noc_usecase::UseCaseGroups;
 use nocmap::design::design_smallest_mesh;
 use nocmap::MapperOptions;
@@ -116,6 +117,130 @@ fn best_effort_rides_a_real_design() {
     // the BE rider.
     let alone = simulate_mixed(&spec, &gt, &[], 8192);
     assert_eq!(alone.guaranteed, mixed.guaranteed);
+}
+
+/// Every group of two full benchgen suites (one spread, one bottleneck)
+/// replays clean: no slot contention, no late words. This is the
+/// phase-4 check of the methodology applied suite-wide, not just to a
+/// hand-picked group.
+#[test]
+fn every_group_of_two_benchgen_suites_replays_clean() {
+    let suites = [
+        ("sp4", SpreadConfig::paper(4).generate(2006)),
+        ("bot4", BottleneckConfig::paper(4).generate(2006)),
+    ];
+    for (label, soc) in suites {
+        let (groups, sol) = design(&soc);
+        sol.verify(&soc, &groups).unwrap();
+        for g in 0..groups.group_count() {
+            let report = simulate_group(
+                &sol,
+                g,
+                &SimConfig {
+                    cycles: 2048,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(report.contention_violations, 0, "{label} group {g}");
+            assert_eq!(report.latency_violations, 0, "{label} group {g}");
+            assert!(report.all_flows_delivered(), "{label} group {g}");
+        }
+    }
+}
+
+/// A best-effort rider injecting at full link capacity saturates its
+/// path: the backlog grows and delivery falls short, while the GT
+/// traffic sharing those links stays byte-identical — the TDMA isolation
+/// property under worst-case BE pressure.
+#[test]
+fn saturated_link_starves_best_effort_but_never_gt() {
+    let soc = SocDesign::D1.generate();
+    let (_groups, sol) = design(&soc);
+    let spec = sol.spec();
+    let gt: Vec<Connection> = sol
+        .group_config(0)
+        .iter()
+        .map(|(&key, route)| Connection {
+            key,
+            path: route.path.clone(),
+            base_slots: route.base_slots.clone(),
+            inject_bandwidth: route.bandwidth,
+            latency_bound_cycles: Some(
+                spec.worst_case_latency_cycles(&route.base_slots, route.hops()),
+            ),
+        })
+        .collect();
+    let (&(src, dst), probe) = sol.group_config(0).iter().next().unwrap();
+    // Inject at the raw link capacity: the reserved GT slots on the path
+    // guarantee the leftover is strictly smaller, so the BE flow cannot
+    // keep up.
+    let capacity = spec.width().capacity(spec.frequency());
+    let be = BestEffortFlow {
+        key: (src, dst),
+        path: probe.path.clone(),
+        inject_bandwidth: capacity,
+    };
+    let cycles = 8192;
+    let mixed = simulate_mixed(&spec, &gt, &[be], cycles);
+    assert_eq!(mixed.guaranteed.contention_violations, 0);
+    assert_eq!(mixed.guaranteed.latency_violations, 0);
+    let stats = &mixed.best_effort[&(src, dst)];
+    assert!(
+        stats.backlog_words > 0,
+        "a capacity-rate BE flow must backlog behind GT reservations"
+    );
+    assert!(
+        stats.delivered_words < stats.injected_words,
+        "saturation means BE cannot be fully delivered"
+    );
+    assert!(mixed.max_be_queue_depth > 0);
+    // GT at full provisioned load is byte-identical with and without the
+    // saturating rider.
+    let alone = simulate_mixed(&spec, &gt, &[], cycles);
+    assert_eq!(alone.guaranteed, mixed.guaranteed);
+}
+
+/// An idle use-case (declared but communicating nothing — a sleep mode)
+/// maps to an empty configuration and simulates trivially clean, while
+/// the active use-cases are unaffected.
+#[test]
+fn idle_use_case_maps_and_simulates_clean() {
+    let c = CoreId::new;
+    let mut soc = SocSpec::new("with-idle");
+    soc.add_use_case(
+        UseCaseBuilder::new("active")
+            .flow(
+                c(0),
+                c(1),
+                Bandwidth::from_mbps(400),
+                Latency::UNCONSTRAINED,
+            )
+            .unwrap()
+            .flow(
+                c(1),
+                c(2),
+                Bandwidth::from_mbps(150),
+                Latency::UNCONSTRAINED,
+            )
+            .unwrap()
+            .build(),
+    );
+    soc.add_use_case(UseCaseBuilder::new("sleep").build());
+    let (groups, sol) = design(&soc);
+    sol.verify(&soc, &groups).unwrap();
+
+    let idle_group = groups.group_of(noc_usecase::spec::UseCaseId::new(1));
+    assert_eq!(
+        sol.group_config(idle_group).len(),
+        0,
+        "an idle use-case needs no connections"
+    );
+    for uc in 0..soc.use_case_count() {
+        let report = simulate_use_case(&sol, &soc, &groups, uc, &SimConfig::default());
+        assert_eq!(report.contention_violations, 0, "use-case {uc}");
+        assert_eq!(report.latency_violations, 0, "use-case {uc}");
+        assert!(report.all_flows_delivered(), "use-case {uc}");
+    }
 }
 
 #[test]

@@ -1,0 +1,42 @@
+//! Offline shim for `rayon`'s core fork-join API, backed by
+//! [`noc_par`].
+//!
+//! Only the subset this workspace could plausibly migrate to is exposed:
+//! [`join`], [`scope`]/[`Scope::spawn`](noc_par::Scope::spawn), and
+//! [`current_num_threads`]. Parallel iterators are intentionally absent —
+//! ordered indexed mapping is [`noc_par::par_map`], which (unlike an ad
+//! hoc `par_iter().map().collect()`) documents and tests the
+//! deterministic, input-order reduction this workspace's golden tests
+//! rely on.
+//!
+//! The signatures differ from the real rayon in one deliberate way:
+//! closures need not be `'static`-free-of-borrows tricks — scoped
+//! regions already accept borrowing closures, and [`join`] runs its
+//! first closure on the caller.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use noc_par::{join, scope, Scope};
+
+/// The number of worker threads a parallel region entered from this
+/// thread would use (rayon calls this the current pool size).
+pub fn current_num_threads() -> usize {
+    noc_par::current_threads()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_round_trips() {
+        let (a, b) = super::join(|| 1 + 1, || 2 + 2);
+        assert_eq!((a, b), (2, 4));
+        assert!(super::current_num_threads() >= 1);
+        let mut hits = 0;
+        super::scope(|s| {
+            s.spawn(|_| {});
+            hits += 1;
+        });
+        assert_eq!(hits, 1);
+    }
+}
