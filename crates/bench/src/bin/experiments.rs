@@ -6,8 +6,11 @@
 //! ```
 //!
 //! Valid experiment names: `fig6a`, `fig6b`, `fig6c`, `fig7a`, `fig7b`,
-//! `fig7c`, `headline`, `all`. `fig6b`/`fig6c` accept the paper's prose
-//! 40-use-case extension with `fig6b+` / `fig6c+`.
+//! `fig7c`, `verify`, `ablation`, `runtime`, `be_burst`, `headline`,
+//! `all`. `fig6b`/`fig6c` accept the paper's prose 40-use-case
+//! extension with `fig6b+` / `fig6c+`. `be_burst` sweeps best-effort
+//! traffic burstiness against multi-hop chain contention (see
+//! `docs/SIMULATION.md`).
 //!
 //! A global `--threads N` pins the `noc-par` worker count (same effect
 //! as `NOC_PAR_THREADS=N`); every experiment produces identical numbers
@@ -15,8 +18,8 @@
 //! additionally reports the measured 1-thread vs N-thread speedup.
 
 use noc_bench::{
-    ablations, fig6a, fig6b, fig6c, fig7a, fig7b, fig7c, headline, runtime_speedups, runtimes,
-    verify_designs, Comparison,
+    ablations, be_burst, fig6a, fig6b, fig6c, fig7a, fig7b, fig7c, format_be_burst, headline,
+    runtime_speedups, runtimes, verify_designs, Comparison,
 };
 
 fn print_comparisons(title: &str, comps: &[Comparison]) {
@@ -143,6 +146,7 @@ fn run(name: &str) {
                 );
             }
         }
+        "be_burst" => print!("{}", format_be_burst(&be_burst())),
         "headline" => match headline() {
             Ok(h) => {
                 println!("\n== Headline numbers (abstract) ==");
@@ -183,7 +187,7 @@ fn main() {
         if args.is_empty() || args.iter().any(|a| a == "all") {
             for name in [
                 "fig6a", "fig6b+", "fig6c+", "fig7a", "fig7b", "fig7c", "verify", "ablation",
-                "runtime", "headline",
+                "runtime", "be_burst", "headline",
             ] {
                 run(name);
             }

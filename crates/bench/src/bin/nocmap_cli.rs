@@ -17,6 +17,9 @@
 //!   [--emit FILE]` — design the smallest mesh, print the analytic
 //!   report, optionally compare with the worst-case baseline and emit the
 //!   configuration artifact.
+//! * `be-burst` — run the best-effort burstiness × hop-count contention
+//!   sweep (identical output to `experiments -- be_burst`; the
+//!   simulation model is documented in `docs/SIMULATION.md`).
 //!
 //! Both subcommands accept a global `--threads N` to pin the `noc-par`
 //! worker count (equivalent to `NOC_PAR_THREADS=N`; results are
@@ -40,6 +43,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  nocmap_cli gen {{d1|d2|d3|d4|sp|bot}} [--use-cases N] [--seed S]\n  \
          nocmap_cli design SPEC [--freq MHZ] [--slots N] [--max-switches N] [--wc] [--emit FILE]\n  \
+         nocmap_cli be-burst\n  \
          (global: --threads N — pin the noc-par worker count)"
     );
     ExitCode::FAILURE
@@ -180,6 +184,10 @@ fn main() -> ExitCode {
     let run = || match cmd.as_str() {
         "gen" => Some(cmd_gen(args)),
         "design" => Some(cmd_design(args)),
+        "be-burst" | "be_burst" => {
+            print!("{}", noc_bench::format_be_burst(&noc_bench::be_burst()));
+            Some(Ok(()))
+        }
         _ => None,
     };
     let result = match threads {

@@ -18,9 +18,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::fmt::Write as _;
+
 use noc_benchgen::{BottleneckConfig, SocDesign, SpreadConfig};
+use noc_sim::{simulate_mixed, BestEffortFlow, Connection, TrafficModel};
 use noc_tdma::TdmaSpec;
-use noc_topology::units::Frequency;
+use noc_topology::units::{Bandwidth, Frequency, LinkWidth};
 use noc_topology::{AreaModel, DvsModel};
 use noc_usecase::spec::SocSpec;
 use noc_usecase::UseCaseGroups;
@@ -492,6 +495,179 @@ pub fn ablations() -> Vec<AblationPoint> {
     points
 }
 
+/// One point of the BE burstiness × hop-count sweep: a fixed traffic
+/// shape and chain depth, with the aggregate best-effort outcome.
+#[derive(Debug, Clone)]
+pub struct BeBurstPoint {
+    /// Traffic-model label (`constant`, `onoff-1/2`, …).
+    pub model: String,
+    /// Switch-to-switch hops of each chained BE flow.
+    pub hops: usize,
+    /// Words injected across all BE flows.
+    pub injected: u64,
+    /// Words delivered across all BE flows.
+    pub delivered: u64,
+    /// Words still queued or in flight when the window closed.
+    pub backlog: u64,
+    /// Delivery-weighted mean BE word latency in cycles.
+    pub mean_latency_cycles: f64,
+    /// Worst BE word latency in cycles.
+    pub max_latency_cycles: u64,
+    /// Deepest per-flow outstanding backlog observed at any cycle.
+    pub peak_backlog_words: u64,
+    /// Deepest per-link BE queue observed at any cycle.
+    pub max_queue_depth: usize,
+}
+
+/// The scenario behind one [`BeBurstPoint`]: three chained BE flows
+/// (consecutive flows overlap on `hops − 1` interior links) riding the
+/// leftover capacity of a GT trunk that spans the whole chain and owns
+/// half the slot table. Every flow injects 200 MB/s on average; only the
+/// burst shape varies.
+fn be_burst_point(label: &str, model: &TrafficModel, hops: usize) -> BeBurstPoint {
+    const FLOWS: usize = 3;
+    let spec = TdmaSpec::new(16, Frequency::from_mhz(500), LinkWidth::BITS_32);
+    let (mesh, routes) = noc_benchgen::chained_chain(FLOWS, hops);
+    let trunk = noc_benchgen::route_between(&mesh, (0, 0), (0, mesh.cols() - 1));
+    let base_slots: Vec<usize> = (0..spec.slots() / 2).collect();
+    let bound = spec.worst_case_latency_cycles(&base_slots, trunk.path.len());
+    let gt = Connection {
+        key: (trunk.src, trunk.dst),
+        path: trunk.path.clone(),
+        base_slots,
+        // Half the table at a 2000 MB/s link = 1000 MB/s provisioned.
+        inject_bandwidth: Bandwidth::from_mbps(1000),
+        traffic: TrafficModel::Constant,
+        latency_bound_cycles: Some(bound),
+    };
+    let be: Vec<BestEffortFlow> = routes
+        .iter()
+        .map(|r| BestEffortFlow {
+            key: (r.src, r.dst),
+            path: r.path.clone(),
+            inject_bandwidth: Bandwidth::from_mbps(200),
+            traffic: model.clone(),
+        })
+        .collect();
+    let report = simulate_mixed(&spec, &[gt], &be, 16_384);
+    assert_eq!(
+        report.guaranteed.contention_violations, 0,
+        "the GT trunk owns its slots exclusively"
+    );
+    let (mut injected, mut delivered, mut backlog) = (0u64, 0u64, 0u64);
+    let (mut lat_total, mut lat_max, mut peak) = (0u64, 0u64, 0u64);
+    for stats in report.best_effort.values() {
+        injected += stats.injected_words;
+        delivered += stats.delivered_words;
+        backlog += stats.backlog_words;
+        lat_total += stats.total_latency_cycles;
+        lat_max = lat_max.max(stats.max_latency_cycles);
+        peak = peak.max(stats.peak_backlog_words);
+    }
+    BeBurstPoint {
+        model: label.to_string(),
+        hops,
+        injected,
+        delivered,
+        backlog,
+        mean_latency_cycles: if delivered == 0 {
+            0.0
+        } else {
+            lat_total as f64 / delivered as f64
+        },
+        max_latency_cycles: lat_max,
+        peak_backlog_words: peak,
+        max_queue_depth: report.max_be_queue_depth,
+    }
+}
+
+/// The burstiness × hop-count sweep over multi-hop BE contention chains:
+/// four traffic shapes at one average rate (smooth, two on/off duty
+/// cycles, and a seeded MMPP-style random-burst source) crossed with
+/// four chain depths. Points are evaluated in parallel via [`noc_par`];
+/// every statistic is an integer aggregate (the mean is one final
+/// division), so the table is byte-identical at any thread count.
+pub fn be_burst() -> Vec<BeBurstPoint> {
+    let models: Vec<(&str, TrafficModel)> = vec![
+        ("constant", TrafficModel::Constant),
+        (
+            "onoff-1/2",
+            TrafficModel::OnOff {
+                period: 64,
+                on: 32,
+                phase: 0,
+            },
+        ),
+        (
+            "onoff-1/8",
+            TrafficModel::OnOff {
+                period: 256,
+                on: 32,
+                phase: 0,
+            },
+        ),
+        (
+            "mmpp-1/8",
+            TrafficModel::RandomBursts {
+                mean_on: 32,
+                mean_off: 224,
+                seed: SEED,
+            },
+        ),
+    ];
+    let points: Vec<(&str, TrafficModel, usize)> = models
+        .into_iter()
+        .flat_map(|(label, model)| {
+            [2usize, 4, 6, 8]
+                .into_iter()
+                .map(move |hops| (label, model.clone(), hops))
+        })
+        .collect();
+    noc_par::par_map(points, |_, (label, model, hops)| {
+        be_burst_point(label, &model, hops)
+    })
+}
+
+/// Renders the [`be_burst`] sweep as the fixed-width table both CLIs
+/// print — one shared formatter so `experiments -- be_burst` and
+/// `nocmap_cli be-burst` emit byte-identical output.
+pub fn format_be_burst(points: &[BeBurstPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "\n== BE burst sweep (3 chained BE flows @ 200 MB/s avg, GT trunk owns 8/16 slots) =="
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>5} {:>9} {:>10} {:>8} {:>9} {:>8} {:>10} {:>10}",
+        "model",
+        "hops",
+        "injected",
+        "delivered",
+        "backlog",
+        "mean lat",
+        "max lat",
+        "peak blog",
+        "max queue"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>5} {:>9} {:>10} {:>8} {:>9.1} {:>8} {:>10} {:>10}",
+            p.model,
+            p.hops,
+            p.injected,
+            p.delivered,
+            p.backlog,
+            p.mean_latency_cycles,
+            p.max_latency_cycles,
+            p.peak_backlog_words,
+            p.max_queue_depth
+        );
+    }
+    out
+}
+
 /// Headline aggregates the abstract quotes: mean NoC area reduction
 /// (switch count, ours vs WC) and mean DVS/DFS power saving over the SoC
 /// designs.
@@ -547,6 +723,32 @@ mod tests {
             wc: None,
         };
         assert_eq!(c.normalized(), None);
+    }
+
+    #[test]
+    fn be_burst_point_shapes_order_by_burstiness() {
+        // At one average rate, the duty-1/8 burst source must queue
+        // deeper and wait longer than the smooth source on the same
+        // 4-hop chain.
+        let smooth = be_burst_point("constant", &TrafficModel::Constant, 4);
+        let bursty = be_burst_point(
+            "onoff-1/8",
+            &TrafficModel::OnOff {
+                period: 256,
+                on: 32,
+                phase: 0,
+            },
+            4,
+        );
+        assert!(smooth.injected > 0 && bursty.injected > 0);
+        assert_eq!(
+            smooth.injected, bursty.injected,
+            "equal average rate over whole periods"
+        );
+        assert!(bursty.peak_backlog_words > smooth.peak_backlog_words);
+        assert!(bursty.mean_latency_cycles > smooth.mean_latency_cycles);
+        let table = format_be_burst(&[smooth, bursty]);
+        assert!(table.contains("constant") && table.contains("onoff-1/8"));
     }
 
     #[test]

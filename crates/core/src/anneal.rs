@@ -2,7 +2,7 @@
 //!
 //! "Once the initial mapping step is performed, the solution space can be
 //! explored further by considering swapping of vertices using simulated
-//! annealing or tabu search, as performed in [19]." — Section 5.
+//! annealing or tabu search, as performed in \[19\]." — Section 5.
 //!
 //! A move swaps the NIs of two cores (or moves a core to a free NI); all
 //! paths and slot tables are rebuilt with the placement fixed. Moves that

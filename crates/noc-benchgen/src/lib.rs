@@ -42,6 +42,7 @@
 
 pub mod bottleneck;
 pub mod clusters;
+pub mod contention;
 pub mod soc;
 pub mod spread;
 
@@ -49,5 +50,6 @@ mod pairs;
 
 pub use bottleneck::BottleneckConfig;
 pub use clusters::{TrafficClass, TrafficMix};
+pub use contention::{chained_chain, crossing_mesh, funnel_chain, route_between, BeRoute};
 pub use soc::{SocDesign, SocDesignConfig};
 pub use spread::SpreadConfig;

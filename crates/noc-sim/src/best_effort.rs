@@ -24,6 +24,7 @@ use noc_usecase::spec::CoreId;
 
 use crate::engine::Connection;
 use crate::report::{FlowStats, SimReport};
+use crate::traffic::TrafficModel;
 
 /// A best-effort flow: a fixed path and an injection rate, no
 /// reservation.
@@ -33,8 +34,15 @@ pub struct BestEffortFlow {
     pub key: (CoreId, CoreId),
     /// Links from source NI to destination NI.
     pub path: Vec<LinkId>,
-    /// Injection rate of the traffic source.
+    /// Average injection rate of the traffic source.
     pub inject_bandwidth: Bandwidth,
+    /// Timing of the source's word generation
+    /// ([`TrafficModel::Constant`] reproduces the original smooth
+    /// sources bit-for-bit). Seeded models salt their seed with the
+    /// flow's index in the `best_effort` list passed to
+    /// [`simulate_mixed`], offset by the GT connection count so a GT
+    /// connection and a BE flow never share one burst schedule.
+    pub traffic: TrafficModel,
 }
 
 /// Outcome of a mixed GT + BE simulation.
@@ -73,8 +81,6 @@ pub fn simulate_mixed(
     cycles: u64,
 ) -> MixedReport {
     let slots = spec.slots();
-    let word_bytes = u64::from(spec.width().bytes());
-    let freq_hz = spec.frequency().as_hz();
 
     // The GT side runs exactly as in the pure-GT engine.
     let gt_report = crate::engine::simulate_connections(
@@ -106,15 +112,24 @@ pub fn simulate_mixed(
 
     // BE state: one FIFO per link; words are (flow, enqueue_cycle, hop).
     struct BeState {
-        queue_credit: u64,
+        source: crate::traffic::TrafficSource,
         stats: FlowStats,
     }
     let mut flows: Vec<BeState> = best_effort
         .iter()
-        .map(|f| {
+        .enumerate()
+        .map(|(fi, f)| {
             assert!(!f.path.is_empty(), "BE flow {:?} has an empty path", f.key);
             BeState {
-                queue_credit: 0,
+                source: f.traffic.source(
+                    f.inject_bandwidth,
+                    spec.width().bytes(),
+                    spec.frequency().as_hz(),
+                    // Continue the GT index space so a GT connection and
+                    // a BE flow at equal list positions never derive the
+                    // same per-flow seed.
+                    guaranteed.len() + fi,
+                ),
                 stats: FlowStats::default(),
             }
         })
@@ -123,16 +138,18 @@ pub fn simulate_mixed(
     let mut max_depth = 0usize;
 
     for t in 0..cycles {
-        // Source injection: credit accumulators, words enter the first
-        // link's queue.
+        // Source injection: each flow's traffic model decides how many
+        // words enter the first link's queue this cycle.
         for (fi, flow) in best_effort.iter().enumerate() {
             let st = &mut flows[fi];
-            st.queue_credit += flow.inject_bandwidth.as_bytes_per_sec();
-            while st.queue_credit >= word_bytes * freq_hz {
-                st.queue_credit -= word_bytes * freq_hz;
+            for _ in 0..st.source.words_at(t) {
                 st.stats.injected_words += 1;
                 link_queues[flow.path[0].index()].push_back((fi, t, 0));
             }
+            st.stats.peak_backlog_words = st
+                .stats
+                .peak_backlog_words
+                .max(st.stats.injected_words - st.stats.delivered_words);
         }
         // Link arbitration: one BE word per free (unreserved) slot cell.
         let slot = (t % slots as u64) as usize;
@@ -208,6 +225,7 @@ mod tests {
             path: path.to_vec(),
             base_slots: base,
             inject_bandwidth: Bandwidth::from_mbps(mbps),
+            traffic: TrafficModel::Constant,
             latency_bound_cycles: None,
         }
     }
@@ -217,6 +235,7 @@ mod tests {
             key: (c(2), c(3)),
             path: path.to_vec(),
             inject_bandwidth: Bandwidth::from_mbps(mbps),
+            traffic: TrafficModel::Constant,
         }
     }
 
@@ -303,6 +322,101 @@ mod tests {
         );
         let light_stats = &light.best_effort[&(c(2), c(3))];
         assert!(light_stats.mean_latency_cycles() < 8.0 + path.len() as f64);
+    }
+
+    /// Same average BE rate, different shapes: a duty-cycled burst
+    /// source spikes far above the leftover capacity and queues, so its
+    /// latency and peak backlog dominate the smooth source's even though
+    /// both fit the leftover bandwidth on average.
+    #[test]
+    fn bursty_be_at_same_average_rate_queues_deeper() {
+        let (_t, path, spec) = fixture();
+        // GT owns 6 of 8 slots; leftover = 500 MB/s. 400 MB/s average
+        // fits either way.
+        let g = gt(&path, vec![0, 1, 2, 3, 4, 5], 1500);
+        let run = |traffic: TrafficModel| {
+            let mut f = be(&path, 400);
+            f.traffic = traffic;
+            simulate_mixed(&spec, &[g.clone()], &[f], 8192)
+        };
+        let smooth = run(TrafficModel::Constant);
+        let bursty = run(TrafficModel::OnOff {
+            period: 256,
+            on: 32,
+            phase: 0,
+        });
+        assert_eq!(
+            smooth.guaranteed, bursty.guaranteed,
+            "GT must not see BE shape"
+        );
+        let ss = &smooth.best_effort[&(c(2), c(3))];
+        let bs = &bursty.best_effort[&(c(2), c(3))];
+        assert!(bs.delivered_words > 0);
+        assert!(
+            bs.peak_backlog_words > 2 * ss.peak_backlog_words.max(1),
+            "burst peak backlog {} vs smooth {}",
+            bs.peak_backlog_words,
+            ss.peak_backlog_words
+        );
+        assert!(
+            bs.max_latency_cycles > 2 * ss.max_latency_cycles.max(1),
+            "burst max latency {} vs smooth {}",
+            bs.max_latency_cycles,
+            ss.max_latency_cycles
+        );
+    }
+
+    /// A seeded random-burst BE scenario is a pure function of
+    /// `(seed, flow order)`: two runs produce identical mixed reports,
+    /// and each flow gets its own schedule from the shared base seed.
+    #[test]
+    fn seeded_be_bursts_replay_identically_with_distinct_flows() {
+        let (_t, path, spec) = fixture();
+        let run = || {
+            let mut f1 = be(&path, 200);
+            f1.key = (c(2), c(3));
+            f1.traffic = TrafficModel::RandomBursts {
+                mean_on: 8,
+                mean_off: 24,
+                seed: 2006,
+            };
+            let mut f2 = f1.clone();
+            f2.key = (c(4), c(5));
+            simulate_mixed(&spec, &[], &[f1, f2], 8192)
+        };
+        let a = run();
+        assert_eq!(a, run(), "seeded BE scenario must replay bit-for-bit");
+        assert_ne!(
+            a.best_effort[&(c(2), c(3))],
+            a.best_effort[&(c(4), c(5))],
+            "per-flow seeds must decorrelate the two sources"
+        );
+    }
+
+    /// A GT connection and a BE flow at the same list position with the
+    /// same base seed must not share one burst schedule: the BE side
+    /// continues the GT index space, so the derived per-flow seeds
+    /// differ.
+    #[test]
+    fn gt_and_be_sources_never_share_a_seed() {
+        let (_t, path, spec) = fixture();
+        let bursts = TrafficModel::RandomBursts {
+            mean_on: 8,
+            mean_off: 24,
+            seed: 2006,
+        };
+        let mut g = gt(&path, vec![0, 1, 2, 3], 250);
+        g.traffic = bursts.clone();
+        let mut f = be(&path, 250);
+        f.traffic = bursts;
+        let report = simulate_mixed(&spec, &[g], &[f], 8192);
+        let gt_stats = &report.guaranteed.flows[&(c(0), c(1))];
+        let be_stats = &report.best_effort[&(c(2), c(3))];
+        assert!(gt_stats.injected_words > 0 && be_stats.injected_words > 0);
+        assert_ne!(
+            gt_stats.injected_words, be_stats.injected_words,
+            "equal-index GT and BE sources must draw decorrelated schedules"
+        );
     }
 
     #[test]

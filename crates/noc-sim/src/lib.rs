@@ -20,8 +20,12 @@
 //! A connection owning base slots `B` may inject one link word at every
 //! cycle `t` with `t mod S ∈ B`; the word then pipelines one link per
 //! cycle (slot `s + i` on the `i`-th link — exactly the reservation rule
-//! of `noc-tdma`). Traffic sources are smooth rate generators (credit
-//! accumulators), matching the paper's constant-rate streaming loads.
+//! of `noc-tdma`). Traffic sources default to smooth rate generators
+//! (credit accumulators), matching the paper's constant-rate streaming
+//! loads; the [`TrafficModel`] enum adds periodic and seeded-random
+//! burst sources plus trace replay, for both GT connections and
+//! best-effort flows. `docs/SIMULATION.md` at the repository root
+//! documents the full simulation model.
 //!
 //! # Example
 //!
@@ -55,7 +59,9 @@
 mod best_effort;
 mod engine;
 mod report;
+pub mod traffic;
 
 pub use best_effort::{simulate_mixed, BestEffortFlow, MixedReport};
 pub use engine::{simulate_connections, simulate_group, simulate_use_case, Connection, SimConfig};
 pub use report::{FlowStats, SimReport};
+pub use traffic::{TrafficModel, TrafficSource};

@@ -18,6 +18,10 @@ pub struct FlowStats {
     pub total_latency_cycles: u64,
     /// Words still in flight or queued when the window closed.
     pub backlog_words: u64,
+    /// Deepest outstanding backlog (injected but not yet delivered words)
+    /// observed at any cycle of the window — the burst-absorption
+    /// indicator for non-constant traffic models.
+    pub peak_backlog_words: u64,
 }
 
 impl FlowStats {
@@ -98,6 +102,7 @@ mod tests {
             max_latency_cycles: 20,
             total_latency_cycles: 80,
             backlog_words: 2,
+            peak_backlog_words: 4,
         };
         assert!((s.mean_latency_cycles() - 10.0).abs() < 1e-12);
         assert!((s.delivery_ratio() - 0.8).abs() < 1e-12);

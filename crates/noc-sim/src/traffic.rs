@@ -1,0 +1,472 @@
+//! Traffic-source models for the cycle-driven simulator.
+//!
+//! The paper's verification phase drives every connection with a smooth
+//! constant-rate source — adequate for the streaming loads of its SoC
+//! designs, but not for the architect's follow-up question of how much
+//! *irregular* traffic the leftover (best-effort) capacity absorbs. In
+//! Æthereal's two-class model (Rijpkema et al., DATE 2003, the paper's
+//! \[9\]) burstiness, not average rate, decides queueing behaviour.
+//!
+//! [`TrafficModel`] describes *when* a source hands words to its network
+//! interface; the configured [`Bandwidth`] of the carrying flow always
+//! fixes the **average** rate, and the model shapes its timing:
+//!
+//! * [`TrafficModel::Constant`] — the smooth credit accumulator the
+//!   engine always used; bit-for-bit identical to the pre-model
+//!   behaviour and the default everywhere.
+//! * [`TrafficModel::OnOff`] — deterministic periodic bursts: the source
+//!   emits at `period / on` times the average rate during the first `on`
+//!   cycles of every `period`, and is silent otherwise.
+//! * [`TrafficModel::RandomBursts`] — a seeded two-state Markov source
+//!   (an MMPP-style on/off chain with geometric sojourn times). Fully
+//!   deterministic given `(seed, flow index)`; see [`flow_seed`].
+//! * [`TrafficModel::Trace`] — replay of an explicit, sorted list of
+//!   injection cycles (one word per entry), ignoring the bandwidth.
+//!
+//! All credit arithmetic is integer (`bytes/s` against a
+//! `word-bytes × Hz × denominator` threshold), so every model is exact:
+//! no float accumulation, no thread-count sensitivity, byte-identical
+//! reports on every host — the same determinism contract `noc-par`
+//! established for the mapper.
+//!
+//! # Example
+//!
+//! ```
+//! use noc_sim::TrafficModel;
+//! use noc_topology::units::Bandwidth;
+//!
+//! // 500 MB/s at 500 MHz with 4-byte words is one word every 4 cycles.
+//! let mut smooth = TrafficModel::Constant.source(
+//!     Bandwidth::from_mbps(500), 4, 500_000_000, 0);
+//! let per_cycle: Vec<u64> = (0..8).map(|t| smooth.words_at(t)).collect();
+//! assert_eq!(per_cycle, vec![0, 0, 0, 1, 0, 0, 0, 1]);
+//!
+//! // The same average rate compressed into the first quarter of every
+//! // 8-cycle period: a burst of two back-to-back words, then silence.
+//! let bursty = TrafficModel::OnOff { period: 8, on: 2, phase: 0 };
+//! let mut src = bursty.source(Bandwidth::from_mbps(500), 4, 500_000_000, 0);
+//! let per_cycle: Vec<u64> = (0..8).map(|t| src.words_at(t)).collect();
+//! assert_eq!(per_cycle, vec![1, 1, 0, 0, 0, 0, 0, 0]);
+//! assert_eq!(bursty.peak_bandwidth(Bandwidth::from_mbps(500)),
+//!            Bandwidth::from_mbps(2000));
+//! ```
+
+use noc_topology::units::Bandwidth;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The per-flow RNG seed under base seed `seed`: flow 0 keeps the base
+/// seed, later flows stride by the 64-bit golden ratio — the same
+/// derivation rule as `nocmap::anneal::chain_seed`, so seeded sources
+/// obey the workspace-wide `(seed, index)` determinism contract.
+///
+/// ```
+/// use noc_sim::traffic::flow_seed;
+///
+/// assert_eq!(flow_seed(2006, 0), 2006);
+/// assert_ne!(flow_seed(2006, 1), flow_seed(2006, 2));
+/// ```
+pub fn flow_seed(seed: u64, flow: usize) -> u64 {
+    seed.wrapping_add((flow as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// When a traffic source hands words to its network interface.
+///
+/// The flow's configured [`Bandwidth`] always fixes the long-run
+/// **average** rate (except for [`TrafficModel::Trace`], which replays
+/// explicit cycles); the model shapes the timing. `Constant` is the
+/// default and reproduces the engine's original smooth sources
+/// bit-for-bit.
+///
+/// ```
+/// use noc_sim::TrafficModel;
+///
+/// assert_eq!(TrafficModel::default(), TrafficModel::Constant);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum TrafficModel {
+    /// Smooth credit-accumulator source: one word every
+    /// `word_bytes × clock / bandwidth` cycles, the paper's streaming
+    /// load and the engine's original behaviour.
+    #[default]
+    Constant,
+    /// Deterministic periodic bursts: active during cycles `t` with
+    /// `(t + phase) mod period < on`, emitting at `period / on` times
+    /// the average rate, silent otherwise. Credit carries across
+    /// periods, so the long-run average is exactly the configured
+    /// bandwidth.
+    OnOff {
+        /// Burst period in cycles (> 0).
+        period: u64,
+        /// Active cycles at the start of each period (`1..=period`).
+        on: u64,
+        /// Offset added to the cycle counter before the period test,
+        /// for staggering several sources.
+        phase: u64,
+    },
+    /// Seeded random bursts: a two-state Markov chain (on ↔ off) with
+    /// geometric sojourn times of the given means, emitting at
+    /// `(mean_on + mean_off) / mean_on` times the average rate while
+    /// on — an MMPP-style source. The long-run average approaches the
+    /// configured bandwidth as the window grows.
+    ///
+    /// The chain is driven by a [`SmallRng`] seeded with
+    /// [`flow_seed`]`(seed, flow_index)`, so a scenario is a pure
+    /// function of `(seed, flow order)` — byte-identical reports at any
+    /// thread count.
+    RandomBursts {
+        /// Mean burst length in cycles (≥ 1).
+        mean_on: u64,
+        /// Mean gap between bursts in cycles (≥ 1).
+        mean_off: u64,
+        /// Base seed; the flow index is mixed in via [`flow_seed`].
+        seed: u64,
+    },
+    /// Replay of an explicit injection schedule: one word per listed
+    /// cycle, in order (entries must be non-decreasing; repeats mean
+    /// several words in one cycle). The flow's bandwidth is ignored.
+    Trace(Vec<u64>),
+}
+
+impl TrafficModel {
+    /// The burst-peak injection rate this model reaches for a flow whose
+    /// average rate is `average`: `Constant` and `Trace` return the
+    /// average unchanged, `OnOff` scales by `period / on`, and
+    /// `RandomBursts` by `(mean_on + mean_off) / mean_on`.
+    ///
+    /// ```
+    /// use noc_sim::TrafficModel;
+    /// use noc_topology::units::Bandwidth;
+    ///
+    /// let avg = Bandwidth::from_mbps(100);
+    /// let m = TrafficModel::RandomBursts { mean_on: 8, mean_off: 24, seed: 1 };
+    /// assert_eq!(m.peak_bandwidth(avg), Bandwidth::from_mbps(400));
+    /// ```
+    pub fn peak_bandwidth(&self, average: Bandwidth) -> Bandwidth {
+        let (num, den) = match self {
+            TrafficModel::Constant | TrafficModel::Trace(_) => (1, 1),
+            TrafficModel::OnOff { period, on, .. } => (*period, *on),
+            TrafficModel::RandomBursts {
+                mean_on, mean_off, ..
+            } => (mean_on + mean_off, *mean_on),
+        };
+        Bandwidth::from_bytes_per_sec(
+            (average.as_bytes_per_sec() as u128 * num as u128 / den.max(1) as u128) as u64,
+        )
+    }
+
+    /// `true` for models whose schedule depends on a seed
+    /// ([`TrafficModel::RandomBursts`]); deterministic replays must
+    /// carry the seed alongside the scenario.
+    pub fn is_seeded(&self) -> bool {
+        matches!(self, TrafficModel::RandomBursts { .. })
+    }
+
+    /// Builds the running source for one flow: `bandwidth` is the
+    /// average rate, `word_bytes`/`clock_hz` the link word size and NoC
+    /// clock, and `flow_index` the flow's position in its connection
+    /// list (it salts the seed of [`TrafficModel::RandomBursts`] via
+    /// [`flow_seed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is degenerate: `OnOff` with `period == 0` or
+    /// `on` outside `1..=period`, `RandomBursts` with a zero mean, or a
+    /// `Trace` whose cycles are not sorted.
+    ///
+    /// ```
+    /// use noc_sim::TrafficModel;
+    /// use noc_topology::units::Bandwidth;
+    ///
+    /// // A trace replays exactly its listed cycles, bandwidth ignored.
+    /// let model = TrafficModel::Trace(vec![0, 0, 5]);
+    /// let mut src = model.source(Bandwidth::ZERO, 4, 500_000_000, 0);
+    /// assert_eq!(src.words_at(0), 2);
+    /// assert_eq!(src.words_at(1), 0);
+    /// assert_eq!(src.words_at(5), 1);
+    /// ```
+    pub fn source(
+        &self,
+        bandwidth: Bandwidth,
+        word_bytes: u32,
+        clock_hz: u64,
+        flow_index: usize,
+    ) -> TrafficSource {
+        let word = u128::from(word_bytes) * u128::from(clock_hz);
+        let rate = u128::from(bandwidth.as_bytes_per_sec());
+        let (kind, gain, threshold) = match self {
+            TrafficModel::Constant => (Kind::Smooth, rate, word),
+            TrafficModel::OnOff { period, on, phase } => {
+                assert!(*period > 0, "OnOff period must be positive");
+                assert!(
+                    *on >= 1 && on <= period,
+                    "OnOff on-window {on} outside 1..={period}"
+                );
+                (
+                    Kind::OnOff {
+                        period: *period,
+                        on: *on,
+                        phase: *phase,
+                    },
+                    rate * u128::from(*period),
+                    word * u128::from(*on),
+                )
+            }
+            TrafficModel::RandomBursts {
+                mean_on,
+                mean_off,
+                seed,
+            } => {
+                assert!(*mean_on >= 1, "RandomBursts mean_on must be >= 1");
+                assert!(*mean_off >= 1, "RandomBursts mean_off must be >= 1");
+                let mut rng = SmallRng::seed_from_u64(flow_seed(*seed, flow_index));
+                // Start in the stationary distribution so short windows
+                // are not biased toward one state.
+                let on = rng.gen_range(0..mean_on + mean_off) < *mean_on;
+                (
+                    Kind::Random {
+                        rng,
+                        on,
+                        mean_on: *mean_on,
+                        mean_off: *mean_off,
+                    },
+                    rate * u128::from(mean_on + mean_off),
+                    word * u128::from(*mean_on),
+                )
+            }
+            TrafficModel::Trace(cycles) => {
+                assert!(
+                    cycles.windows(2).all(|w| w[0] <= w[1]),
+                    "Trace cycles must be sorted non-decreasing"
+                );
+                (
+                    Kind::Trace {
+                        cycles: cycles.clone(),
+                        next: 0,
+                    },
+                    0,
+                    word,
+                )
+            }
+        };
+        TrafficSource {
+            kind,
+            credit: 0,
+            gain,
+            threshold,
+        }
+    }
+}
+
+enum Kind {
+    Smooth,
+    OnOff {
+        period: u64,
+        on: u64,
+        phase: u64,
+    },
+    Random {
+        rng: SmallRng,
+        on: bool,
+        mean_on: u64,
+        mean_off: u64,
+    },
+    Trace {
+        cycles: Vec<u64>,
+        next: usize,
+    },
+}
+
+/// A running traffic source produced by [`TrafficModel::source`]:
+/// integer credit state plus the model's schedule.
+///
+/// The engine calls [`TrafficSource::words_at`] exactly once per cycle,
+/// in cycle order starting at 0; seeded models advance their RNG once
+/// per call, so that calling convention is part of the determinism
+/// contract.
+pub struct TrafficSource {
+    kind: Kind,
+    credit: u128,
+    /// Credit (bytes/s, scaled by the model's denominator) earned per
+    /// active cycle.
+    gain: u128,
+    /// Credit one link word costs, at the same scale.
+    threshold: u128,
+}
+
+impl TrafficSource {
+    /// Number of whole words the source hands to its NI in `cycle`.
+    /// Must be called once per simulated cycle, in increasing order.
+    pub fn words_at(&mut self, cycle: u64) -> u64 {
+        let active = match &mut self.kind {
+            Kind::Smooth => true,
+            Kind::OnOff { period, on, phase } => (cycle.wrapping_add(*phase)) % *period < *on,
+            Kind::Random {
+                rng,
+                on,
+                mean_on,
+                mean_off,
+            } => {
+                let now = *on;
+                // One geometric-exit draw per cycle keeps the RNG stream
+                // aligned with the cycle counter regardless of state.
+                let exit = if now {
+                    rng.gen_range(0..*mean_on) == 0
+                } else {
+                    rng.gen_range(0..*mean_off) == 0
+                };
+                if exit {
+                    *on = !now;
+                }
+                now
+            }
+            Kind::Trace { cycles, next } => {
+                let mut words = 0;
+                while *next < cycles.len() && cycles[*next] == cycle {
+                    *next += 1;
+                    words += 1;
+                }
+                return words;
+            }
+        };
+        if active {
+            self.credit += self.gain;
+        }
+        let words = self.credit / self.threshold;
+        self.credit -= words * self.threshold;
+        words as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WORD: u32 = 4;
+    const CLOCK: u64 = 500_000_000;
+
+    fn total(model: &TrafficModel, mbps: u64, cycles: u64) -> u64 {
+        let mut src = model.source(Bandwidth::from_mbps(mbps), WORD, CLOCK, 0);
+        (0..cycles).map(|t| src.words_at(t)).sum()
+    }
+
+    #[test]
+    fn constant_matches_credit_accumulator() {
+        // 500 MB/s over 8192 cycles at 2000 MB/s word rate = 2048 words,
+        // the exact count of the original engine arithmetic.
+        assert_eq!(total(&TrafficModel::Constant, 500, 8192), 2048);
+        assert_eq!(total(&TrafficModel::Constant, 0, 8192), 0);
+    }
+
+    #[test]
+    fn onoff_preserves_average_over_whole_periods() {
+        let model = TrafficModel::OnOff {
+            period: 64,
+            on: 8,
+            phase: 0,
+        };
+        assert_eq!(
+            total(&model, 500, 8192),
+            total(&TrafficModel::Constant, 500, 8192)
+        );
+        // And the words really cluster in the on-window.
+        let mut src = model.source(Bandwidth::from_mbps(500), WORD, CLOCK, 0);
+        for t in 0..64 {
+            let w = src.words_at(t);
+            if t >= 8 {
+                assert_eq!(w, 0, "off-cycle {t} injected");
+            }
+        }
+    }
+
+    #[test]
+    fn onoff_phase_shifts_the_window() {
+        let model = TrafficModel::OnOff {
+            period: 8,
+            on: 2,
+            phase: 4,
+        };
+        let mut src = model.source(Bandwidth::from_mbps(500), WORD, CLOCK, 0);
+        let per_cycle: Vec<u64> = (0..8).map(|t| src.words_at(t)).collect();
+        // Active cycles satisfy (t + 4) % 8 < 2, i.e. t = 4, 5.
+        assert_eq!(per_cycle, vec![0, 0, 0, 0, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn random_bursts_deterministic_per_flow_seed() {
+        let model = TrafficModel::RandomBursts {
+            mean_on: 8,
+            mean_off: 24,
+            seed: 7,
+        };
+        let run = |flow| {
+            let mut src = model.source(Bandwidth::from_mbps(400), WORD, CLOCK, flow);
+            (0..4096).map(|t| src.words_at(t)).collect::<Vec<u64>>()
+        };
+        assert_eq!(run(0), run(0), "same flow index must replay exactly");
+        assert_ne!(run(0), run(1), "flows must not share one burst schedule");
+    }
+
+    #[test]
+    fn random_bursts_average_approaches_configured_rate() {
+        let model = TrafficModel::RandomBursts {
+            mean_on: 16,
+            mean_off: 48,
+            seed: 2006,
+        };
+        let cycles = 1 << 16;
+        let got = total(&model, 500, cycles);
+        let want = total(&TrafficModel::Constant, 500, cycles);
+        let ratio = got as f64 / want as f64;
+        assert!(
+            (0.8..=1.2).contains(&ratio),
+            "long-run average off: {got} vs {want}"
+        );
+    }
+
+    #[test]
+    fn trace_replays_exact_cycles() {
+        let model = TrafficModel::Trace(vec![3, 3, 3, 10]);
+        let mut src = model.source(Bandwidth::ZERO, WORD, CLOCK, 0);
+        let counts: Vec<u64> = (0..12).map(|t| src.words_at(t)).collect();
+        assert_eq!(counts.iter().sum::<u64>(), 4);
+        assert_eq!(counts[3], 3);
+        assert_eq!(counts[10], 1);
+    }
+
+    #[test]
+    fn peak_bandwidth_scales_by_duty_cycle() {
+        let avg = Bandwidth::from_mbps(250);
+        assert_eq!(TrafficModel::Constant.peak_bandwidth(avg), avg);
+        let onoff = TrafficModel::OnOff {
+            period: 32,
+            on: 4,
+            phase: 0,
+        };
+        assert_eq!(onoff.peak_bandwidth(avg), Bandwidth::from_mbps(2000));
+        assert!(!onoff.is_seeded());
+        assert!(TrafficModel::RandomBursts {
+            mean_on: 1,
+            mean_off: 1,
+            seed: 0
+        }
+        .is_seeded());
+    }
+
+    #[test]
+    #[should_panic(expected = "on-window")]
+    fn onoff_rejects_empty_window() {
+        let _ = TrafficModel::OnOff {
+            period: 8,
+            on: 0,
+            phase: 0,
+        }
+        .source(Bandwidth::from_mbps(1), WORD, CLOCK, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn trace_rejects_unsorted_cycles() {
+        let _ = TrafficModel::Trace(vec![5, 3]).source(Bandwidth::ZERO, WORD, CLOCK, 0);
+    }
+}

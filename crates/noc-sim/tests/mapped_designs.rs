@@ -4,6 +4,7 @@
 use noc_benchgen::{BottleneckConfig, SocDesign, SpreadConfig};
 use noc_sim::{
     simulate_group, simulate_mixed, simulate_use_case, BestEffortFlow, Connection, SimConfig,
+    TrafficModel,
 };
 use noc_tdma::TdmaSpec;
 use noc_topology::units::{Bandwidth, Latency};
@@ -94,6 +95,7 @@ fn best_effort_rides_a_real_design() {
             path: route.path.clone(),
             base_slots: route.base_slots.clone(),
             inject_bandwidth: route.bandwidth,
+            traffic: TrafficModel::Constant,
             latency_bound_cycles: Some(
                 spec.worst_case_latency_cycles(&route.base_slots, route.hops()),
             ),
@@ -104,6 +106,7 @@ fn best_effort_rides_a_real_design() {
         key: (src, dst),
         path: probe.path.clone(),
         inject_bandwidth: Bandwidth::from_mbps(100),
+        traffic: TrafficModel::Constant,
     };
     let mixed = simulate_mixed(&spec, &gt, &[be], 8192);
     assert_eq!(mixed.guaranteed.contention_violations, 0);
@@ -165,6 +168,7 @@ fn saturated_link_starves_best_effort_but_never_gt() {
             path: route.path.clone(),
             base_slots: route.base_slots.clone(),
             inject_bandwidth: route.bandwidth,
+            traffic: TrafficModel::Constant,
             latency_bound_cycles: Some(
                 spec.worst_case_latency_cycles(&route.base_slots, route.hops()),
             ),
@@ -179,6 +183,7 @@ fn saturated_link_starves_best_effort_but_never_gt() {
         key: (src, dst),
         path: probe.path.clone(),
         inject_bandwidth: capacity,
+        traffic: TrafficModel::Constant,
     };
     let cycles = 8192;
     let mixed = simulate_mixed(&spec, &gt, &[be], cycles);

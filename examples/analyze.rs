@@ -12,7 +12,7 @@ use noc_multiusecase::map::design::design_smallest_mesh;
 use noc_multiusecase::map::emit::emit_text;
 use noc_multiusecase::map::report::SolutionReport;
 use noc_multiusecase::map::MapperOptions;
-use noc_multiusecase::sim::{simulate_mixed, BestEffortFlow, Connection};
+use noc_multiusecase::sim::{simulate_mixed, BestEffortFlow, Connection, TrafficModel};
 use noc_multiusecase::tdma::TdmaSpec;
 use noc_multiusecase::topology::units::Bandwidth;
 use noc_multiusecase::usecase::UseCaseGroups;
@@ -57,6 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             path: route.path.clone(),
             base_slots: route.base_slots.clone(),
             inject_bandwidth: route.bandwidth,
+            traffic: TrafficModel::Constant,
             latency_bound_cycles: Some(
                 spec.worst_case_latency_cycles(&route.base_slots, route.hops()),
             ),
@@ -77,6 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             key: (src, dst),
             path: probe.path.clone(),
             inject_bandwidth: Bandwidth::from_mbps(mbps),
+            traffic: TrafficModel::Constant,
         };
         let mixed = simulate_mixed(&spec, &gt, &[be], 16_384);
         assert_eq!(mixed.guaranteed.contention_violations, 0);
