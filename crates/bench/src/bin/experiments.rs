@@ -5,184 +5,47 @@
 //! cargo run --release -p noc-bench --bin experiments -- fig6a fig7b
 //! ```
 //!
-//! Valid experiment names: `fig6a`, `fig6b`, `fig6c`, `fig7a`, `fig7b`,
-//! `fig7c`, `verify`, `ablation`, `runtime`, `be_burst`, `headline`,
-//! `all`. `fig6b`/`fig6c` accept the paper's prose 40-use-case
-//! extension with `fig6b+` / `fig6c+`. `be_burst` sweeps best-effort
-//! traffic burstiness against multi-hop chain contention (see
-//! `docs/SIMULATION.md`).
+//! Every experiment is an `ExperimentSpec` in the `noc-flow` registry,
+//! executed by the generic runner and printed by the shared renderer —
+//! this binary only resolves names. Valid names: `fig6a`, `fig6b`,
+//! `fig6c`, `fig7a`, `fig7b`, `fig7c`, `verify`, `ablation`, `runtime`,
+//! `be_burst`, `headline`, `all`. `fig6b`/`fig6c` accept the paper's
+//! prose 40-use-case extension with `fig6b+` / `fig6c+`. `be_burst`
+//! sweeps best-effort traffic burstiness against multi-hop chain
+//! contention (see `docs/SIMULATION.md`); the pipeline itself is
+//! documented in `docs/PIPELINE.md`.
 //!
 //! A global `--threads N` pins the `noc-par` worker count (same effect
 //! as `NOC_PAR_THREADS=N`); every experiment produces identical numbers
 //! at any setting, only wall-clock changes. The `runtime` experiment
 //! additionally reports the measured 1-thread vs N-thread speedup.
 
-use noc_bench::{
-    ablations, be_burst, fig6a, fig6b, fig6c, fig7a, fig7b, fig7c, format_be_burst, headline,
-    runtime_speedups, runtimes, verify_designs, Comparison,
-};
-
-fn print_comparisons(title: &str, comps: &[Comparison]) {
-    println!("\n== {title} ==");
-    println!("{:<8} {:>8} {:>8} {:>12}", "bench", "ours", "WC", "ours/WC");
-    for c in comps {
-        let fmt = |v: Option<usize>| v.map_or("fail".to_string(), |n| n.to_string());
-        let norm = c
-            .normalized()
-            .map_or("-".to_string(), |n| format!("{n:.3}"));
-        println!(
-            "{:<8} {:>8} {:>8} {:>12}",
-            c.label,
-            fmt(c.ours),
-            fmt(c.wc),
-            norm
-        );
-    }
-}
+use noc_flow::cli::take_threads;
+use noc_flow::{registry, render, run_spec};
 
 fn run(name: &str) {
-    match name {
-        "fig6a" => print_comparisons("Fig 6(a): SoC designs, switch count ours vs WC", &fig6a()),
-        "fig6b" | "fig6b+" => print_comparisons(
-            "Fig 6(b): Sp benchmarks, switch count ours vs WC",
-            &fig6b(name.ends_with('+')),
-        ),
-        "fig6c" | "fig6c+" => print_comparisons(
-            "Fig 6(c): Bot benchmarks, switch count ours vs WC",
-            &fig6c(name.ends_with('+')),
-        ),
-        "fig7a" => {
-            println!("\n== Fig 7(a): area-frequency trade-off, D1 ==");
-            println!("{:>10} {:>10} {:>12}", "MHz", "switches", "area (mm2)");
-            for p in fig7a() {
-                let s = p.switches.map_or("fail".into(), |n: usize| n.to_string());
-                let a = p.area_mm2.map_or("-".into(), |a| format!("{a:.3}"));
-                println!("{:>10} {:>10} {:>12}", p.frequency.as_mhz_f64(), s, a);
-            }
+    let spec = match registry::find(name) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("{e}");
+            return;
         }
-        "fig7b" => match fig7b() {
-            Ok(points) => {
-                println!("\n== Fig 7(b): DVS/DFS power savings ==");
-                println!("{:<8} {:>12} per-use-case min MHz", "design", "savings");
-                for p in points {
-                    let mhz: Vec<String> = p
-                        .per_use_case_mhz
-                        .iter()
-                        .map(|f| format!("{f:.0}"))
-                        .collect();
-                    println!(
-                        "{:<8} {:>11.1}% [{}]",
-                        p.label,
-                        100.0 * p.savings,
-                        mhz.join(", ")
-                    );
-                }
-            }
-            Err(e) => println!("fig7b failed: {e}"),
-        },
-        "fig7c" => match fig7c() {
-            Ok(points) => {
-                println!("\n== Fig 7(c): frequency vs parallel use-cases (Sp, 10 UC) ==");
-                println!("{:>10} {:>14}", "parallel", "min MHz");
-                for p in points {
-                    let f = p
-                        .frequency
-                        .map_or("infeasible".into(), |f| format!("{:.0}", f.as_mhz_f64()));
-                    println!("{:>10} {:>14}", p.parallel, f);
-                }
-            }
-            Err(e) => println!("fig7c failed: {e}"),
-        },
-        "verify" => match verify_designs() {
-            Ok(points) => {
-                println!("\n== Phase-4 verification (analytical + simulation) ==");
-                println!(
-                    "{:<8} {:>10} {:>12} {:>11} {:>11} {:>10}",
-                    "design", "use-cases", "connections", "contention", "late words", "delivered"
-                );
-                for p in points {
-                    println!(
-                        "{:<8} {:>10} {:>12} {:>11} {:>11} {:>10}",
-                        p.label,
-                        p.use_cases,
-                        p.connections,
-                        p.contention,
-                        p.late_words,
-                        if p.all_delivered { "yes" } else { "NO" }
-                    );
-                }
-            }
-            Err(e) => println!("verify failed: {e}"),
-        },
-        "ablation" => {
-            println!("\n== Ablations (Sp, 5 use-cases) ==");
-            println!("{:<24} {:>9} {:>16}", "variant", "switches", "comm cost");
-            for p in ablations() {
-                let s = p.switches.map_or("fail".into(), |n| n.to_string());
-                let cc = p.comm_cost.map_or("-".into(), |v| format!("{v:.0}"));
-                println!("{:<24} {:>9} {:>16}", p.label, s, cc);
-            }
-        }
-        "runtime" => {
-            println!("\n== Runtime (paper: 'less than few minutes' per benchmark) ==");
-            println!("{:<8} {:>12} {:>12}", "bench", "ours", "WC");
-            for r in runtimes() {
-                println!("{:<8} {:>12?} {:>12?}", r.label, r.ours, r.wc);
-            }
-            let speedups = runtime_speedups();
-            let threads = speedups.first().map_or(1, |s| s.threads);
-            println!("\n-- parallel speedup (1 thread vs {threads} threads) --");
-            println!(
-                "{:<8} {:>12} {:>12} {:>9}",
-                "bench", "1 thread", "parallel", "speedup"
-            );
-            for s in speedups {
-                println!(
-                    "{:<8} {:>12?} {:>12?} {:>8.2}x",
-                    s.label,
-                    s.sequential,
-                    s.parallel,
-                    s.speedup()
-                );
-            }
-        }
-        "be_burst" => print!("{}", format_be_burst(&be_burst())),
-        "headline" => match headline() {
-            Ok(h) => {
-                println!("\n== Headline numbers (abstract) ==");
-                println!(
-                    "mean NoC area (switch) reduction vs WC: {:.1}% (paper: ~80%)",
-                    100.0 * h.mean_area_reduction
-                );
-                println!(
-                    "mean DVS/DFS power saving:              {:.1}% (paper: ~54%)",
-                    100.0 * h.mean_power_saving
-                );
-            }
-            Err(e) => println!("headline failed: {e}"),
-        },
-        other => eprintln!("unknown experiment '{other}'"),
+    };
+    match run_spec(&spec) {
+        Ok(output) => print!("{}", render::render(&output)),
+        Err(e) => println!("{name} failed: {e}"),
     }
 }
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut threads = None;
-    if let Some(pos) = args.iter().position(|a| a == "--threads") {
-        if pos + 1 >= args.len() {
-            eprintln!("error: --threads needs a value");
+    let threads = match take_threads(&mut args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
             std::process::exit(1);
         }
-        let value = args.remove(pos + 1);
-        args.remove(pos);
-        match value.parse::<usize>() {
-            Ok(n) => threads = Some(n),
-            Err(_) => {
-                eprintln!("error: invalid --threads '{value}'");
-                std::process::exit(1);
-            }
-        }
-    }
+    };
     let run_all = move || {
         if args.is_empty() || args.iter().any(|a| a == "all") {
             for name in [

@@ -7,6 +7,10 @@
 //!
 //! # run the design flow on a spec file
 //! cargo run --release -p noc-bench --bin nocmap_cli -- design d1.spec --freq 500 --emit d1.cfg
+//!
+//! # run a declared experiment or flow config (see docs/PIPELINE.md)
+//! cargo run --release -p noc-bench --bin nocmap_cli -- flow run specs/flow_be_burst.flow
+//! cargo run --release -p noc-bench --bin nocmap_cli -- flow run fig6a
 //! ```
 //!
 //! Subcommands:
@@ -14,14 +18,22 @@
 //! * `gen {d1|d2|d3|d4|sp|bot} [--use-cases N] [--seed S]` — write a spec
 //!   (text format of `noc_usecase::textio`) to stdout.
 //! * `design SPEC [--freq MHZ] [--slots N] [--max-switches N] [--wc]
-//!   [--emit FILE]` — design the smallest mesh, print the analytic
-//!   report, optionally compare with the worst-case baseline and emit the
+//!   [--anneal ITERxCHAINS] [--emit FILE]` — run the design pipeline
+//!   (map → \[anneal\] → verify, plus the worst-case baseline with
+//!   `--wc`), print the analytic report, optionally emit the
 //!   configuration artifact.
-//! * `be-burst` — run the best-effort burstiness × hop-count contention
+//! * `flow run {FILE|NAME} [--spec SOCFILE]` — execute an experiment
+//!   spec (a registry name, or a file in the `noc-flow` text format) via
+//!   the generic runner; a `flow NAME` config file instead runs its
+//!   stage list on the SoC spec given with `--spec`.
+//! * `flow list` — list the registered experiments.
+//! * `flow show NAME` — print a registry entry as a spec file (the
+//!   format `flow run` accepts).
+//! * `be-burst` — the best-effort burstiness × hop-count contention
 //!   sweep (identical output to `experiments -- be_burst`; the
 //!   simulation model is documented in `docs/SIMULATION.md`).
 //!
-//! Both subcommands accept a global `--threads N` to pin the `noc-par`
+//! All subcommands accept a global `--threads N` to pin the `noc-par`
 //! worker count (equivalent to `NOC_PAR_THREADS=N`; results are
 //! identical at any setting, only wall-clock changes). `design` reports
 //! its wall-clock and thread count.
@@ -29,69 +41,44 @@
 use std::process::ExitCode;
 
 use noc_benchgen::{BottleneckConfig, SocDesign, SpreadConfig};
-use noc_tdma::TdmaSpec;
-use noc_topology::units::{Frequency, LinkWidth};
+use noc_flow::cli::{take_flag, take_opt, take_string, take_threads};
+use noc_flow::config::{experiment_to_text, spec_from_text, FlowConfig, SpecFile, StageConfig};
+use noc_flow::{registry, render, run_spec, FlowError};
 use noc_usecase::spec::SocSpec;
 use noc_usecase::UseCaseGroups;
-use nocmap::design::design_smallest_mesh;
 use nocmap::emit::emit_text;
 use nocmap::report::SolutionReport;
-use nocmap::wc::design_worst_case;
-use nocmap::MapperOptions;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  nocmap_cli gen {{d1|d2|d3|d4|sp|bot}} [--use-cases N] [--seed S]\n  \
-         nocmap_cli design SPEC [--freq MHZ] [--slots N] [--max-switches N] [--wc] [--emit FILE]\n  \
+         nocmap_cli design SPEC [--freq MHZ] [--slots N] [--max-switches N] [--wc] \
+         [--anneal ITERxCHAINS] [--emit FILE]\n  \
+         nocmap_cli flow {{run FILE|NAME [--spec SOCFILE] | list | show NAME}}\n  \
          nocmap_cli be-burst\n  \
          (global: --threads N — pin the noc-par worker count)"
     );
     ExitCode::FAILURE
 }
 
-/// Pulls `--name VALUE` out of `args`, parsing VALUE as `u64`.
-fn take_opt(args: &mut Vec<String>, name: &str) -> Result<Option<u64>, String> {
-    if let Some(pos) = args.iter().position(|a| a == name) {
-        if pos + 1 >= args.len() {
-            return Err(format!("{name} needs a value"));
-        }
-        let value = args.remove(pos + 1);
-        args.remove(pos);
-        value
-            .parse::<u64>()
-            .map(Some)
-            .map_err(|_| format!("invalid {name} '{value}'"))
-    } else {
-        Ok(None)
-    }
+fn read_soc(path: &str) -> Result<SocSpec, FlowError> {
+    let text = std::fs::read_to_string(path).map_err(|e| FlowError::Io {
+        path: path.to_string(),
+        message: format!("cannot read: {e}"),
+    })?;
+    noc_usecase::from_text(&text).map_err(|e| FlowError::Parse {
+        line: 0,
+        message: format!("{path}: {e}"),
+    })
 }
 
-fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
-    if let Some(pos) = args.iter().position(|a| a == name) {
-        args.remove(pos);
-        true
-    } else {
-        false
-    }
-}
-
-fn take_string(args: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
-    if let Some(pos) = args.iter().position(|a| a == name) {
-        if pos + 1 >= args.len() {
-            return Err(format!("{name} needs a value"));
-        }
-        let value = args.remove(pos + 1);
-        args.remove(pos);
-        Ok(Some(value))
-    } else {
-        Ok(None)
-    }
-}
-
-fn cmd_gen(mut args: Vec<String>) -> Result<(), String> {
+fn cmd_gen(mut args: Vec<String>) -> Result<(), FlowError> {
     let use_cases = take_opt(&mut args, "--use-cases")?.unwrap_or(5) as usize;
     let seed = take_opt(&mut args, "--seed")?.unwrap_or(2006);
-    let which = args.first().ok_or("gen needs a benchmark kind")?.as_str();
+    let which = args
+        .first()
+        .ok_or_else(|| FlowError::Usage("gen needs a benchmark kind".into()))?
+        .as_str();
     let soc: SocSpec = match which {
         "d1" => SocDesign::D1.generate(),
         "d2" => SocDesign::D2.generate(),
@@ -99,23 +86,24 @@ fn cmd_gen(mut args: Vec<String>) -> Result<(), String> {
         "d4" => SocDesign::D4.generate(),
         "sp" => SpreadConfig::paper(use_cases).generate(seed),
         "bot" => BottleneckConfig::paper(use_cases).generate(seed),
-        other => return Err(format!("unknown benchmark '{other}'")),
+        other => return Err(FlowError::Usage(format!("unknown benchmark '{other}'"))),
     };
     print!("{}", noc_usecase::to_text(&soc));
     Ok(())
 }
 
-fn cmd_design(mut args: Vec<String>) -> Result<(), String> {
+fn cmd_design(mut args: Vec<String>) -> Result<(), FlowError> {
     let freq = take_opt(&mut args, "--freq")?.unwrap_or(500);
     let slots = take_opt(&mut args, "--slots")?.unwrap_or(128) as usize;
     let max_switches = take_opt(&mut args, "--max-switches")?.unwrap_or(400) as usize;
     let compare_wc = take_flag(&mut args, "--wc");
+    let anneal = take_string(&mut args, "--anneal")?;
     let emit_path = take_string(&mut args, "--emit")?;
-    let spec_path = args.first().ok_or("design needs a spec file")?;
+    let spec_path = args
+        .first()
+        .ok_or_else(|| FlowError::Usage("design needs a spec file".into()))?;
 
-    let text =
-        std::fs::read_to_string(spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
-    let soc = noc_usecase::from_text(&text).map_err(|e| format!("{spec_path}: {e}"))?;
+    let soc = read_soc(spec_path)?;
     println!(
         "loaded '{}': {} cores, {} use-cases, {} flows",
         soc.name(),
@@ -124,16 +112,42 @@ fn cmd_design(mut args: Vec<String>) -> Result<(), String> {
         soc.total_flow_count()
     );
 
-    let tdma = TdmaSpec::new(slots, Frequency::from_mhz(freq), LinkWidth::BITS_32);
-    let options = MapperOptions::default();
+    // The whole subcommand is one FlowConfig: map → [anneal] → verify,
+    // plus the worst-case baseline when requested.
+    let mut config = FlowConfig {
+        name: "design".to_string(),
+        slots,
+        freq_mhz: freq,
+        max_switches,
+        ..FlowConfig::design_defaults()
+    };
+    config.stages = vec![StageConfig::Map];
+    if let Some(spec) = &anneal {
+        let (iterations, chains) = spec
+            .split_once('x')
+            .and_then(|(i, c)| Some((i.parse().ok()?, c.parse().ok()?)))
+            .ok_or_else(|| {
+                FlowError::Usage(format!("invalid --anneal '{spec}' (expected ITERxCHAINS)"))
+            })?;
+        let defaults = nocmap::anneal::AnnealConfig::default();
+        config.stages.push(StageConfig::Anneal {
+            iterations,
+            chains,
+            seed: defaults.seed,
+            initial_temperature: defaults.initial_temperature,
+            cooling: defaults.cooling,
+        });
+    }
+    config.stages.push(StageConfig::Verify);
+    if compare_wc {
+        config.stages.push(StageConfig::WorstCase);
+    }
+
     let groups = UseCaseGroups::singletons(soc.use_case_count());
     let t0 = std::time::Instant::now();
-    let solution = design_smallest_mesh(&soc, &groups, tdma, &options, max_switches)
-        .map_err(|e| format!("design failed: {e}"))?;
+    let ctx = config.build().run(&soc, &groups)?;
     let elapsed = t0.elapsed();
-    solution
-        .verify(&soc, &groups)
-        .map_err(|e| format!("internal error, produced invalid solution: {e}"))?;
+    let solution = ctx.solution()?;
 
     println!(
         "designed in {elapsed:.2?} ({} noc-par worker{})",
@@ -144,10 +158,10 @@ fn cmd_design(mut args: Vec<String>) -> Result<(), String> {
             "s"
         }
     );
-    println!("{}", SolutionReport::analyze(&solution));
+    println!("{}", SolutionReport::analyze(solution));
 
     if compare_wc {
-        match design_worst_case(&soc, tdma, &options, max_switches) {
+        match ctx.wc.as_ref().expect("worst-case stage ran") {
             Ok(wc) => println!(
                 "worst-case baseline: {} switches ({}x ours)",
                 wc.switch_count(),
@@ -158,8 +172,11 @@ fn cmd_design(mut args: Vec<String>) -> Result<(), String> {
     }
 
     if let Some(path) = emit_path {
-        let artifact = emit_text(&solution, &soc, &groups);
-        std::fs::write(&path, &artifact).map_err(|e| format!("cannot write {path}: {e}"))?;
+        let artifact = emit_text(solution, &soc, &groups);
+        std::fs::write(&path, &artifact).map_err(|e| FlowError::Io {
+            path: path.clone(),
+            message: format!("cannot write: {e}"),
+        })?;
         println!(
             "configuration artifact written to {path} ({} bytes)",
             artifact.len()
@@ -168,10 +185,120 @@ fn cmd_design(mut args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Prints a flow-config run: the stage trace, the analytic report, and
+/// summaries of whatever artifacts the stages produced.
+fn print_flow_outcome(ctx: &noc_flow::FlowContext) -> Result<(), FlowError> {
+    println!("flow: {}", ctx.trace.join(" -> "));
+    let solution = ctx.solution()?;
+    println!("{}", SolutionReport::analyze(solution));
+    if let Some(wc) = &ctx.wc {
+        match wc {
+            Ok(wc) => println!(
+                "worst-case baseline: {} switches ({}x ours)",
+                wc.switch_count(),
+                wc.switch_count() as f64 / solution.switch_count() as f64
+            ),
+            Err(e) => println!("worst-case baseline: infeasible ({e})"),
+        }
+    }
+    if let Some(remapped) = &ctx.remapped {
+        let moved: usize = remapped.moved.iter().map(Vec::len).sum();
+        println!("remap: {moved} core relocation(s) across groups");
+    }
+    if !ctx.sim_reports.is_empty() {
+        let contention: u64 = ctx
+            .sim_reports
+            .iter()
+            .map(|r| r.contention_violations)
+            .sum();
+        let late: u64 = ctx.sim_reports.iter().map(|r| r.latency_violations).sum();
+        let delivered = ctx.sim_reports.iter().all(|r| r.all_flows_delivered());
+        println!(
+            "simulated {} use-case(s): contention {contention}, late words {late}, delivered {}",
+            ctx.sim_reports.len(),
+            if delivered { "yes" } else { "NO" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_flow(mut args: Vec<String>) -> Result<(), FlowError> {
+    let soc_path = take_string(&mut args, "--spec")?;
+    let sub = args
+        .first()
+        .cloned()
+        .ok_or_else(|| FlowError::Usage("flow needs a subcommand (run|list|show)".into()))?;
+    match sub.as_str() {
+        "list" => {
+            for spec in registry::registry() {
+                println!("{:<10} {}", spec.name, spec.title);
+            }
+            Ok(())
+        }
+        "show" => {
+            let name = args
+                .get(1)
+                .ok_or_else(|| FlowError::Usage("flow show needs an experiment name".into()))?;
+            print!("{}", experiment_to_text(&registry::find(name)?));
+            Ok(())
+        }
+        "run" => {
+            let target = args.get(1).ok_or_else(|| {
+                FlowError::Usage("flow run needs a file or experiment name".into())
+            })?;
+            // An existing file (noc-flow text format) wins over a
+            // registry name of the same spelling, so a local spec can
+            // never be shadowed by a built-in experiment.
+            let file = if std::path::Path::new(target).exists() {
+                let text = std::fs::read_to_string(target).map_err(|e| FlowError::Io {
+                    path: target.clone(),
+                    message: format!("cannot read: {e}"),
+                })?;
+                spec_from_text(&text)?
+            } else {
+                SpecFile::Experiment(registry::find(target).map_err(|_| {
+                    FlowError::Usage(format!(
+                        "'{target}' is neither a spec file nor a registered experiment \
+                         (see 'flow list')"
+                    ))
+                })?)
+            };
+            match file {
+                SpecFile::Experiment(spec) => {
+                    if soc_path.is_some() {
+                        return Err(FlowError::Usage(
+                            "--spec only applies to 'flow NAME' config documents; an \
+                             experiment spec declares its own benchmarks"
+                                .into(),
+                        ));
+                    }
+                    let output = run_spec(&spec)?;
+                    print!("{}", render::render(&output));
+                    Ok(())
+                }
+                SpecFile::Flow(config) => {
+                    let soc_path = soc_path.ok_or_else(|| {
+                        FlowError::Usage(
+                            "running a flow config needs --spec SOCFILE (the design input)".into(),
+                        )
+                    })?;
+                    let soc = read_soc(&soc_path)?;
+                    let groups = UseCaseGroups::singletons(soc.use_case_count());
+                    let ctx = config.build().run(&soc, &groups)?;
+                    print_flow_outcome(&ctx)
+                }
+            }
+        }
+        other => Err(FlowError::Usage(format!(
+            "unknown flow subcommand '{other}'"
+        ))),
+    }
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let threads = match take_opt(&mut args, "--threads") {
-        Ok(t) => t.map(|n| n as usize),
+    let threads = match take_threads(&mut args) {
+        Ok(t) => t,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
@@ -184,6 +311,7 @@ fn main() -> ExitCode {
     let run = || match cmd.as_str() {
         "gen" => Some(cmd_gen(args)),
         "design" => Some(cmd_design(args)),
+        "flow" => Some(cmd_flow(args)),
         "be-burst" | "be_burst" => {
             print!("{}", noc_bench::format_be_burst(&noc_bench::be_burst()));
             Some(Ok(()))

@@ -1,8 +1,12 @@
 //! Experiment harness regenerating every figure of the paper.
 //!
-//! Each `figN` function reproduces one artifact of the evaluation section
-//! (Section 6) and returns its data points; the `experiments` binary
-//! prints them as tables. `EXPERIMENTS.md` records these outputs next to
+//! Since the `noc-flow` redesign this crate is a thin façade: every
+//! suite below is an [`ExperimentSpec`](noc_flow::ExperimentSpec) in
+//! the [`noc_flow::registry`] executed by the generic runner
+//! ([`noc_flow::run_spec`]); the entry points here keep the historical
+//! names and return the typed points. The point types themselves
+//! ([`Comparison`], [`AreaPoint`], …) are re-exported from
+//! [`noc_flow::runner`]. `EXPERIMENTS.md` records these outputs next to
 //! the paper's reported values.
 //!
 //! | Function | Paper artifact |
@@ -18,77 +22,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::fmt::Write as _;
+use noc_flow::{registry, run_spec, ExperimentOutput, FlowError};
 
-use noc_benchgen::{BottleneckConfig, SocDesign, SpreadConfig};
-use noc_sim::{simulate_mixed, BestEffortFlow, Connection, TrafficModel};
-use noc_tdma::TdmaSpec;
-use noc_topology::units::{Bandwidth, Frequency, LinkWidth};
-use noc_topology::{AreaModel, DvsModel};
-use noc_usecase::spec::SocSpec;
-use noc_usecase::UseCaseGroups;
-use nocmap::design::design_smallest_mesh;
-use nocmap::dvs::{dvs_savings, parallel_min_frequency};
-use nocmap::wc::design_worst_case;
-use nocmap::{MapError, MapperOptions, MappingSolution};
+pub use noc_flow::registry::{MAX_SWITCHES, SEED};
+pub use noc_flow::runner::{
+    AblationPoint, AreaPoint, BeBurstPoint, Comparison, DvsPoint, Headline, ParallelPoint,
+    RuntimePoint, SpeedupPoint, VerifyPoint,
+};
 
-/// Growth cap used everywhere: the paper reports WC failing "even onto a
-/// 20 × 20 mesh topology", so 400 switches is the search bound.
-pub const MAX_SWITCHES: usize = 400;
-
-/// Default seed for synthetic benchmarks (results are deterministic).
-pub const SEED: u64 = 2006;
-
-/// Outcome of one ours-vs-WC comparison.
-#[derive(Debug, Clone)]
-pub struct Comparison {
-    /// Benchmark label (design name or use-case count).
-    pub label: String,
-    /// Switches used by the multi-use-case method.
-    pub ours: Option<usize>,
-    /// Switches used by the worst-case baseline.
-    pub wc: Option<usize>,
-}
-
-impl Comparison {
-    /// `ours / wc`, when both methods succeeded — the y-axis of Figure 6.
-    pub fn normalized(&self) -> Option<f64> {
-        match (self.ours, self.wc) {
-            (Some(a), Some(b)) if b > 0 => Some(a as f64 / b as f64),
-            _ => None,
-        }
-    }
-}
-
-fn run_pair(label: impl Into<String>, soc: &SocSpec) -> Comparison {
-    let spec = TdmaSpec::paper_default();
-    let opts = MapperOptions::default();
-    let groups = UseCaseGroups::singletons(soc.use_case_count());
-    // The two methods are independent design flows — fork them.
-    let (ours, wc) = noc_par::join(
-        || {
-            design_smallest_mesh(soc, &groups, spec, &opts, MAX_SWITCHES)
-                .ok()
-                .map(|s| s.switch_count())
-        },
-        || {
-            design_worst_case(soc, spec, &opts, MAX_SWITCHES)
-                .ok()
-                .map(|s| s.switch_count())
-        },
-    );
-    Comparison {
-        label: label.into(),
-        ours,
-        wc,
-    }
+/// Runs a registry entry that cannot fail (its failures are recorded
+/// per point).
+fn run_infallible(name: &str) -> ExperimentOutput {
+    let spec = registry::find(name).expect("registered experiment");
+    run_spec(&spec).expect("infallible experiment family")
 }
 
 /// Figure 6(a): switch counts for the four SoC designs, ours vs WC.
 pub fn fig6a() -> Vec<Comparison> {
-    noc_par::par_map(SocDesign::ALL.to_vec(), |_, d| {
-        run_pair(d.label(), &d.generate())
-    })
+    match run_infallible("fig6a") {
+        ExperimentOutput::Comparison { points, .. } => points,
+        _ => unreachable!("fig6a is a comparison"),
+    }
 }
 
 /// Figure 6(b): Sp benchmarks, 20 cores, varying use-case counts.
@@ -96,115 +50,39 @@ pub fn fig6a() -> Vec<Comparison> {
 /// `extended` additionally runs the 40-use-case point the paper describes
 /// in prose (ours: 2×2; WC: fails at 20×20).
 pub fn fig6b(extended: bool) -> Vec<Comparison> {
-    let mut counts = vec![2usize, 5, 10, 15, 20];
-    if extended {
-        counts.push(40);
+    match run_infallible(if extended { "fig6b+" } else { "fig6b" }) {
+        ExperimentOutput::Comparison { points, .. } => points,
+        _ => unreachable!("fig6b is a comparison"),
     }
-    noc_par::par_map(counts, |_, n| {
-        run_pair(
-            format!("{n}"),
-            &SpreadConfig::paper(n).generate(SEED + n as u64),
-        )
-    })
 }
 
 /// Figure 6(c): Bot benchmarks, 20 cores, varying use-case counts.
 pub fn fig6c(extended: bool) -> Vec<Comparison> {
-    let mut counts = vec![2usize, 5, 10, 15, 20];
-    if extended {
-        counts.push(40);
+    match run_infallible(if extended { "fig6c+" } else { "fig6c" }) {
+        ExperimentOutput::Comparison { points, .. } => points,
+        _ => unreachable!("fig6c is a comparison"),
     }
-    noc_par::par_map(counts, |_, n| {
-        run_pair(
-            format!("{n}"),
-            &BottleneckConfig::paper(n).generate(SEED + n as u64),
-        )
-    })
-}
-
-/// One point of the area–frequency Pareto curve.
-#[derive(Debug, Clone)]
-pub struct AreaPoint {
-    /// NoC clock frequency.
-    pub frequency: Frequency,
-    /// Switch count of the smallest valid mesh, if any.
-    pub switches: Option<usize>,
-    /// Total switch area (mm²) of that mesh.
-    pub area_mm2: Option<f64>,
 }
 
 /// Figure 7(a): area–frequency trade-off for the D1 design.
 pub fn fig7a() -> Vec<AreaPoint> {
-    let soc = SocDesign::D1.generate();
-    let groups = UseCaseGroups::singletons(soc.use_case_count());
-    let opts = MapperOptions::default();
-    let area = AreaModel::cmos130();
-    let sweep = vec![
-        100u64, 150, 200, 250, 300, 350, 400, 500, 650, 800, 1000, 1250, 1500, 1750, 2000,
-    ];
-    noc_par::par_map(sweep, |_, mhz| {
-        let f = Frequency::from_mhz(mhz);
-        let sol = design_smallest_mesh(
-            &soc,
-            &groups,
-            TdmaSpec::paper_default().at_frequency(f),
-            &opts,
-            MAX_SWITCHES,
-        )
-        .ok();
-        AreaPoint {
-            frequency: f,
-            switches: sol.as_ref().map(MappingSolution::switch_count),
-            area_mm2: sol.as_ref().map(|s| s.area_mm2(&area)),
-        }
-    })
-}
-
-/// One design's DVS/DFS saving.
-#[derive(Debug, Clone)]
-pub struct DvsPoint {
-    /// Design label.
-    pub label: String,
-    /// Power-saving fraction (Figure 7(b) plots this as a percentage).
-    pub savings: f64,
-    /// Per-use-case minimum frequencies (MHz) behind the saving.
-    pub per_use_case_mhz: Vec<f64>,
+    match run_infallible("fig7a") {
+        ExperimentOutput::AreaFrequency { points, .. } => points,
+        _ => unreachable!("fig7a is an area sweep"),
+    }
 }
 
 /// Figure 7(b): DVS/DFS power savings for D1–D4.
 ///
 /// # Errors
 ///
-/// Propagates [`MapError`] if any design cannot be mapped at 500 MHz.
-pub fn fig7b() -> Result<Vec<DvsPoint>, MapError> {
-    let spec = TdmaSpec::paper_default();
-    let opts = MapperOptions::default();
-    let dvs = DvsModel::cmos130();
-    noc_par::try_par_map(SocDesign::ALL.to_vec(), |_, d| {
-        let soc = d.generate();
-        let groups = UseCaseGroups::singletons(soc.use_case_count());
-        let sol = design_smallest_mesh(&soc, &groups, spec, &opts, MAX_SWITCHES)?;
-        let report = dvs_savings(&soc, &groups, &sol, &opts, &dvs, Frequency::from_mhz(10))?;
-        Ok(DvsPoint {
-            label: d.label().to_string(),
-            savings: report.savings_fraction(),
-            per_use_case_mhz: report
-                .per_use_case
-                .iter()
-                .map(|(_, f)| f.as_mhz_f64())
-                .collect(),
-        })
-    })
-}
-
-/// One point of the parallel-use-case frequency study.
-#[derive(Debug, Clone)]
-pub struct ParallelPoint {
-    /// Number of use-cases running in parallel.
-    pub parallel: usize,
-    /// Minimum NoC frequency supporting the compound mode, if feasible on
-    /// the base mesh.
-    pub frequency: Option<Frequency>,
+/// Propagates the mapper failure (as [`FlowError`]) if any design has
+/// no feasible frequency.
+pub fn fig7b() -> Result<Vec<DvsPoint>, FlowError> {
+    match run_spec(&registry::find("fig7b")?)? {
+        ExperimentOutput::DvsSavings { points, .. } => Ok(points),
+        _ => unreachable!("fig7b is a DVS study"),
+    }
 }
 
 /// Figure 7(c): required NoC frequency vs number of parallel use-cases,
@@ -212,163 +90,24 @@ pub struct ParallelPoint {
 ///
 /// # Errors
 ///
-/// Propagates [`MapError`] if the base design cannot be mapped.
-pub fn fig7c() -> Result<Vec<ParallelPoint>, MapError> {
-    // Parallel use-cases in a real SoC share physical connections (that
-    // is what makes compound modes expensive): use the pooled variant of
-    // the Sp benchmark so same-pair bandwidths genuinely add up.
-    let mut cfg = SpreadConfig::paper(10);
-    cfg.pair_pool = Some(150);
-    cfg.versatile_fraction = 0.3;
-    let soc = cfg.generate(SEED);
-    let groups = UseCaseGroups::singletons(soc.use_case_count());
-    let spec = TdmaSpec::paper_default();
-    let opts = MapperOptions::default();
-    let base = design_smallest_mesh(&soc, &groups, spec, &opts, MAX_SWITCHES)?;
-    Ok(noc_par::par_map((1..=4).collect(), |_, k| {
-        let f = parallel_min_frequency(
-            &soc,
-            k,
-            base.topology(),
-            spec,
-            &opts,
-            Frequency::from_mhz(10),
-            Frequency::from_ghz(4),
-        )
-        .ok()
-        .map(|(f, _)| f);
-        ParallelPoint {
-            parallel: k,
-            frequency: f,
-        }
-    }))
-}
-
-/// One row of the runtime study.
-#[derive(Debug, Clone)]
-pub struct RuntimePoint {
-    /// Benchmark label.
-    pub label: String,
-    /// Wall-clock time of the full multi-use-case design flow.
-    pub ours: std::time::Duration,
-    /// Wall-clock time of the WC design flow (including failures).
-    pub wc: std::time::Duration,
+/// Propagates the mapper failure (as [`FlowError`]) if the base design
+/// cannot be mapped.
+pub fn fig7c() -> Result<Vec<ParallelPoint>, FlowError> {
+    match run_spec(&registry::find("fig7c")?)? {
+        ExperimentOutput::ParallelFrequency { points, .. } => Ok(points),
+        _ => unreachable!("fig7c is a parallel-frequency study"),
+    }
 }
 
 /// Runtime study backing the paper's Section 6.2 remark that "both the
 /// methods produced the results in less than few minutes on a Linux
-/// workstation": wall-clock per benchmark for both methods.
-pub fn runtimes() -> Vec<RuntimePoint> {
-    let spec = TdmaSpec::paper_default();
-    let opts = MapperOptions::default();
-    let mut rows = Vec::new();
-    let mut run = |label: String, soc: &SocSpec| {
-        let groups = UseCaseGroups::singletons(soc.use_case_count());
-        let t0 = std::time::Instant::now();
-        let _ = design_smallest_mesh(soc, &groups, spec, &opts, MAX_SWITCHES);
-        let ours = t0.elapsed();
-        let t1 = std::time::Instant::now();
-        let _ = design_worst_case(soc, spec, &opts, MAX_SWITCHES);
-        let wc = t1.elapsed();
-        rows.push(RuntimePoint { label, ours, wc });
-    };
-    for d in SocDesign::ALL {
-        run(d.label().to_string(), &d.generate());
+/// workstation": wall-clock per benchmark for both methods, plus the
+/// 1-vs-N worker speedup rows of the same registry entry.
+pub fn runtimes() -> (Vec<RuntimePoint>, Vec<SpeedupPoint>) {
+    match run_infallible("runtime") {
+        ExperimentOutput::Runtimes { rows, speedups, .. } => (rows, speedups),
+        _ => unreachable!("runtime is a runtime study"),
     }
-    for n in [10usize, 20, 40] {
-        run(
-            format!("sp{n}"),
-            &SpreadConfig::paper(n).generate(SEED + n as u64),
-        );
-    }
-    rows
-}
-
-/// One row of the parallel-speedup study: the same design flow timed at
-/// one worker and at the ambient `noc-par` thread count.
-#[derive(Debug, Clone)]
-pub struct SpeedupPoint {
-    /// Benchmark label.
-    pub label: String,
-    /// Wall-clock with the effective thread count pinned to 1.
-    pub sequential: std::time::Duration,
-    /// Wall-clock at the ambient thread count.
-    pub parallel: std::time::Duration,
-    /// The ambient thread count the parallel run used.
-    pub threads: usize,
-}
-
-impl SpeedupPoint {
-    /// `sequential / parallel` — how much faster the parallel run was.
-    pub fn speedup(&self) -> f64 {
-        let par = self.parallel.as_secs_f64();
-        if par <= 0.0 {
-            1.0
-        } else {
-            self.sequential.as_secs_f64() / par
-        }
-    }
-}
-
-/// Times the multi-use-case design flow on multi-group suites at one
-/// worker vs the ambient thread count (`NOC_PAR_THREADS` or a
-/// [`noc_par::with_threads`] override). The solutions of both runs are
-/// asserted identical — the determinism contract made visible — and the
-/// speedup backs the runtime report of the `experiments` binary.
-///
-/// The suites use a shared pair pool (like the Figure 7(c) study), so
-/// the same core pairs communicate in many use-cases: that is the
-/// workload whose per-group routing the mapper parallelizes. Speedup
-/// requires idle cores — on a single-core host expect ≈ 1.0x (the
-/// parallel pass is work-conserving, never speculative).
-pub fn runtime_speedups() -> Vec<SpeedupPoint> {
-    let spec = TdmaSpec::paper_default();
-    let opts = MapperOptions::default();
-    let threads = noc_par::current_threads();
-    let mut rows = Vec::new();
-    for n in [10usize, 20, 40] {
-        let mut cfg = SpreadConfig::paper(n);
-        cfg.pair_pool = Some(150);
-        cfg.versatile_fraction = 0.3;
-        let soc = cfg.generate(SEED + n as u64);
-        let groups = UseCaseGroups::singletons(soc.use_case_count());
-        let run = || {
-            let t0 = std::time::Instant::now();
-            let sol = design_smallest_mesh(&soc, &groups, spec, &opts, MAX_SWITCHES).ok();
-            (t0.elapsed(), sol)
-        };
-        let (sequential, seq_sol) = noc_par::with_threads(1, run);
-        let (parallel, par_sol) = run();
-        assert_eq!(
-            seq_sol, par_sol,
-            "thread count must not change the solution (sp{n})"
-        );
-        rows.push(SpeedupPoint {
-            label: format!("sp{n}"),
-            sequential,
-            parallel,
-            threads,
-        });
-    }
-    rows
-}
-
-/// Verification outcome for one design: the paper's phase-4 check
-/// (analytical + simulation) over every use-case.
-#[derive(Debug, Clone)]
-pub struct VerifyPoint {
-    /// Design label.
-    pub label: String,
-    /// Use-cases simulated.
-    pub use_cases: usize,
-    /// GT connections configured across all groups.
-    pub connections: usize,
-    /// Slot-contention events observed (must be 0).
-    pub contention: u64,
-    /// Words that exceeded their analytical latency bound (must be 0).
-    pub late_words: u64,
-    /// Whether every injected word was delivered or still in flight.
-    pub all_delivered: bool,
 }
 
 /// Phase 4 of the methodology across the four SoC designs: map, verify
@@ -376,53 +115,13 @@ pub struct VerifyPoint {
 ///
 /// # Errors
 ///
-/// Propagates [`MapError`] if a design fails to map or verify.
-pub fn verify_designs() -> Result<Vec<VerifyPoint>, MapError> {
-    let spec = TdmaSpec::paper_default();
-    let opts = MapperOptions::default();
-    noc_par::try_par_map(SocDesign::ALL.to_vec(), |_, d| {
-        let soc = d.generate();
-        let groups = UseCaseGroups::singletons(soc.use_case_count());
-        let sol = design_smallest_mesh(&soc, &groups, spec, &opts, MAX_SWITCHES)?;
-        sol.verify(&soc, &groups).map_err(MapError::Inconsistent)?;
-        // Replay every use-case on the simulator, in parallel; the
-        // aggregates are integer sums and an `and`, so reduction order
-        // cannot change them.
-        let reports = noc_par::par_map((0..soc.use_case_count()).collect(), |_, uc| {
-            noc_sim::simulate_use_case(
-                &sol,
-                &soc,
-                &groups,
-                uc,
-                &noc_sim::SimConfig {
-                    cycles: 4096,
-                    ..Default::default()
-                },
-            )
-        });
-        let contention = reports.iter().map(|r| r.contention_violations).sum();
-        let late = reports.iter().map(|r| r.latency_violations).sum();
-        let delivered = reports.iter().all(|r| r.all_flows_delivered());
-        Ok(VerifyPoint {
-            label: d.label().to_string(),
-            use_cases: soc.use_case_count(),
-            connections: sol.connection_count(),
-            contention,
-            late_words: late,
-            all_delivered: delivered,
-        })
-    })
-}
-
-/// Quality outcome of one ablation variant.
-#[derive(Debug, Clone)]
-pub struct AblationPoint {
-    /// Variant label.
-    pub label: String,
-    /// Switches of the smallest feasible mesh, if any.
-    pub switches: Option<usize>,
-    /// Bandwidth-weighted hop cost of the solution.
-    pub comm_cost: Option<f64>,
+/// Propagates the mapper failure (as [`FlowError`]) if a design fails
+/// to map or verify.
+pub fn verify_designs() -> Result<Vec<VerifyPoint>, FlowError> {
+    match run_spec(&registry::find("verify")?)? {
+        ExperimentOutput::VerifyDesigns { points, .. } => Ok(points),
+        _ => unreachable!("verify is a verification study"),
+    }
 }
 
 /// Quality ablations of the design choices DESIGN.md calls out, on a
@@ -430,339 +129,38 @@ pub struct AblationPoint {
 /// (bandwidth-sorted processing, unified placement, per-use-case resource
 /// states) against naive baselines, plus annealing refinement.
 pub fn ablations() -> Vec<AblationPoint> {
-    use nocmap::anneal::{refine, AnnealConfig};
-    use nocmap::Placement;
-
-    let soc = SpreadConfig::paper(5).generate(11);
-    let spec = TdmaSpec::paper_default();
-    let groups = UseCaseGroups::singletons(5);
-    let run = |label: &str, groups: &UseCaseGroups, opts: &MapperOptions| {
-        let sol = design_smallest_mesh(&soc, groups, spec, opts, MAX_SWITCHES).ok();
-        AblationPoint {
-            label: label.to_string(),
-            switches: sol.as_ref().map(MappingSolution::switch_count),
-            comm_cost: sol.as_ref().map(MappingSolution::comm_cost),
-        }
-    };
-
-    let paper = MapperOptions::default();
-    let single = UseCaseGroups::single_group(5);
-    let variants: Vec<(&str, &UseCaseGroups, MapperOptions)> = vec![
-        ("paper-defaults", &groups, paper.clone()),
-        (
-            "unsorted-flows",
-            &groups,
-            MapperOptions {
-                sort_by_bandwidth: false,
-                prefer_mapped: false,
-                ..paper.clone()
-            },
-        ),
-        (
-            "round-robin-placement",
-            &groups,
-            MapperOptions {
-                placement: Placement::RoundRobin,
-                ..paper.clone()
-            },
-        ),
-        ("single-shared-config", &single, paper.clone()),
-    ];
-    let mut points = noc_par::par_map(variants, |_, (label, groups, opts)| {
-        run(label, groups, &opts)
-    });
-    // Annealing refinement of the paper-default solution, with a small
-    // multi-chain portfolio (chains are themselves parallelized).
-    if let Ok(base) = design_smallest_mesh(&soc, &groups, spec, &paper, MAX_SWITCHES) {
-        let refined = refine(
-            &soc,
-            &groups,
-            &paper,
-            &base,
-            &AnnealConfig {
-                iterations: 100,
-                chains: 2,
-                ..Default::default()
-            },
-        )
-        .ok();
-        points.push(AblationPoint {
-            label: "with-annealing".to_string(),
-            switches: refined.as_ref().map(MappingSolution::switch_count),
-            comm_cost: refined.as_ref().map(MappingSolution::comm_cost),
-        });
-    }
-    points
-}
-
-/// One point of the BE burstiness × hop-count sweep: a fixed traffic
-/// shape and chain depth, with the aggregate best-effort outcome.
-#[derive(Debug, Clone)]
-pub struct BeBurstPoint {
-    /// Traffic-model label (`constant`, `onoff-1/2`, …).
-    pub model: String,
-    /// Switch-to-switch hops of each chained BE flow.
-    pub hops: usize,
-    /// Words injected across all BE flows.
-    pub injected: u64,
-    /// Words delivered across all BE flows.
-    pub delivered: u64,
-    /// Words still queued or in flight when the window closed.
-    pub backlog: u64,
-    /// Delivery-weighted mean BE word latency in cycles.
-    pub mean_latency_cycles: f64,
-    /// Worst BE word latency in cycles.
-    pub max_latency_cycles: u64,
-    /// Deepest per-flow outstanding backlog observed at any cycle.
-    pub peak_backlog_words: u64,
-    /// Deepest per-link BE queue observed at any cycle.
-    pub max_queue_depth: usize,
-}
-
-/// The scenario behind one [`BeBurstPoint`]: three chained BE flows
-/// (consecutive flows overlap on `hops − 1` interior links) riding the
-/// leftover capacity of a GT trunk that spans the whole chain and owns
-/// half the slot table. Every flow injects 200 MB/s on average; only the
-/// burst shape varies.
-fn be_burst_point(label: &str, model: &TrafficModel, hops: usize) -> BeBurstPoint {
-    const FLOWS: usize = 3;
-    let spec = TdmaSpec::new(16, Frequency::from_mhz(500), LinkWidth::BITS_32);
-    let (mesh, routes) = noc_benchgen::chained_chain(FLOWS, hops);
-    let trunk = noc_benchgen::route_between(&mesh, (0, 0), (0, mesh.cols() - 1));
-    let base_slots: Vec<usize> = (0..spec.slots() / 2).collect();
-    let bound = spec.worst_case_latency_cycles(&base_slots, trunk.path.len());
-    let gt = Connection {
-        key: (trunk.src, trunk.dst),
-        path: trunk.path.clone(),
-        base_slots,
-        // Half the table at a 2000 MB/s link = 1000 MB/s provisioned.
-        inject_bandwidth: Bandwidth::from_mbps(1000),
-        traffic: TrafficModel::Constant,
-        latency_bound_cycles: Some(bound),
-    };
-    let be: Vec<BestEffortFlow> = routes
-        .iter()
-        .map(|r| BestEffortFlow {
-            key: (r.src, r.dst),
-            path: r.path.clone(),
-            inject_bandwidth: Bandwidth::from_mbps(200),
-            traffic: model.clone(),
-        })
-        .collect();
-    let report = simulate_mixed(&spec, &[gt], &be, 16_384);
-    assert_eq!(
-        report.guaranteed.contention_violations, 0,
-        "the GT trunk owns its slots exclusively"
-    );
-    let (mut injected, mut delivered, mut backlog) = (0u64, 0u64, 0u64);
-    let (mut lat_total, mut lat_max, mut peak) = (0u64, 0u64, 0u64);
-    for stats in report.best_effort.values() {
-        injected += stats.injected_words;
-        delivered += stats.delivered_words;
-        backlog += stats.backlog_words;
-        lat_total += stats.total_latency_cycles;
-        lat_max = lat_max.max(stats.max_latency_cycles);
-        peak = peak.max(stats.peak_backlog_words);
-    }
-    BeBurstPoint {
-        model: label.to_string(),
-        hops,
-        injected,
-        delivered,
-        backlog,
-        mean_latency_cycles: if delivered == 0 {
-            0.0
-        } else {
-            lat_total as f64 / delivered as f64
-        },
-        max_latency_cycles: lat_max,
-        peak_backlog_words: peak,
-        max_queue_depth: report.max_be_queue_depth,
+    match run_infallible("ablation") {
+        ExperimentOutput::Ablations { points, .. } => points,
+        _ => unreachable!("ablation is an ablation study"),
     }
 }
 
 /// The burstiness × hop-count sweep over multi-hop BE contention chains:
-/// four traffic shapes at one average rate (smooth, two on/off duty
-/// cycles, and a seeded MMPP-style random-burst source) crossed with
-/// four chain depths. Points are evaluated in parallel via [`noc_par`];
-/// every statistic is an integer aggregate (the mean is one final
-/// division), so the table is byte-identical at any thread count.
+/// four traffic shapes at one average rate crossed with four chain
+/// depths (see `docs/SIMULATION.md`).
 pub fn be_burst() -> Vec<BeBurstPoint> {
-    let models: Vec<(&str, TrafficModel)> = vec![
-        ("constant", TrafficModel::Constant),
-        (
-            "onoff-1/2",
-            TrafficModel::OnOff {
-                period: 64,
-                on: 32,
-                phase: 0,
-            },
-        ),
-        (
-            "onoff-1/8",
-            TrafficModel::OnOff {
-                period: 256,
-                on: 32,
-                phase: 0,
-            },
-        ),
-        (
-            "mmpp-1/8",
-            TrafficModel::RandomBursts {
-                mean_on: 32,
-                mean_off: 224,
-                seed: SEED,
-            },
-        ),
-    ];
-    let points: Vec<(&str, TrafficModel, usize)> = models
-        .into_iter()
-        .flat_map(|(label, model)| {
-            [2usize, 4, 6, 8]
-                .into_iter()
-                .map(move |hops| (label, model.clone(), hops))
-        })
-        .collect();
-    noc_par::par_map(points, |_, (label, model, hops)| {
-        be_burst_point(label, &model, hops)
-    })
+    match run_infallible("be_burst") {
+        ExperimentOutput::BeBurst { points, .. } => points,
+        _ => unreachable!("be_burst is a burst sweep"),
+    }
 }
 
 /// Renders the [`be_burst`] sweep as the fixed-width table both CLIs
-/// print — one shared formatter so `experiments -- be_burst` and
-/// `nocmap_cli be-burst` emit byte-identical output.
+/// print (the shared `noc-flow` renderer).
 pub fn format_be_burst(points: &[BeBurstPoint]) -> String {
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "\n== BE burst sweep (3 chained BE flows @ 200 MB/s avg, GT trunk owns 8/16 slots) =="
-    );
-    let _ = writeln!(
-        out,
-        "{:<10} {:>5} {:>9} {:>10} {:>8} {:>9} {:>8} {:>10} {:>10}",
-        "model",
-        "hops",
-        "injected",
-        "delivered",
-        "backlog",
-        "mean lat",
-        "max lat",
-        "peak blog",
-        "max queue"
-    );
-    for p in points {
-        let _ = writeln!(
-            out,
-            "{:<10} {:>5} {:>9} {:>10} {:>8} {:>9.1} {:>8} {:>10} {:>10}",
-            p.model,
-            p.hops,
-            p.injected,
-            p.delivered,
-            p.backlog,
-            p.mean_latency_cycles,
-            p.max_latency_cycles,
-            p.peak_backlog_words,
-            p.max_queue_depth
-        );
-    }
-    out
-}
-
-/// Headline aggregates the abstract quotes: mean NoC area reduction
-/// (switch count, ours vs WC) and mean DVS/DFS power saving over the SoC
-/// designs.
-#[derive(Debug, Clone)]
-pub struct Headline {
-    /// Mean `1 - ours/wc` over benchmarks where both methods succeed.
-    pub mean_area_reduction: f64,
-    /// Mean DVS/DFS saving over D1–D4.
-    pub mean_power_saving: f64,
+    let spec = registry::find("be_burst").expect("registered experiment");
+    noc_flow::render::render_be_burst(&spec.title, points)
 }
 
 /// Computes the headline numbers from the Figure 6(a) and 7(b) data.
 ///
 /// # Errors
 ///
-/// Propagates [`MapError`] from the underlying experiments.
-pub fn headline() -> Result<Headline, MapError> {
-    let comps = fig6a();
-    let reductions: Vec<f64> = comps
-        .iter()
-        .filter_map(Comparison::normalized)
-        .map(|n| 1.0 - n)
-        .collect();
-    let mean_area_reduction = if reductions.is_empty() {
-        0.0
-    } else {
-        reductions.iter().sum::<f64>() / reductions.len() as f64
-    };
-    let savings = fig7b()?;
-    let mean_power_saving =
-        savings.iter().map(|p| p.savings).sum::<f64>() / savings.len().max(1) as f64;
-    Ok(Headline {
-        mean_area_reduction,
-        mean_power_saving,
-    })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn comparison_normalization() {
-        let c = Comparison {
-            label: "x".into(),
-            ours: Some(4),
-            wc: Some(16),
-        };
-        assert_eq!(c.normalized(), Some(0.25));
-        let c = Comparison {
-            label: "x".into(),
-            ours: Some(4),
-            wc: None,
-        };
-        assert_eq!(c.normalized(), None);
-    }
-
-    #[test]
-    fn be_burst_point_shapes_order_by_burstiness() {
-        // At one average rate, the duty-1/8 burst source must queue
-        // deeper and wait longer than the smooth source on the same
-        // 4-hop chain.
-        let smooth = be_burst_point("constant", &TrafficModel::Constant, 4);
-        let bursty = be_burst_point(
-            "onoff-1/8",
-            &TrafficModel::OnOff {
-                period: 256,
-                on: 32,
-                phase: 0,
-            },
-            4,
-        );
-        assert!(smooth.injected > 0 && bursty.injected > 0);
-        assert_eq!(
-            smooth.injected, bursty.injected,
-            "equal average rate over whole periods"
-        );
-        assert!(bursty.peak_backlog_words > smooth.peak_backlog_words);
-        assert!(bursty.mean_latency_cycles > smooth.mean_latency_cycles);
-        let table = format_be_burst(&[smooth, bursty]);
-        assert!(table.contains("constant") && table.contains("onoff-1/8"));
-    }
-
-    #[test]
-    fn fig6b_small_point_runs() {
-        // Smoke-test the smallest Sp point end to end (2 use-cases).
-        let soc = SpreadConfig::paper(2).generate(SEED + 2);
-        let comp = run_pair("2", &soc);
-        let ours = comp.ours.expect("multi-use-case mapping must succeed");
-        assert!(ours >= 1);
-        if let Some(n) = comp.normalized() {
-            assert!(
-                n <= 1.0 + 1e-9,
-                "ours must not need more switches than WC, got {n}"
-            );
-        }
+/// Propagates failures (as [`FlowError`]) from the underlying
+/// experiments.
+pub fn headline() -> Result<Headline, FlowError> {
+    match run_spec(&registry::find("headline")?)? {
+        ExperimentOutput::Headline { headline, .. } => Ok(headline),
+        _ => unreachable!("headline is an aggregate"),
     }
 }

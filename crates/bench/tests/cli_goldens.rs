@@ -1,0 +1,90 @@
+//! End-to-end byte-identity tests for both CLI binaries.
+//!
+//! The library-level golden tests (`tests/flow_goldens.rs` at the
+//! workspace root) pin the renderers; these spawn the **actual
+//! binaries** so argument plumbing, registry lookup, `--threads`
+//! handling and stdout wiring are covered too. Goldens are the
+//! pre-redesign captures under `tests/goldens/`.
+
+use std::path::Path;
+use std::process::Command;
+
+fn golden(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/goldens")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path:?}: {e}"))
+}
+
+fn run(bin: &str, args: &[&str]) -> String {
+    let out = Command::new(bin)
+        .args(args)
+        .env_remove("NOC_PAR_THREADS")
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{bin} {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+#[test]
+fn experiments_binary_matches_goldens() {
+    let out = run(
+        env!("CARGO_BIN_EXE_experiments"),
+        &["fig6a", "ablation", "be_burst"],
+    );
+    let expected = format!(
+        "{}{}{}",
+        golden("fig6a.txt"),
+        golden("ablation.txt"),
+        golden("be_burst.txt")
+    );
+    assert_eq!(out, expected);
+}
+
+#[test]
+fn experiments_binary_is_identical_at_4_threads() {
+    let out = run(
+        env!("CARGO_BIN_EXE_experiments"),
+        &["--threads", "4", "fig6a", "be_burst"],
+    );
+    let expected = format!("{}{}", golden("fig6a.txt"), golden("be_burst.txt"));
+    assert_eq!(out, expected);
+}
+
+#[test]
+fn nocmap_cli_be_burst_matches_experiments() {
+    let out = run(env!("CARGO_BIN_EXE_nocmap_cli"), &["be-burst"]);
+    assert_eq!(out, golden("be_burst.txt"));
+}
+
+#[test]
+fn nocmap_cli_flow_run_executes_the_checked_in_spec() {
+    let spec = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs/flow_be_burst.flow");
+    let out = run(
+        env!("CARGO_BIN_EXE_nocmap_cli"),
+        &["flow", "run", spec.to_str().unwrap()],
+    );
+    assert_eq!(out, golden("be_burst.txt"));
+    // Registry names work directly too.
+    let by_name = run(env!("CARGO_BIN_EXE_nocmap_cli"), &["flow", "run", "fig6a"]);
+    assert_eq!(by_name, golden("fig6a.txt"));
+}
+
+#[test]
+fn nocmap_cli_flow_show_round_trips_through_flow_run() {
+    // `flow show` output is itself a runnable spec file.
+    let shown = run(env!("CARGO_BIN_EXE_nocmap_cli"), &["flow", "show", "fig6a"]);
+    let dir = std::env::temp_dir().join("noc_flow_show_roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("fig6a.flow");
+    std::fs::write(&path, shown).unwrap();
+    let out = run(
+        env!("CARGO_BIN_EXE_nocmap_cli"),
+        &["flow", "run", path.to_str().unwrap()],
+    );
+    assert_eq!(out, golden("fig6a.txt"));
+}

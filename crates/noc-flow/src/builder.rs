@@ -1,0 +1,260 @@
+//! [`FlowBuilder`] — assemble stages into a deterministic
+//! [`DesignFlow`].
+//!
+//! The builder threads the knobs every caller used to plumb by hand —
+//! TDMA spec, mapper options, growth cap, RNG seed, and the `noc-par`
+//! thread policy — exactly once; stages are appended in execution
+//! order. The resulting flow is reusable: [`DesignFlow::run`] takes a
+//! spec + group partition and returns the final [`FlowContext`].
+
+use noc_tdma::TdmaSpec;
+use noc_usecase::spec::SocSpec;
+use noc_usecase::UseCaseGroups;
+use nocmap::anneal::AnnealConfig;
+use nocmap::design::FabricKind;
+use nocmap::remap::RemapConfig;
+use nocmap::MapperOptions;
+
+use crate::stage::{
+    AnnealStage, FlowContext, MapStage, RemapStage, SimulateStage, Stage, VerifyStage,
+    WorstCaseStage,
+};
+use crate::FlowError;
+
+/// Builder for a [`DesignFlow`]. See the crate docs for a worked
+/// example.
+pub struct FlowBuilder {
+    spec: TdmaSpec,
+    options: MapperOptions,
+    max_switches: usize,
+    threads: Option<usize>,
+    seed: u64,
+    stages: Vec<Box<dyn Stage + Send + Sync>>,
+}
+
+impl FlowBuilder {
+    /// Starts a flow at the given TDMA parameters with default mapper
+    /// options, the paper's 400-switch growth cap, the ambient thread
+    /// policy, and seed 2006.
+    pub fn new(spec: TdmaSpec) -> Self {
+        FlowBuilder {
+            spec,
+            options: MapperOptions::default(),
+            max_switches: 400,
+            threads: None,
+            seed: 2006,
+            stages: Vec::new(),
+        }
+    }
+
+    /// Sets the mapper heuristic options shared by all stages.
+    #[must_use]
+    pub fn options(mut self, options: MapperOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Sets the topology growth cap (switch count).
+    #[must_use]
+    pub fn max_switches(mut self, max_switches: usize) -> Self {
+        self.max_switches = max_switches;
+        self
+    }
+
+    /// Pins the `noc-par` worker count for the whole flow run
+    /// (`None` = ambient policy). Results are identical at any setting.
+    #[must_use]
+    pub fn threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the base RNG seed stages derive per-unit seeds from.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Appends the map stage (smallest feasible mesh).
+    #[must_use]
+    pub fn map(self) -> Self {
+        self.stage(MapStage::default())
+    }
+
+    /// Appends the map stage on the given fabric family.
+    #[must_use]
+    pub fn map_fabric(self, fabric: FabricKind) -> Self {
+        self.stage(MapStage { fabric })
+    }
+
+    /// Appends the worst-case baseline stage.
+    #[must_use]
+    pub fn worst_case(self) -> Self {
+        self.stage(WorstCaseStage)
+    }
+
+    /// Appends the annealing refinement stage.
+    #[must_use]
+    pub fn anneal(self, config: AnnealConfig) -> Self {
+        self.stage(AnnealStage(config))
+    }
+
+    /// Appends the per-group remapping stage.
+    #[must_use]
+    pub fn remap(self, config: RemapConfig) -> Self {
+        self.stage(RemapStage(config))
+    }
+
+    /// Appends the analytical verification stage.
+    #[must_use]
+    pub fn verify(self) -> Self {
+        self.stage(VerifyStage)
+    }
+
+    /// Appends the cycle-level simulation stage.
+    #[must_use]
+    pub fn simulate(self, cycles: u64) -> Self {
+        self.stage(SimulateStage { cycles })
+    }
+
+    /// Appends an arbitrary (possibly user-defined) stage.
+    #[must_use]
+    pub fn stage(mut self, stage: impl Stage + Send + Sync + 'static) -> Self {
+        self.stages.push(Box::new(stage));
+        self
+    }
+
+    /// Finalizes the pipeline.
+    #[must_use]
+    pub fn build(self) -> DesignFlow {
+        DesignFlow {
+            spec: self.spec,
+            options: self.options,
+            max_switches: self.max_switches,
+            threads: self.threads,
+            seed: self.seed,
+            stages: self.stages,
+        }
+    }
+}
+
+/// An assembled pipeline: an ordered list of stages plus the shared
+/// parameters they read from the [`FlowContext`].
+pub struct DesignFlow {
+    spec: TdmaSpec,
+    options: MapperOptions,
+    max_switches: usize,
+    threads: Option<usize>,
+    seed: u64,
+    stages: Vec<Box<dyn Stage + Send + Sync>>,
+}
+
+impl DesignFlow {
+    /// Runs every stage in order on a fresh context for `soc`, under the
+    /// flow's thread policy.
+    ///
+    /// # Errors
+    ///
+    /// The first stage failure, as a [`FlowError`]; the partial context
+    /// is dropped.
+    pub fn run(&self, soc: &SocSpec, groups: &UseCaseGroups) -> Result<FlowContext, FlowError> {
+        let execute = || {
+            let mut ctx = FlowContext::new(
+                soc.clone(),
+                groups.clone(),
+                self.spec,
+                self.options.clone(),
+                self.max_switches,
+                self.seed,
+            );
+            for stage in &self.stages {
+                stage.run(&mut ctx)?;
+                ctx.trace.push(stage.name());
+            }
+            Ok(ctx)
+        };
+        match self.threads {
+            Some(n) => noc_par::with_threads(n, execute),
+            None => execute(),
+        }
+    }
+
+    /// The stage names in execution order (for docs and `flow show`).
+    pub fn stage_names(&self) -> Vec<&'static str> {
+        self.stages.iter().map(|s| s.name()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_topology::units::{Bandwidth, Latency};
+    use noc_usecase::spec::{CoreId, UseCaseBuilder};
+
+    fn tiny_soc() -> SocSpec {
+        let mut soc = SocSpec::new("tiny");
+        for uc in 0..2 {
+            soc.add_use_case(
+                UseCaseBuilder::new(format!("u{uc}"))
+                    .flow(
+                        CoreId::new(0),
+                        CoreId::new(1),
+                        Bandwidth::from_mbps(100 + 50 * uc),
+                        Latency::UNCONSTRAINED,
+                    )
+                    .unwrap()
+                    .build(),
+            );
+        }
+        soc
+    }
+
+    #[test]
+    fn full_pipeline_runs_in_order() {
+        let soc = tiny_soc();
+        let groups = UseCaseGroups::singletons(2);
+        let flow = FlowBuilder::new(TdmaSpec::paper_default())
+            .max_switches(16)
+            .map()
+            .worst_case()
+            .anneal(AnnealConfig {
+                iterations: 10,
+                ..Default::default()
+            })
+            .remap(RemapConfig::default())
+            .verify()
+            .simulate(512)
+            .build();
+        assert_eq!(
+            flow.stage_names(),
+            ["map", "worst-case", "anneal", "remap", "verify", "simulate"]
+        );
+        let ctx = flow.run(&soc, &groups).unwrap();
+        assert_eq!(ctx.trace, flow.stage_names());
+        assert!(ctx.solution().is_ok());
+        assert!(ctx.wc.as_ref().unwrap().is_ok());
+        assert!(ctx.remapped.is_some());
+        assert_eq!(ctx.sim_reports.len(), 2);
+        for r in &ctx.sim_reports {
+            assert_eq!(r.contention_violations, 0);
+        }
+    }
+
+    #[test]
+    fn thread_policy_does_not_change_the_outcome() {
+        let soc = tiny_soc();
+        let groups = UseCaseGroups::singletons(2);
+        let build = |threads| {
+            FlowBuilder::new(TdmaSpec::paper_default())
+                .max_switches(16)
+                .threads(threads)
+                .map()
+                .verify()
+                .build()
+        };
+        let a = build(Some(1)).run(&soc, &groups).unwrap();
+        let b = build(Some(4)).run(&soc, &groups).unwrap();
+        assert_eq!(a.solution.unwrap(), b.solution.unwrap());
+    }
+}

@@ -1,0 +1,122 @@
+//! Argument helpers shared by the `experiments` and `nocmap_cli`
+//! binaries.
+//!
+//! Both tools use the same hand-rolled option scanning (no external
+//! argument parser in this offline workspace); these helpers used to be
+//! copy-pasted into each binary and now live here once, with tests.
+//! Every helper removes the options it consumed from `args`, so
+//! whatever remains is positional.
+
+use crate::FlowError;
+
+/// Pulls `--name VALUE` out of `args`, parsing VALUE as `u64`.
+///
+/// # Errors
+///
+/// [`FlowError::Usage`] when the value is missing or not an integer.
+pub fn take_opt(args: &mut Vec<String>, name: &str) -> Result<Option<u64>, FlowError> {
+    match take_string(args, name)? {
+        Some(value) => value
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| FlowError::Usage(format!("invalid {name} '{value}'"))),
+        None => Ok(None),
+    }
+}
+
+/// Removes the bare flag `--name` from `args`, reporting whether it was
+/// present.
+pub fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == name) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+/// Pulls `--name VALUE` out of `args` as a raw string.
+///
+/// # Errors
+///
+/// [`FlowError::Usage`] when the option is present without a value.
+pub fn take_string(args: &mut Vec<String>, name: &str) -> Result<Option<String>, FlowError> {
+    if let Some(pos) = args.iter().position(|a| a == name) {
+        if pos + 1 >= args.len() {
+            return Err(FlowError::Usage(format!("{name} needs a value")));
+        }
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        Ok(Some(value))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Pulls the global `--threads N` option both binaries accept (the
+/// `noc-par` worker-count pin, equivalent to `NOC_PAR_THREADS=N`).
+///
+/// # Errors
+///
+/// [`FlowError::Usage`] as for [`take_opt`].
+pub fn take_threads(args: &mut Vec<String>) -> Result<Option<usize>, FlowError> {
+    Ok(take_opt(args, "--threads")?.map(|n| n as usize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn take_opt_removes_pair_and_parses() {
+        let mut a = args(&["design", "--freq", "650", "x.spec"]);
+        assert_eq!(take_opt(&mut a, "--freq").unwrap(), Some(650));
+        assert_eq!(a, args(&["design", "x.spec"]));
+        // Absent option: untouched args, Ok(None).
+        assert_eq!(take_opt(&mut a, "--slots").unwrap(), None);
+        assert_eq!(a, args(&["design", "x.spec"]));
+    }
+
+    #[test]
+    fn take_opt_rejects_missing_and_malformed_values() {
+        let mut a = args(&["--freq"]);
+        assert_eq!(
+            take_opt(&mut a, "--freq").unwrap_err(),
+            FlowError::Usage("--freq needs a value".into())
+        );
+        let mut a = args(&["--freq", "fast"]);
+        assert_eq!(
+            take_opt(&mut a, "--freq").unwrap_err(),
+            FlowError::Usage("invalid --freq 'fast'".into())
+        );
+    }
+
+    #[test]
+    fn take_flag_reports_and_removes() {
+        let mut a = args(&["design", "--wc", "x.spec"]);
+        assert!(take_flag(&mut a, "--wc"));
+        assert!(!take_flag(&mut a, "--wc"));
+        assert_eq!(a, args(&["design", "x.spec"]));
+    }
+
+    #[test]
+    fn take_string_keeps_raw_value() {
+        let mut a = args(&["--emit", "out.cfg", "rest"]);
+        assert_eq!(
+            take_string(&mut a, "--emit").unwrap(),
+            Some("out.cfg".into())
+        );
+        assert_eq!(a, args(&["rest"]));
+    }
+
+    #[test]
+    fn take_threads_matches_env_pin_semantics() {
+        let mut a = args(&["fig6a", "--threads", "4"]);
+        assert_eq!(take_threads(&mut a).unwrap(), Some(4));
+        assert_eq!(a, args(&["fig6a"]));
+    }
+}

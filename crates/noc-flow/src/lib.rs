@@ -1,0 +1,88 @@
+//! `noc-flow` — the paper's staged methodology as a **composable
+//! pipeline API**.
+//!
+//! The methodology of Murali et al. is a design flow: map the
+//! multi-use-case spec onto the smallest feasible mesh, refine the
+//! placement (annealing, per-group remapping), verify the TDMA
+//! configuration analytically, then replay it on the cycle-level
+//! simulator. Before this crate, every caller re-wired those phases by
+//! hand from free functions; here they are [`Stage`]s assembled by a
+//! [`FlowBuilder`] into a deterministic [`DesignFlow`], and whole
+//! evaluation sweeps (benchmark × axis × traffic model) are declared as
+//! data — an [`ExperimentSpec`] executed by one generic runner
+//! ([`run_spec`]).
+//!
+//! # Layers
+//!
+//! * [`stage`] — [`Stage`] trait + the built-in map / worst-case /
+//!   anneal / remap / verify / simulate stages over a [`FlowContext`].
+//! * [`builder`] — [`FlowBuilder`] / [`DesignFlow`]: seed, `noc-par`
+//!   thread policy and per-stage configs threaded once.
+//! * [`config`] — serde-serializable [`FlowConfig`] / [`ExperimentSpec`]
+//!   with a line-oriented text format (`to_text` / `from_text`).
+//! * [`registry`] — every figure/table of the paper's evaluation
+//!   re-expressed as a named [`ExperimentSpec`].
+//! * [`runner`] / [`render`] — the generic executor and the shared
+//!   table renderers both CLIs print (byte-identical output).
+//! * [`cli`] — the argument helpers shared by the `experiments` and
+//!   `nocmap_cli` binaries.
+//!
+//! # Determinism contract
+//!
+//! A flow inherits the `noc-par` contract (see `crates/noc-par`):
+//! ordered reduction, per-unit seeds derived from `(seed, index)`, no
+//! order-sensitive float accumulation in compared quantities. Running
+//! the same spec at any thread count yields byte-identical renderings;
+//! `tests/flow_goldens.rs` at the workspace root pins every registry
+//! entry against pre-redesign goldens at 1 and 4 workers.
+//!
+//! # Quick example
+//!
+//! ```
+//! use noc_flow::FlowBuilder;
+//! use noc_tdma::TdmaSpec;
+//! use noc_topology::units::{Bandwidth, Latency};
+//! use noc_usecase::{spec::{CoreId, SocSpec, UseCaseBuilder}, UseCaseGroups};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut soc = SocSpec::new("demo");
+//! soc.add_use_case(
+//!     UseCaseBuilder::new("u0")
+//!         .flow(CoreId::new(0), CoreId::new(1), Bandwidth::from_mbps(100), Latency::UNCONSTRAINED)?
+//!         .build(),
+//! );
+//! let groups = UseCaseGroups::singletons(1);
+//! let flow = FlowBuilder::new(TdmaSpec::paper_default())
+//!     .max_switches(64)
+//!     .map()
+//!     .verify()
+//!     .simulate(1024)
+//!     .build();
+//! let outcome = flow.run(&soc, &groups)?;
+//! assert_eq!(outcome.solution()?.switch_count(), 1);
+//! assert_eq!(outcome.sim_reports.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod cli;
+pub mod config;
+pub mod registry;
+pub mod render;
+pub mod runner;
+pub mod stage;
+
+mod error;
+
+pub use builder::{DesignFlow, FlowBuilder};
+pub use config::{
+    AblationVariant, BenchmarkSpec, BurstModel, ExperimentKind, ExperimentSpec, FlowConfig,
+    LabeledBench, StageConfig,
+};
+pub use error::FlowError;
+pub use runner::{run_spec, ExperimentOutput};
+pub use stage::{FlowContext, Stage};

@@ -1,0 +1,275 @@
+//! Fixed-width table renderers shared by both CLIs.
+//!
+//! One renderer per [`ExperimentOutput`] family, returning the exact
+//! bytes the pre-redesign `experiments` binary printed — the workspace
+//! golden tests (`tests/flow_goldens.rs`) diff these renderings against
+//! captured pre-redesign outputs, so do not change a space here without
+//! re-pinning the goldens.
+
+use std::fmt::Write as _;
+
+use crate::runner::{
+    AblationPoint, AreaPoint, BeBurstPoint, Comparison, DvsPoint, ExperimentOutput, Headline,
+    ParallelPoint, RuntimePoint, SpeedupPoint, VerifyPoint,
+};
+
+/// Renders a comparison table (Figures 6(a)–(c)).
+pub fn render_comparisons(title: &str, comps: &[Comparison]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== {title} ==");
+    let _ = writeln!(
+        out,
+        "{:<8} {:>8} {:>8} {:>12}",
+        "bench", "ours", "WC", "ours/WC"
+    );
+    for c in comps {
+        let fmt = |v: Option<usize>| v.map_or("fail".to_string(), |n| n.to_string());
+        let norm = c
+            .normalized()
+            .map_or("-".to_string(), |n| format!("{n:.3}"));
+        let _ = writeln!(
+            out,
+            "{:<8} {:>8} {:>8} {:>12}",
+            c.label,
+            fmt(c.ours),
+            fmt(c.wc),
+            norm
+        );
+    }
+    out
+}
+
+fn render_area(title: &str, points: &[AreaPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== {title} ==");
+    let _ = writeln!(out, "{:>10} {:>10} {:>12}", "MHz", "switches", "area (mm2)");
+    for p in points {
+        let s = p.switches.map_or("fail".into(), |n: usize| n.to_string());
+        let a = p.area_mm2.map_or("-".into(), |a| format!("{a:.3}"));
+        let _ = writeln!(out, "{:>10} {:>10} {:>12}", p.frequency.as_mhz_f64(), s, a);
+    }
+    out
+}
+
+fn render_dvs(title: &str, points: &[DvsPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== {title} ==");
+    let _ = writeln!(
+        out,
+        "{:<8} {:>12} per-use-case min MHz",
+        "design", "savings"
+    );
+    for p in points {
+        let mhz: Vec<String> = p
+            .per_use_case_mhz
+            .iter()
+            .map(|f| format!("{f:.0}"))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{:<8} {:>11.1}% [{}]",
+            p.label,
+            100.0 * p.savings,
+            mhz.join(", ")
+        );
+    }
+    out
+}
+
+fn render_parallel(title: &str, points: &[ParallelPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== {title} ==");
+    let _ = writeln!(out, "{:>10} {:>14}", "parallel", "min MHz");
+    for p in points {
+        let f = p
+            .frequency
+            .map_or("infeasible".into(), |f| format!("{:.0}", f.as_mhz_f64()));
+        let _ = writeln!(out, "{:>10} {:>14}", p.parallel, f);
+    }
+    out
+}
+
+fn render_verify(title: &str, points: &[VerifyPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== {title} ==");
+    let _ = writeln!(
+        out,
+        "{:<8} {:>10} {:>12} {:>11} {:>11} {:>10}",
+        "design", "use-cases", "connections", "contention", "late words", "delivered"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>10} {:>12} {:>11} {:>11} {:>10}",
+            p.label,
+            p.use_cases,
+            p.connections,
+            p.contention,
+            p.late_words,
+            if p.all_delivered { "yes" } else { "NO" }
+        );
+    }
+    out
+}
+
+fn render_ablations(title: &str, points: &[AblationPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== {title} ==");
+    let _ = writeln!(
+        out,
+        "{:<24} {:>9} {:>16}",
+        "variant", "switches", "comm cost"
+    );
+    for p in points {
+        let s = p.switches.map_or("fail".into(), |n| n.to_string());
+        let cc = p.comm_cost.map_or("-".into(), |v| format!("{v:.0}"));
+        let _ = writeln!(out, "{:<24} {:>9} {:>16}", p.label, s, cc);
+    }
+    out
+}
+
+fn render_runtimes(title: &str, rows: &[RuntimePoint], speedups: &[SpeedupPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== {title} ==");
+    let _ = writeln!(out, "{:<8} {:>12} {:>12}", "bench", "ours", "WC");
+    for r in rows {
+        let _ = writeln!(out, "{:<8} {:>12?} {:>12?}", r.label, r.ours, r.wc);
+    }
+    let threads = speedups.first().map_or(1, |s| s.threads);
+    let _ = writeln!(
+        out,
+        "\n-- parallel speedup (1 thread vs {threads} threads) --"
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:>12} {:>12} {:>9}",
+        "bench", "1 thread", "parallel", "speedup"
+    );
+    for s in speedups {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>12?} {:>12?} {:>8.2}x",
+            s.label,
+            s.sequential,
+            s.parallel,
+            s.speedup()
+        );
+    }
+    out
+}
+
+/// Renders the BE burst sweep as the fixed-width table both CLIs print.
+pub fn render_be_burst(title: &str, points: &[BeBurstPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== {title} ==");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>5} {:>9} {:>10} {:>8} {:>9} {:>8} {:>10} {:>10}",
+        "model",
+        "hops",
+        "injected",
+        "delivered",
+        "backlog",
+        "mean lat",
+        "max lat",
+        "peak blog",
+        "max queue"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>5} {:>9} {:>10} {:>8} {:>9.1} {:>8} {:>10} {:>10}",
+            p.model,
+            p.hops,
+            p.injected,
+            p.delivered,
+            p.backlog,
+            p.mean_latency_cycles,
+            p.max_latency_cycles,
+            p.peak_backlog_words,
+            p.max_queue_depth
+        );
+    }
+    out
+}
+
+fn render_headline(title: &str, h: &Headline) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== {title} ==");
+    let _ = writeln!(
+        out,
+        "mean NoC area (switch) reduction vs WC: {:.1}% (paper: ~80%)",
+        100.0 * h.mean_area_reduction
+    );
+    let _ = writeln!(
+        out,
+        "mean DVS/DFS power saving:              {:.1}% (paper: ~54%)",
+        100.0 * h.mean_power_saving
+    );
+    out
+}
+
+/// Renders any experiment output as the table the CLIs print.
+pub fn render(output: &ExperimentOutput) -> String {
+    match output {
+        ExperimentOutput::Comparison { title, points } => render_comparisons(title, points),
+        ExperimentOutput::AreaFrequency { title, points } => render_area(title, points),
+        ExperimentOutput::DvsSavings { title, points } => render_dvs(title, points),
+        ExperimentOutput::ParallelFrequency { title, points } => render_parallel(title, points),
+        ExperimentOutput::VerifyDesigns { title, points } => render_verify(title, points),
+        ExperimentOutput::Ablations { title, points } => render_ablations(title, points),
+        ExperimentOutput::Runtimes {
+            title,
+            rows,
+            speedups,
+        } => render_runtimes(title, rows, speedups),
+        ExperimentOutput::BeBurst { title, points } => render_be_burst(title, points),
+        ExperimentOutput::Headline { title, headline } => render_headline(title, headline),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_table_shape() {
+        let table = render_comparisons(
+            "T",
+            &[
+                Comparison {
+                    label: "D1".into(),
+                    ours: Some(4),
+                    wc: Some(16),
+                },
+                Comparison {
+                    label: "D2".into(),
+                    ours: None,
+                    wc: Some(4),
+                },
+            ],
+        );
+        assert!(table.starts_with("\n== T ==\n"));
+        assert!(table.contains("D1              4       16        0.250"));
+        assert!(table.contains("fail"));
+        assert!(table.ends_with('\n'));
+    }
+
+    #[test]
+    fn be_burst_table_lists_models() {
+        let p = BeBurstPoint {
+            model: "constant".into(),
+            hops: 2,
+            injected: 10,
+            delivered: 9,
+            backlog: 1,
+            mean_latency_cycles: 6.5,
+            max_latency_cycles: 12,
+            peak_backlog_words: 2,
+            max_queue_depth: 2,
+        };
+        let table = render_be_burst("B", &[p]);
+        assert!(table.contains("constant"));
+        assert!(table.contains("6.5"));
+    }
+}

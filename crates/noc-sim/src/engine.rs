@@ -289,6 +289,29 @@ pub fn simulate_use_case(
     simulate_connections(&spec, &conns, config)
 }
 
+/// Replays **every** use-case of a mapped design — the sim-stage adapter
+/// the design-flow pipeline (`noc-flow`'s simulate stage) and the
+/// phase-4 verification sweep share.
+///
+/// Use-cases run in parallel via [`noc_par::par_map`] with ordered
+/// reduction, so the returned `Vec` is indexed by use-case and
+/// byte-identical at any thread count.
+///
+/// # Panics
+///
+/// Panics if the solution lacks a route for one of the spec's flows —
+/// run [`MappingSolution::verify`] first (see [`simulate_use_case`]).
+pub fn simulate_solution(
+    solution: &MappingSolution,
+    soc: &SocSpec,
+    groups: &UseCaseGroups,
+    config: &SimConfig,
+) -> Vec<SimReport> {
+    noc_par::par_map((0..soc.use_case_count()).collect(), |_, uc| {
+        simulate_use_case(solution, soc, groups, uc, config)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

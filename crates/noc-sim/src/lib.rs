@@ -62,6 +62,9 @@ mod report;
 pub mod traffic;
 
 pub use best_effort::{simulate_mixed, BestEffortFlow, MixedReport};
-pub use engine::{simulate_connections, simulate_group, simulate_use_case, Connection, SimConfig};
+pub use engine::{
+    simulate_connections, simulate_group, simulate_solution, simulate_use_case, Connection,
+    SimConfig,
+};
 pub use report::{FlowStats, SimReport};
 pub use traffic::{TrafficModel, TrafficSource};
