@@ -32,6 +32,11 @@
 //! * `be-burst` — the best-effort burstiness × hop-count contention
 //!   sweep (identical output to `experiments -- be_burst`; the
 //!   simulation model is documented in `docs/SIMULATION.md`).
+//! * `perf [--json FILE] [--label L]` — the perf-telemetry suite: map +
+//!   anneal each standard benchmark, print the op-counter table, and
+//!   (with `--json`) append a run record to the `BENCH_nocmap.json`
+//!   trajectory (see `docs/PERFORMANCE.md`). The op-count fields are
+//!   deterministic at any `--threads` setting; only wall times vary.
 //!
 //! All subcommands accept a global `--threads N` to pin the `noc-par`
 //! worker count (equivalent to `NOC_PAR_THREADS=N`; results are
@@ -56,6 +61,7 @@ fn usage() -> ExitCode {
          [--anneal ITERxCHAINS] [--emit FILE]\n  \
          nocmap_cli flow {{run FILE|NAME [--spec SOCFILE] | list | show NAME}}\n  \
          nocmap_cli be-burst\n  \
+         nocmap_cli perf [--json FILE] [--label L]\n  \
          (global: --threads N — pin the noc-par worker count)"
     );
     ExitCode::FAILURE
@@ -295,6 +301,24 @@ fn cmd_flow(mut args: Vec<String>) -> Result<(), FlowError> {
     }
 }
 
+fn cmd_perf(mut args: Vec<String>) -> Result<(), FlowError> {
+    let json_path = take_string(&mut args, "--json")?;
+    let label = take_string(&mut args, "--label")?.unwrap_or_else(|| "local".to_string());
+    let points = noc_bench::perf();
+    print!("{}", noc_bench::format_perf(&points));
+    if let Some(path) = json_path {
+        let record = noc_bench::perf_json::run_record(&label, noc_par::current_threads(), &points);
+        noc_bench::perf_json::append_run(std::path::Path::new(&path), &record).map_err(|e| {
+            FlowError::Io {
+                path: path.clone(),
+                message: format!("cannot write trajectory: {e}"),
+            }
+        })?;
+        println!("perf record '{label}' appended to {path}");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let threads = match take_threads(&mut args) {
@@ -316,6 +340,7 @@ fn main() -> ExitCode {
             print!("{}", noc_bench::format_be_burst(&noc_bench::be_burst()));
             Some(Ok(()))
         }
+        "perf" => Some(cmd_perf(args)),
         _ => None,
     };
     let result = match threads {

@@ -22,12 +22,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod perf_json;
+
 use noc_flow::{registry, run_spec, ExperimentOutput, FlowError};
 
 pub use noc_flow::registry::{MAX_SWITCHES, SEED};
 pub use noc_flow::runner::{
     AblationPoint, AreaPoint, BeBurstPoint, Comparison, DvsPoint, Headline, ParallelPoint,
-    RuntimePoint, SpeedupPoint, VerifyPoint,
+    PerfPoint, PerfSnapshot, RuntimePoint, SpeedupPoint, VerifyPoint,
 };
 
 /// Runs a registry entry that cannot fail (its failures are recorded
@@ -150,6 +152,22 @@ pub fn be_burst() -> Vec<BeBurstPoint> {
 pub fn format_be_burst(points: &[BeBurstPoint]) -> String {
     let spec = registry::find("be_burst").expect("registered experiment");
     noc_flow::render::render_be_burst(&spec.title, points)
+}
+
+/// The perf-telemetry suite: map + anneal op counters and wall time per
+/// benchmark (the `perf` registry entry backing `BENCH_nocmap.json`;
+/// see `docs/PERFORMANCE.md`).
+pub fn perf() -> Vec<PerfPoint> {
+    match run_infallible("perf") {
+        ExperimentOutput::Perf { points, .. } => points,
+        _ => unreachable!("perf is a perf study"),
+    }
+}
+
+/// Renders the [`perf`] points as the fixed-width table both CLIs print.
+pub fn format_perf(points: &[PerfPoint]) -> String {
+    let spec = registry::find("perf").expect("registered experiment");
+    noc_flow::render::render_perf(&spec.title, points)
 }
 
 /// Computes the headline numbers from the Figure 6(a) and 7(b) data.

@@ -1,0 +1,153 @@
+//! `BENCH_nocmap.json` — the machine-readable perf trajectory.
+//!
+//! Every run of the `perf` suite can append one **run record** to a
+//! JSON file at the repo root, so the committed file's history (and its
+//! growing `trajectory` array) is a real perf trajectory future PRs
+//! extend instead of optimising blind. The offline `serde` shim has no
+//! format backend, so the document is emitted (and spliced) by hand; the
+//! layout is fixed — two header lines, one line per run record, two
+//! footer lines — which is what makes [`append_run`] a safe textual
+//! splice. `docs/PERFORMANCE.md` documents the schema.
+//!
+//! Determinism: within a run record, every `*_ops` field and `switches`
+//! is identical at any `noc-par` thread count; only the `*_ms` fields
+//! are machine- and load-dependent. CI regenerates the record at 1 and
+//! 4 workers and diffs the deterministic fields
+//! (`tools/check_bench_json.py`).
+
+use noc_flow::runner::{PerfPoint, PerfSnapshot};
+
+/// Schema version of the document (bump when fields change meaning).
+pub const SCHEMA_VERSION: u32 = 1;
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' | '\\' => {
+                out.push('\\');
+                out.push(c);
+            }
+            c if (c as u32) < 0x20 => {
+                let _ = std::fmt::Write::write_fmt(&mut out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn ops_json(ops: &PerfSnapshot) -> String {
+    format!(
+        "{{\"path_queries\":{},\"dijkstra_pops\":{},\"scratch_allocs\":{},\
+         \"group_routes\":{},\"full_maps\":{},\"groups_rerouted\":{},\
+         \"groups_reused\":{},\"anneal_moves\":{},\"anneal_accepts\":{}}}",
+        ops.path_queries,
+        ops.dijkstra_pops,
+        ops.scratch_allocs,
+        ops.group_routes,
+        ops.full_maps,
+        ops.groups_rerouted,
+        ops.groups_reused,
+        ops.anneal_moves,
+        ops.anneal_accepts,
+    )
+}
+
+fn ms(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// One run record as a single JSON line: the run label, the worker
+/// count, and one suite object per [`PerfPoint`].
+pub fn run_record(label: &str, threads: usize, points: &[PerfPoint]) -> String {
+    let suites: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"label\":\"{}\",\"switches\":{},\"map_ms\":{},\"anneal_ms\":{},\
+                 \"map_ops\":{},\"anneal_ops\":{}}}",
+                escape(&p.label),
+                p.switches.map_or("null".to_string(), |s| s.to_string()),
+                ms(p.map_wall),
+                ms(p.anneal_wall),
+                ops_json(&p.map_ops),
+                ops_json(&p.anneal_ops),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"label\":\"{}\",\"threads\":{},\"suites\":[{}]}}",
+        escape(label),
+        threads,
+        suites.join(",")
+    )
+}
+
+/// The fixed document footer `append_run` splices at.
+const FOOTER: &str = "\n  ]\n}";
+
+/// Renders a whole document holding exactly the given run records.
+pub fn document(records: &[String]) -> String {
+    let mut out = format!("{{\n  \"schema\": {SCHEMA_VERSION},\n  \"trajectory\": [\n    ");
+    out.push_str(&records.join(",\n    "));
+    out.push_str(FOOTER);
+    out.push('\n');
+    out
+}
+
+/// Appends `record` (a [`run_record`] line) to the trajectory file at
+/// `path`, creating the document if the file does not exist.
+///
+/// # Errors
+///
+/// I/O failures, or a file that is not a trajectory document this
+/// module wrote (the splice marker is missing).
+pub fn append_run(path: &std::path::Path, record: &str) -> std::io::Result<()> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return std::fs::write(path, document(std::slice::from_ref(&record.to_string())));
+        }
+        Err(e) => return Err(e),
+    };
+    let Some(idx) = text.rfind(FOOTER) else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("{} is not a BENCH trajectory document", path.display()),
+        ));
+    };
+    let mut out = String::with_capacity(text.len() + record.len() + 8);
+    out.push_str(&text[..idx]);
+    out.push_str(",\n    ");
+    out.push_str(record);
+    out.push_str(&text[idx..]);
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_and_append_round_trip() {
+        let dir = std::env::temp_dir().join("noc_perf_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let _ = std::fs::remove_file(&path);
+        append_run(&path, "{\"label\":\"a\",\"threads\":1,\"suites\":[]}").unwrap();
+        append_run(&path, "{\"label\":\"b\",\"threads\":4,\"suites\":[]}").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.matches("\"label\":").count(), 2);
+        assert!(text.starts_with("{\n  \"schema\": 1,\n  \"trajectory\": [\n"));
+        assert!(text.ends_with("\n  ]\n}\n"));
+        // Appending keeps earlier records byte-for-byte.
+        assert!(text.contains("{\"label\":\"a\",\"threads\":1,\"suites\":[]}"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("a\tb\nc"), "a\\u0009b\\u000ac");
+    }
+}

@@ -16,6 +16,19 @@
 //! `(cost, chain index)`, so results are bit-identical at any thread
 //! count and `chains = 1` reproduces the historical single-chain walk
 //! exactly.
+//!
+//! # Delta evaluation
+//!
+//! A swap move relocates at most two cores, and with placement fixed
+//! each group's configuration is a pure function of its own cores' NIs
+//! (see [`reroute_preset_groups`]). The inner loop therefore re-routes
+//! **only the groups whose traffic touches a moved core**, splices the
+//! rest from the current solution, and rolls a rejected move back in
+//! place — no full re-route, no per-iteration clone of the core mapping
+//! or re-collection of the core list. The walk (RNG stream, accepted
+//! solutions, final winner) is byte-identical to the historical
+//! full-re-route implementation; `tests/perf_counters.rs` pins the op
+//! counts, the goldens pin the bytes.
 
 use noc_usecase::spec::SocSpec;
 use noc_usecase::UseCaseGroups;
@@ -23,7 +36,9 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::error::MapError;
-use crate::mapper::{map_multi_usecase, MapperOptions, Placement};
+use crate::mapper::{map_multi_usecase, reroute_preset_groups, MapperOptions, Placement};
+use crate::merge::merged_group_flows;
+use crate::perf;
 use crate::result::MappingSolution;
 
 /// Annealing schedule parameters.
@@ -102,21 +117,44 @@ pub fn refine(
 
     // Re-route the initial placement so current/best are produced by the
     // same pipeline as every candidate (comparable costs).
-    let mut start = reroute(Placement::Preset(initial.core_mapping().clone()))?;
-    if initial.comm_cost() <= start.comm_cost() {
-        start = initial.clone();
-    }
+    let rerouted_start = reroute(Placement::Preset(initial.core_mapping().clone()))?;
+    let initial_wins = initial.comm_cost() <= rerouted_start.comm_cost();
+    let start = if initial_wins {
+        initial.clone()
+    } else {
+        rerouted_start.clone()
+    };
     let nis = topo.nis().to_vec();
+
+    // Hoisted out of the walk: the core list never changes (moves only
+    // re-place existing cores), and neither does which groups a core's
+    // traffic touches.
+    let cores: Vec<_> = start.core_mapping().keys().copied().collect();
+    let group_count = groups.group_count();
+    let merged = merged_group_flows(soc, groups);
+    let groups_of = |core| -> Vec<usize> {
+        (0..group_count)
+            .filter(|&g| merged[g].keys().any(|&(s, d)| s == core || d == core))
+            .collect()
+    };
+    let core_groups: std::collections::BTreeMap<_, Vec<usize>> =
+        cores.iter().map(|&c| (c, groups_of(c))).collect();
 
     let run_chain = |chain: usize| -> MappingSolution {
         let mut rng = SmallRng::seed_from_u64(chain_seed(config.seed, chain));
         let mut current = start.clone();
+        // The splice base for delta re-routes must be a solution whose
+        // per-group configs equal a full preset re-route of its own
+        // placement. `current` qualifies — except when it starts as
+        // `initial` (whose configs the unified placement pass produced),
+        // in which case `shadow` carries the preset-pure twin until the
+        // first accepted move makes `current` preset-pure itself.
+        let mut shadow: Option<MappingSolution> = initial_wins.then(|| rerouted_start.clone());
         let mut best = current.clone();
+        let mut mapping = current.core_mapping().clone();
         let mut temperature = config.initial_temperature;
 
         for _ in 0..config.iterations {
-            let mut mapping = current.core_mapping().clone();
-            let cores: Vec<_> = mapping.keys().copied().collect();
             if cores.is_empty() || nis.len() < 2 {
                 break;
             }
@@ -128,20 +166,43 @@ pub fn refine(
                 temperature *= config.cooling;
                 continue;
             }
-            if let Some(b) = cores.iter().copied().find(|c| mapping[c] == target_ni) {
+            perf::inc(&perf::ANNEAL_MOVES);
+            let b = cores.iter().copied().find(|c| mapping[c] == target_ni);
+            if let Some(b) = b {
                 mapping.insert(b, ni_a);
             }
             mapping.insert(a, target_ni);
+            let mut affected = vec![false; group_count];
+            for &g in core_groups[&a]
+                .iter()
+                .chain(b.iter().flat_map(|b| &core_groups[b]))
+            {
+                affected[g] = true;
+            }
 
-            if let Ok(candidate) = reroute(Placement::Preset(mapping)) {
+            let mut accepted = false;
+            let base = shadow.as_ref().unwrap_or(&current);
+            if let Ok(candidate) =
+                reroute_preset_groups(soc, groups, base, options, &mapping, &affected, &merged)
+            {
                 let delta = candidate.comm_cost() - current.comm_cost();
                 let accept = delta <= 0.0
                     || rng.gen_bool((-delta / temperature.max(1e-9)).exp().clamp(0.0, 1.0));
                 if accept {
+                    perf::inc(&perf::ANNEAL_ACCEPTS);
+                    accepted = true;
+                    shadow = None;
                     current = candidate;
                     if current.comm_cost() < best.comm_cost() {
                         best = current.clone();
                     }
+                }
+            }
+            if !accepted {
+                // Roll the rejected move back in place.
+                mapping.insert(a, ni_a);
+                if let Some(b) = b {
+                    mapping.insert(b, target_ni);
                 }
             }
             temperature *= config.cooling;

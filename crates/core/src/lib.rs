@@ -61,6 +61,7 @@ pub mod emit;
 pub mod mapper;
 pub mod merge;
 pub mod path;
+pub mod perf;
 pub mod remap;
 pub mod report;
 pub mod result;
@@ -70,7 +71,7 @@ pub mod wc;
 mod error;
 
 pub use error::MapError;
-pub use mapper::{map_multi_usecase, MapperOptions, Placement};
+pub use mapper::{map_multi_usecase, reroute_preset_groups, MapperOptions, Placement};
 pub use merge::merged_group_flows;
 pub use result::{GroupConfig, MappingSolution, Route};
 pub use verify::VerifyError;

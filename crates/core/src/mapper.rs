@@ -12,7 +12,8 @@ use noc_usecase::UseCaseGroups;
 
 use crate::error::MapError;
 use crate::merge::{merged_group_flows, MergedFlow};
-use crate::path::{PathQuery, Target};
+use crate::path::{PathQuery, PathScratch, Target};
+use crate::perf;
 use crate::result::{GroupConfig, MappingSolution, Route};
 
 /// How cores are placed onto NIs.
@@ -88,12 +89,13 @@ struct PairTask {
 /// Routing state private to one use-case group: its slot table ("each
 /// use-case maintains separate data structures", scoped to groups since
 /// group members share one configuration) plus its connection-id
-/// sequence. Both are per group so that different groups can be routed
-/// in parallel without a shared counter whose values would depend on
-/// cross-group scheduling.
+/// sequence and its path-search scratch buffer. All are per group so
+/// that different groups can be routed in parallel without shared
+/// mutable state whose contents would depend on cross-group scheduling.
 struct GroupState {
     slots: NetworkSlots,
     conn_seq: u32,
+    scratch: PathScratch,
 }
 
 /// Mutable mapping state shared across the run. Core placement is only
@@ -104,7 +106,8 @@ struct MapState<'a> {
     topo: &'a Topology,
     spec: TdmaSpec,
     options: &'a MapperOptions,
-    group_states: Vec<Mutex<GroupState>>,
+    /// `None` for groups a filtered run skips (see `run_mapping`).
+    group_states: Vec<Mutex<Option<GroupState>>>,
     core_to_ni: BTreeMap<CoreId, NodeId>,
     /// Occupancy flags indexed by node id (only NI entries are used).
     ni_occupied: Vec<bool>,
@@ -147,6 +150,7 @@ impl<'a> MapState<'a> {
         dst: CoreId,
         demand: MergedFlow,
     ) -> Result<(Route, NodeId, NodeId), MapError> {
+        perf::inc(&perf::GROUP_ROUTES);
         let needed = self.spec.slots_for_bandwidth(demand.bandwidth);
         debug_assert!(needed >= 1);
         let max_hops = self.max_hops_for(demand.latency);
@@ -164,9 +168,15 @@ impl<'a> MapState<'a> {
             );
             let src_ni = self.core_to_ni.get(&src).copied();
             let dst_ni = self.core_to_ni.get(&dst).copied();
-            let sources: Vec<NodeId> = match src_ni {
-                Some(ni) => vec![ni],
-                None => self.free_nis.clone(),
+            // Borrow the source set instead of cloning the free-NI list
+            // per attempt — this runs once per (pair, group, retry).
+            let src_buf;
+            let sources: &[NodeId] = match src_ni {
+                Some(ni) => {
+                    src_buf = [ni];
+                    &src_buf
+                }
+                None => &self.free_nis,
             };
             if sources.is_empty() {
                 break;
@@ -177,7 +187,7 @@ impl<'a> MapState<'a> {
                     occupied: &self.ni_occupied,
                 },
             };
-            let Some(found) = query.shortest(&sources, target) else {
+            let Some(found) = query.shortest_with(&mut gs.scratch, sources, target) else {
                 break;
             };
 
@@ -248,7 +258,8 @@ impl<'a> MapState<'a> {
     ) -> Result<Route, MapError> {
         let (route, src_ni, dst_ni) = {
             let mut gs = self.group_states[group].lock().expect("no poisoned groups");
-            self.route_in_group(group, &mut gs, src, dst, demand)?
+            let gs = gs.as_mut().expect("routed groups are active");
+            self.route_in_group(group, gs, src, dst, demand)?
         };
         if !self.core_to_ni.contains_key(&src) {
             self.place(src, src_ni);
@@ -260,29 +271,41 @@ impl<'a> MapState<'a> {
     }
 }
 
-/// Runs Algorithm 2 on a fixed mesh.
+/// How `run_mapping` resolves core placement: the [`Placement`] options
+/// with the preset map *borrowed*, so delta re-routes need not clone the
+/// caller's placement per evaluation.
+enum EffectivePlacement<'p> {
+    Unified,
+    RoundRobin,
+    Preset(&'p BTreeMap<CoreId, NodeId>),
+}
+
+/// The mapping engine behind [`map_multi_usecase`] and
+/// [`reroute_preset_groups`]: routes every group whose `active` flag is
+/// set (all of them when `active` is `None`) and returns the placement
+/// plus per-group configs (`None` for skipped groups).
 ///
-/// `groups` is the partition produced by phase 2 (Algorithm 1); use
-/// [`UseCaseGroups::singletons`] when every use-case may be freely
-/// reconfigured and [`UseCaseGroups::single_group`] to forbid
-/// reconfiguration entirely.
-///
-/// # Errors
-///
-/// * [`MapError::EmptySpec`] / [`MapError::GroupMismatch`] /
-///   [`MapError::TooManyCores`] on malformed inputs,
-/// * [`MapError::FlowExceedsLinkCapacity`] when a single merged flow
-///   cannot fit a slot table at this frequency (growing the mesh will not
-///   help),
-/// * [`MapError::Unroutable`] when the heuristic finds no feasible
-///   path/slots for some pair — the caller should try a larger mesh.
-pub fn map_multi_usecase(
+/// Group filtering is only sound with a **full preset placement**: each
+/// group's configuration is then a pure function of its own cores'
+/// placements — routing order inside a group, its private slot state and
+/// its connection-id sequence are all independent of the other groups —
+/// so skipping an unaffected group and splicing its previous config back
+/// in is byte-identical to re-routing it.
+#[allow(clippy::too_many_arguments)]
+fn run_mapping(
     soc: &SocSpec,
     groups: &UseCaseGroups,
     topo: &Topology,
     spec: TdmaSpec,
     options: &MapperOptions,
-) -> Result<MappingSolution, MapError> {
+    placement: EffectivePlacement<'_>,
+    active: Option<&[bool]>,
+    merged: &[BTreeMap<(CoreId, CoreId), MergedFlow>],
+) -> Result<(BTreeMap<CoreId, NodeId>, Vec<Option<GroupConfig>>), MapError> {
+    debug_assert!(
+        active.is_none() || matches!(placement, EffectivePlacement::Preset(_)),
+        "group filtering requires a full preset placement"
+    );
     if soc.total_flow_count() == 0 {
         return Err(MapError::EmptySpec);
     }
@@ -300,7 +323,11 @@ pub fn map_multi_usecase(
         });
     }
 
-    let merged = merged_group_flows(soc, groups);
+    debug_assert_eq!(
+        merged.len(),
+        groups.group_count(),
+        "merged flows must come from merged_group_flows(soc, groups)"
+    );
 
     // Upfront capacity sanity: a merged flow larger than a whole link is
     // unroutable at any size.
@@ -348,16 +375,21 @@ pub fn map_multi_usecase(
         });
     }
 
+    let is_active = |g: usize| active.is_none_or(|a| a[g]);
     let mut state = MapState {
         topo,
         spec,
         options,
+        // Skipped groups never route, so don't pay their
+        // `O(links × slots)` slot tables — that allocation is exactly
+        // what the annealer's delta re-route exists to avoid.
         group_states: (0..groups.group_count())
-            .map(|_| {
-                Mutex::new(GroupState {
+            .map(|g| {
+                Mutex::new(is_active(g).then(|| GroupState {
                     slots: NetworkSlots::new(topo, &spec),
                     conn_seq: 0,
-                })
+                    scratch: PathScratch::new(),
+                }))
             })
             .collect(),
         core_to_ni: BTreeMap::new(),
@@ -365,15 +397,15 @@ pub fn map_multi_usecase(
         free_nis: topo.nis().to_vec(),
     };
 
-    match &options.placement {
-        Placement::Unified => {}
-        Placement::RoundRobin => {
+    match placement {
+        EffectivePlacement::Unified => {}
+        EffectivePlacement::RoundRobin => {
             let nis = topo.nis().to_vec();
             for (core, ni) in cores.iter().zip(nis) {
                 state.place(*core, ni);
             }
         }
-        Placement::Preset(assignment) => {
+        EffectivePlacement::Preset(assignment) => {
             for (&core, &ni) in assignment {
                 if !topo.node(ni).is_ni() || state.ni_occupied[ni.index()] {
                     return Err(MapError::TooManyCores {
@@ -386,7 +418,9 @@ pub fn map_multi_usecase(
         }
     }
 
-    let mut configs: Vec<GroupConfig> = vec![GroupConfig::new(); groups.group_count()];
+    let mut configs: Vec<Option<GroupConfig>> = (0..groups.group_count())
+        .map(|g| is_active(g).then(GroupConfig::new))
+        .collect();
     // Demands deferred to the parallel per-group pass, in placement-pass
     // processing order (each group's routing order must not depend on
     // scheduling).
@@ -420,12 +454,21 @@ pub fn map_multi_usecase(
         // group, placing unmapped endpoint cores on the NIs at the ends
         // of the chosen path. The same pair's demands in *other* groups
         // don't influence placement — they are deferred to the parallel
-        // per-group pass below.
+        // per-group pass below. A filtered run only ever skips routing
+        // work: placement is already complete (full preset), so skipped
+        // groups cannot change what the active ones observe.
         let (&(g0, d0), rest) = task.demands.split_first().expect("tasks have >= 1 demand");
-        let route = state.route_pair(g0, task.src, task.dst, d0)?;
-        configs[g0].insert(task.src, task.dst, route);
+        if is_active(g0) {
+            let route = state.route_pair(g0, task.src, task.dst, d0)?;
+            configs[g0]
+                .as_mut()
+                .expect("active groups have configs")
+                .insert(task.src, task.dst, route);
+        }
         for &(g, demand) in rest {
-            deferred[g].push((task.src, task.dst, demand));
+            if is_active(g) {
+                deferred[g].push((task.src, task.dst, demand));
+            }
         }
     }
 
@@ -445,25 +488,144 @@ pub fn map_multi_usecase(
         let mut gs = state_ref.group_states[g]
             .lock()
             .expect("no poisoned groups");
+        let gs = gs.as_mut().expect("deferred groups are active");
         let mut routes = Vec::with_capacity(demands.len());
         for (src, dst, demand) in demands {
-            let (route, _, _) = state_ref.route_in_group(g, &mut gs, src, dst, demand)?;
+            let (route, _, _) = state_ref.route_in_group(g, gs, src, dst, demand)?;
             routes.push((src, dst, route));
         }
         Ok::<_, MapError>((g, routes))
     })?;
     for (g, routes) in routed {
+        let config = configs[g].as_mut().expect("active groups have configs");
         for (src, dst, route) in routes {
-            configs[g].insert(src, dst, route);
+            config.insert(src, dst, route);
         }
     }
 
+    Ok((state.core_to_ni, configs))
+}
+
+/// Runs Algorithm 2 on a fixed mesh.
+///
+/// `groups` is the partition produced by phase 2 (Algorithm 1); use
+/// [`UseCaseGroups::singletons`] when every use-case may be freely
+/// reconfigured and [`UseCaseGroups::single_group`] to forbid
+/// reconfiguration entirely.
+///
+/// # Errors
+///
+/// * [`MapError::EmptySpec`] / [`MapError::GroupMismatch`] /
+///   [`MapError::TooManyCores`] on malformed inputs,
+/// * [`MapError::FlowExceedsLinkCapacity`] when a single merged flow
+///   cannot fit a slot table at this frequency (growing the mesh will not
+///   help),
+/// * [`MapError::Unroutable`] when the heuristic finds no feasible
+///   path/slots for some pair — the caller should try a larger mesh.
+pub fn map_multi_usecase(
+    soc: &SocSpec,
+    groups: &UseCaseGroups,
+    topo: &Topology,
+    spec: TdmaSpec,
+    options: &MapperOptions,
+) -> Result<MappingSolution, MapError> {
+    perf::inc(&perf::FULL_MAPS);
+    let placement = match &options.placement {
+        Placement::Unified => EffectivePlacement::Unified,
+        Placement::RoundRobin => EffectivePlacement::RoundRobin,
+        Placement::Preset(assignment) => EffectivePlacement::Preset(assignment),
+    };
+    // Validate before merging: `merged_group_flows` panics on a
+    // mismatched partition, while this entry point reports it.
+    if groups.use_case_count() != soc.use_case_count() {
+        return Err(MapError::GroupMismatch {
+            spec_use_cases: soc.use_case_count(),
+            group_use_cases: groups.use_case_count(),
+        });
+    }
+    let merged = merged_group_flows(soc, groups);
+    let (core_to_ni, configs) =
+        run_mapping(soc, groups, topo, spec, options, placement, None, &merged)?;
     Ok(MappingSolution::new(
         topo.clone(),
         format!("{}sw", topo.switch_count()),
         spec,
-        state.core_to_ni,
-        configs,
+        core_to_ni,
+        configs
+            .into_iter()
+            .map(|c| c.expect("unfiltered runs route every group"))
+            .collect(),
+    ))
+}
+
+/// Delta re-route for placement moves: re-routes only the groups marked
+/// in `affected` under `placement` (which must place **every** core, as
+/// annealing moves do), splicing the configs of untouched groups
+/// verbatim from `base`.
+///
+/// Byte-identical to a full [`map_multi_usecase`] with
+/// [`Placement::Preset`] because, with placement fixed up front, each
+/// group's configuration is a pure function of its own cores' NIs: pair
+/// processing order is placement-independent, slot state and connection
+/// ids are group-private, and unmapped-endpoint logic never fires. The
+/// annealer leans on this to evaluate a two-core swap by re-routing only
+/// the groups whose traffic touches either core — `base` **must** carry
+/// per-group configs equal to a full preset re-route of its own
+/// placement, which holds for any solution this function or
+/// [`map_multi_usecase`] produced.
+///
+/// `options.placement` is ignored; the borrowed `placement` wins.
+/// `merged` must be `merged_group_flows(soc, groups)`, precomputed by
+/// the caller — the annealer hoists it out of its walk so a proposed
+/// move does not re-merge every flow of every group.
+///
+/// # Errors
+///
+/// As [`map_multi_usecase`], restricted to the affected groups.
+///
+/// # Panics
+///
+/// When `affected.len() != groups.group_count()`.
+#[allow(clippy::too_many_arguments)]
+pub fn reroute_preset_groups(
+    soc: &SocSpec,
+    groups: &UseCaseGroups,
+    base: &MappingSolution,
+    options: &MapperOptions,
+    placement: &BTreeMap<CoreId, NodeId>,
+    affected: &[bool],
+    merged: &[BTreeMap<(CoreId, CoreId), MergedFlow>],
+) -> Result<MappingSolution, MapError> {
+    assert_eq!(
+        affected.len(),
+        groups.group_count(),
+        "one affected flag per group"
+    );
+    let topo = base.topology();
+    let spec = base.spec();
+    let rerouted = affected.iter().filter(|&&a| a).count() as u64;
+    perf::add(&perf::GROUPS_REROUTED, rerouted);
+    perf::add(&perf::GROUPS_REUSED, affected.len() as u64 - rerouted);
+    let (core_to_ni, configs) = run_mapping(
+        soc,
+        groups,
+        topo,
+        spec,
+        options,
+        EffectivePlacement::Preset(placement),
+        Some(affected),
+        merged,
+    )?;
+    Ok(MappingSolution::new(
+        topo.clone(),
+        format!("{}sw", topo.switch_count()),
+        spec,
+        core_to_ni,
+        configs
+            .into_iter()
+            .enumerate()
+            .map(|(g, c)| c.unwrap_or_else(|| base.group_configs()[g].clone()))
+            .collect(),
     ))
 }
 

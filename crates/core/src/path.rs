@@ -24,6 +24,8 @@ use std::collections::BinaryHeap;
 use noc_tdma::NetworkSlots;
 use noc_topology::{LinkId, NodeId, Topology};
 
+use crate::perf;
+
 /// Fixed-point cost of traversing one unloaded link (1 hop = 1000 millis).
 pub const HOP_COST_MILLIS: u64 = 1000;
 
@@ -67,6 +69,76 @@ pub enum Target<'a> {
 struct Label {
     origin: NodeId,
     pred: Option<(LinkId, u8)>,
+}
+
+/// Heap entries: `(dist, node index, origin, hops, pred)`.
+type Entry = (u64, usize, NodeId, u32, Option<(LinkId, u8)>);
+
+/// Caller-held scratch for [`PathQuery::shortest`]: the Dijkstra label
+/// table and the priority queue, re-used across queries so the hot
+/// mapping loops stop allocating `O(nodes)` per path search.
+///
+/// Label validity is tracked by a per-query epoch stamp: starting a query
+/// bumps the epoch instead of clearing the table, so reuse costs O(1)
+/// regardless of topology size. The mapper holds one scratch per
+/// use-case group (inside the group's routing state, so parallel group
+/// routing never shares a buffer); standalone callers can just
+/// `PathScratch::new()` once and keep it across queries.
+#[derive(Debug)]
+pub struct PathScratch {
+    labels: Vec<[Option<Label>; 2]>,
+    stamps: Vec<u64>,
+    epoch: u64,
+    heap: BinaryHeap<Reverse<Entry>>,
+}
+
+impl PathScratch {
+    /// An empty scratch; buffers grow to the queried topology's size on
+    /// first use and are retained afterwards.
+    pub fn new() -> Self {
+        perf::inc(&perf::SCRATCH_ALLOCS);
+        PathScratch {
+            labels: Vec::new(),
+            stamps: Vec::new(),
+            epoch: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Starts a new query over `nodes` nodes: bumps the epoch (lazily
+    /// invalidating every stored label) and clears the heap.
+    fn begin(&mut self, nodes: usize) {
+        if self.labels.len() < nodes {
+            self.labels.resize(nodes, [None, None]);
+            self.stamps.resize(nodes, 0);
+        }
+        self.epoch += 1;
+        self.heap.clear();
+    }
+
+    /// The labels of `node` as of this query ( `[None, None]` when the
+    /// slot was last written by an earlier query).
+    fn labels(&self, node: usize) -> [Option<Label>; 2] {
+        if self.stamps[node] == self.epoch {
+            self.labels[node]
+        } else {
+            [None, None]
+        }
+    }
+
+    fn labels_mut(&mut self, node: usize) -> &mut [Option<Label>; 2] {
+        if self.stamps[node] != self.epoch {
+            self.labels[node] = [None, None];
+            self.stamps[node] = self.epoch;
+        }
+        &mut self.labels[node]
+    }
+}
+
+impl Default for PathScratch {
+    fn default() -> Self {
+        PathScratch::new()
+    }
 }
 
 /// One constrained shortest-path query.
@@ -117,9 +189,18 @@ impl<'a> PathQuery<'a> {
         HOP_COST_MILLIS + self.load_penalty_millis * used / s as u64
     }
 
+    /// [`PathQuery::shortest_with`] against a throwaway scratch buffer.
+    ///
+    /// Convenience for one-off queries and tests; the hot loops hold a
+    /// [`PathScratch`] and call [`PathQuery::shortest_with`] so repeated
+    /// searches stop allocating.
+    pub fn shortest(&self, sources: &[NodeId], target: Target<'_>) -> Option<FoundPath> {
+        self.shortest_with(&mut PathScratch::new(), sources, target)
+    }
+
     /// Runs Dijkstra from `sources` (NIs, cost 0 each) to the cheapest
-    /// acceptable target. Returns `None` when no feasible path exists
-    /// within the hop budget.
+    /// acceptable target, using (and retaining) `scratch`'s buffers.
+    /// Returns `None` when no feasible path exists within the hop budget.
     ///
     /// When both endpoints of a flow are unmapped, every free NI is both a
     /// potential source and a potential target. A plain Dijkstra cannot
@@ -127,16 +208,20 @@ impl<'a> PathQuery<'a> {
     /// up to **two** best labels with *distinct origin NIs*: a target NI
     /// is then reachable via whichever of its labels descends from a
     /// different NI.
-    pub fn shortest(&self, sources: &[NodeId], target: Target<'_>) -> Option<FoundPath> {
+    pub fn shortest_with(
+        &self,
+        scratch: &mut PathScratch,
+        sources: &[NodeId],
+        target: Target<'_>,
+    ) -> Option<FoundPath> {
+        perf::inc(&perf::PATH_QUERIES);
         let n = self.topo.node_count();
-        let mut labels: Vec<[Option<Label>; 2]> = vec![[None, None]; n];
-        // Heap entries: (dist, node, origin, hops, pred).
-        type Entry = (u64, usize, NodeId, u32, Option<(LinkId, u8)>);
-        let mut heap: BinaryHeap<Reverse<Entry>> = BinaryHeap::new();
+        scratch.begin(n);
+        let mut pops: u64 = 0;
 
         for &s in sources {
             debug_assert!(self.topo.node(s).is_ni(), "sources must be NIs");
-            heap.push(Reverse((0, s.index(), s, 0, None)));
+            scratch.heap.push(Reverse((0, s.index(), s, 0, None)));
         }
 
         let is_target = |node: NodeId, origin: NodeId| -> bool {
@@ -151,10 +236,11 @@ impl<'a> PathQuery<'a> {
             }
         };
 
-        while let Some(Reverse((d, u_idx, origin, hop, pred))) = heap.pop() {
+        while let Some(Reverse((d, u_idx, origin, hop, pred))) = scratch.heap.pop() {
+            pops += 1;
             // Settle into one of the node's two origin-distinct slots.
             let slot = {
-                let ls = &mut labels[u_idx];
+                let ls = scratch.labels_mut(u_idx);
                 match (&ls[0], &ls[1]) {
                     (None, _) => {
                         ls[0] = Some(Label { origin, pred });
@@ -171,7 +257,8 @@ impl<'a> PathQuery<'a> {
             if is_target(u, origin) {
                 // Labels settle in cost order: the first acceptable target
                 // label is optimal.
-                return Some(self.reconstruct(u, slot, d, &labels));
+                perf::add(&perf::DIJKSTRA_POPS, pops);
+                return Some(self.reconstruct(u, slot, d, scratch));
             }
             // NIs are endpoints only: never expand out of an NI unless it
             // is a source of this label (hop count 0).
@@ -193,7 +280,7 @@ impl<'a> PathQuery<'a> {
                 }
                 // Skip if v already holds a better-or-equal label of this
                 // origin, or two labels of other origins.
-                let dominated = match &labels[v.index()] {
+                let dominated = match scratch.labels(v.index()) {
                     [Some(l0), _] if l0.origin == origin => true,
                     [_, Some(_)] => true,
                     _ => false,
@@ -201,7 +288,7 @@ impl<'a> PathQuery<'a> {
                 if dominated {
                     continue;
                 }
-                heap.push(Reverse((
+                scratch.heap.push(Reverse((
                     d + self.link_cost(l),
                     v.index(),
                     origin,
@@ -210,6 +297,7 @@ impl<'a> PathQuery<'a> {
                 )));
             }
         }
+        perf::add(&perf::DIJKSTRA_POPS, pops);
         None
     }
 
@@ -218,12 +306,12 @@ impl<'a> PathQuery<'a> {
         dst: NodeId,
         dst_slot: u8,
         cost: u64,
-        labels: &[[Option<Label>; 2]],
+        scratch: &PathScratch,
     ) -> FoundPath {
         let mut links = Vec::new();
         let mut node = dst;
         let mut slot = dst_slot;
-        while let Some((l, pred_slot)) = labels[node.index()][slot as usize]
+        while let Some((l, pred_slot)) = scratch.labels(node.index())[slot as usize]
             .as_ref()
             .and_then(|lb| lb.pred)
         {

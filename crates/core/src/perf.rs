@@ -1,0 +1,105 @@
+//! Deterministic operation counters for the mapping hot paths.
+//!
+//! The bench trajectory (`BENCH_nocmap.json`, see `docs/PERFORMANCE.md`)
+//! needs numbers that are stable across machines and thread counts —
+//! wall-clock is neither. These counters are: every increment is tied to
+//! a unit of *algorithmic* work (a path query, a Dijkstra settle, a
+//! group re-route) that the determinism contract already guarantees is
+//! identical at any `noc-par` width, so the totals are too. They double
+//! as regression oracles: `tests/perf_counters.rs` asserts the annealer
+//! no longer performs one full re-route per proposed move and that path
+//! queries stop allocating per call.
+//!
+//! Counters are process-global relaxed atomics — cheap enough to stay
+//! always-on. Readers take [`snapshot`]s and subtract
+//! ([`PerfSnapshot::since`]); exact per-section deltas require that no
+//! unrelated mapping work runs concurrently (the perf harness runs in
+//! its own process, and counter-based tests keep to one test function
+//! per binary).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! counters {
+    ($($(#[$doc:meta])* $name:ident => $static_name:ident),* $(,)?) => {
+        $(pub(crate) static $static_name: AtomicU64 = AtomicU64::new(0);)*
+
+        /// A point-in-time copy of every hot-path counter.
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct PerfSnapshot {
+            $($(#[$doc])* pub $name: u64,)*
+        }
+
+        /// Reads every counter at once.
+        pub fn snapshot() -> PerfSnapshot {
+            PerfSnapshot {
+                $($name: $static_name.load(Ordering::Relaxed),)*
+            }
+        }
+
+        /// Resets every counter to zero (test harnesses only; concurrent
+        /// mapping work observes the reset mid-flight).
+        pub fn reset() {
+            $($static_name.store(0, Ordering::Relaxed);)*
+        }
+
+        impl PerfSnapshot {
+            /// The per-field difference `self - earlier` (saturating, so
+            /// a reset between snapshots cannot underflow).
+            #[must_use]
+            pub fn since(&self, earlier: &PerfSnapshot) -> PerfSnapshot {
+                PerfSnapshot {
+                    $($name: self.$name.saturating_sub(earlier.$name),)*
+                }
+            }
+        }
+    };
+}
+
+counters! {
+    /// Constrained shortest-path queries ([`crate::path::PathQuery`]).
+    path_queries => PATH_QUERIES,
+    /// Dijkstra heap pops across all path queries.
+    dijkstra_pops => DIJKSTRA_POPS,
+    /// Label-table scratch buffers allocated
+    /// ([`crate::path::PathScratch::new`]); flat while queries climb
+    /// proves the reuse convention holds.
+    scratch_allocs => SCRATCH_ALLOCS,
+    /// Single `(pair, group)` routing attempts inside the mapper.
+    group_routes => GROUP_ROUTES,
+    /// Full `map_multi_usecase` runs (every group routed).
+    full_maps => FULL_MAPS,
+    /// Groups actually re-routed by a delta re-route
+    /// ([`crate::mapper::reroute_preset_groups`]).
+    groups_rerouted => GROUPS_REROUTED,
+    /// Groups a delta re-route reused verbatim from the base solution.
+    groups_reused => GROUPS_REUSED,
+    /// Annealing moves proposed (self-moves excluded).
+    anneal_moves => ANNEAL_MOVES,
+    /// Annealing moves accepted.
+    anneal_accepts => ANNEAL_ACCEPTS,
+}
+
+#[inline]
+pub(crate) fn add(counter: &AtomicU64, n: u64) {
+    counter.fetch_add(n, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn inc(counter: &AtomicU64) {
+    add(counter, 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_deltas_are_per_field() {
+        let a = snapshot();
+        inc(&PATH_QUERIES);
+        add(&DIJKSTRA_POPS, 5);
+        let d = snapshot().since(&a);
+        assert!(d.path_queries >= 1);
+        assert!(d.dijkstra_pops >= 5);
+    }
+}

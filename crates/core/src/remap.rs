@@ -135,34 +135,72 @@ pub fn refine_with_remap(
         // Start: the base placement, re-routed for this group only.
         let mut current = route(base.core_mapping().clone())?;
         let mut current_map = base.core_mapping().clone();
+        // Hoisted out of the proposal loop: the group's core list, the
+        // occupant reverse index (placements are injective) and the set
+        // of cores currently displaced from the base — all maintained
+        // only when a move is *accepted*, so a rejected proposal costs
+        // no clone and no full-map scan.
+        let group_cores = sub_soc.cores();
+        let mut ni_to_core: BTreeMap<noc_topology::NodeId, CoreId> =
+            current_map.iter().map(|(&c, &ni)| (ni, c)).collect();
+        let mut moved: std::collections::BTreeSet<CoreId> =
+            moved_cores(base.core_mapping(), &current_map)
+                .into_iter()
+                .collect();
 
         'rounds: for _ in 0..config.rounds {
             let mut improved = false;
-            let group_cores = sub_soc.cores();
             for &core in &group_cores {
+                // Deliberately read once per core, not per target: after
+                // an accepted move inside this target scan, `from` is
+                // stale and later swap candidates against it fail preset
+                // validation (harmlessly rejected). The next round
+                // re-reads; changing this would change search results,
+                // which the byte-identity contract forbids.
                 let from = current_map[&core];
                 for &target in &all_nis {
                     if target == from {
                         continue;
                     }
                     // Propose: move `core` to `target`, swapping with any
-                    // occupant.
+                    // occupant. Check the move budget before paying for a
+                    // candidate map: only `core` and the occupant change,
+                    // so the new displaced-count is a two-term update of
+                    // the current one.
+                    let occupant = ni_to_core.get(&target).copied();
+                    let mut displaced = moved.len();
+                    let count = |c: CoreId, ni, displaced: &mut usize| {
+                        let was = moved.contains(&c);
+                        let now = base.core_mapping()[&c] != ni;
+                        match (was, now) {
+                            (false, true) => *displaced += 1,
+                            (true, false) => *displaced -= 1,
+                            _ => {}
+                        }
+                    };
+                    count(core, target, &mut displaced);
+                    if let Some(o) = occupant {
+                        count(o, from, &mut displaced);
+                    }
+                    if displaced > config.max_moved_cores {
+                        continue;
+                    }
                     let mut candidate = current_map.clone();
-                    let occupant = candidate
-                        .iter()
-                        .find(|(_, &ni)| ni == target)
-                        .map(|(&c, _)| c);
                     if let Some(o) = occupant {
                         candidate.insert(o, from);
                     }
                     candidate.insert(core, target);
-                    if moved_cores(base.core_mapping(), &candidate).len() > config.max_moved_cores {
-                        continue;
-                    }
-                    if let Ok(sol) = route(candidate.clone()) {
+                    if let Ok(sol) = route(candidate) {
                         if sol.comm_cost() + 1e-9 < current.comm_cost() {
+                            // Accepts are rare: rebuild the maintained
+                            // indices from the accepted solution (whose
+                            // mapping *is* the candidate).
+                            current_map = sol.core_mapping().clone();
+                            ni_to_core = current_map.iter().map(|(&c, &ni)| (ni, c)).collect();
+                            moved = moved_cores(base.core_mapping(), &current_map)
+                                .into_iter()
+                                .collect();
                             current = sol;
-                            current_map = candidate;
                             improved = true;
                         }
                     }

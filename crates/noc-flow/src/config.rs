@@ -259,6 +259,17 @@ pub enum ExperimentKind {
         /// Lower bound of the per-use-case frequency search.
         floor_mhz: u64,
     },
+    /// Perf telemetry: map + anneal each benchmark, recording wall time
+    /// and the deterministic hot-path op counters (the `BENCH_nocmap.json`
+    /// trajectory; see `docs/PERFORMANCE.md`).
+    Perf {
+        /// Benchmarks to measure, in row order.
+        benches: Vec<LabeledBench>,
+        /// Annealing moves per benchmark.
+        anneal_iterations: u64,
+        /// Independent annealing chains per benchmark.
+        anneal_chains: u64,
+    },
 }
 
 /// A named, titled, executable experiment description.
@@ -555,6 +566,16 @@ pub fn experiment_to_text(spec: &ExperimentSpec) -> String {
             write_labeled(&mut out, "dvs", dvs_benches);
             let _ = writeln!(out, "floor_mhz {floor_mhz}");
         }
+        ExperimentKind::Perf {
+            benches,
+            anneal_iterations,
+            anneal_chains,
+        } => {
+            let _ = writeln!(out, "kind perf");
+            write_labeled(&mut out, "bench", benches);
+            let _ = writeln!(out, "anneal_iterations {anneal_iterations}");
+            let _ = writeln!(out, "anneal_chains {anneal_chains}");
+        }
     }
     out
 }
@@ -828,7 +849,7 @@ fn experiment_body(name: String, lines: &mut Lines<'_>) -> Result<ExperimentSpec
     let mut parallel = Vec::new();
     let mut scalars: std::collections::BTreeMap<&'static str, u64> =
         std::collections::BTreeMap::new();
-    const SCALARS: [&str; 8] = [
+    const SCALARS: [&str; 10] = [
         "floor_mhz",
         "lo_mhz",
         "hi_mhz",
@@ -837,6 +858,8 @@ fn experiment_body(name: String, lines: &mut Lines<'_>) -> Result<ExperimentSpec
         "avg_mbps",
         "slots",
         "freq_mhz",
+        "anneal_iterations",
+        "anneal_chains",
     ];
 
     while let Some((line, toks, _)) = lines.next().cloned() {
@@ -968,6 +991,11 @@ fn experiment_body(name: String, lines: &mut Lines<'_>) -> Result<ExperimentSpec
             area_benches: benches,
             dvs_benches,
             floor_mhz: scalar("floor_mhz", Some(10))?,
+        },
+        "perf" => ExperimentKind::Perf {
+            benches,
+            anneal_iterations: scalar("anneal_iterations", Some(60))?,
+            anneal_chains: scalar("anneal_chains", Some(2))?,
         },
         other => {
             return Err(FlowError::parse(

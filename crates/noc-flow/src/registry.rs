@@ -222,6 +222,27 @@ pub fn registry() -> Vec<ExperimentSpec> {
             floor_mhz: 10,
         },
     ));
+    specs.push(spec(
+        "perf",
+        "Perf telemetry: map + anneal op counters and wall time",
+        ExperimentKind::Perf {
+            benches: design_benches()
+                .into_iter()
+                .chain([
+                    LabeledBench::new("sp10", BenchmarkSpec::spread(10, SEED + 10)),
+                    LabeledBench::new(
+                        "bot10",
+                        BenchmarkSpec::Bottleneck {
+                            use_cases: 10,
+                            seed: SEED + 10,
+                        },
+                    ),
+                ])
+                .collect(),
+            anneal_iterations: 60,
+            anneal_chains: 2,
+        },
+    ));
     specs
 }
 

@@ -10,7 +10,7 @@ use std::fmt::Write as _;
 
 use crate::runner::{
     AblationPoint, AreaPoint, BeBurstPoint, Comparison, DvsPoint, ExperimentOutput, Headline,
-    ParallelPoint, RuntimePoint, SpeedupPoint, VerifyPoint,
+    ParallelPoint, PerfPoint, RuntimePoint, SpeedupPoint, VerifyPoint,
 };
 
 /// Renders a comparison table (Figures 6(a)–(c)).
@@ -193,6 +193,36 @@ pub fn render_be_burst(title: &str, points: &[BeBurstPoint]) -> String {
     out
 }
 
+/// Renders the perf-telemetry table. Wall-clock cells are
+/// machine-dependent; every other column is a deterministic op count
+/// (identical at any thread count).
+pub fn render_perf(title: &str, points: &[PerfPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== {title} ==");
+    let _ = writeln!(
+        out,
+        "{:<8} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "bench", "switches", "map", "anneal", "queries", "pops", "rerouted", "reused", "accepts"
+    );
+    for p in points {
+        let s = p.switches.map_or("fail".into(), |n: usize| n.to_string());
+        let _ = writeln!(
+            out,
+            "{:<8} {:>8} {:>10?} {:>10?} {:>10} {:>10} {:>10} {:>9} {:>9}",
+            p.label,
+            s,
+            p.map_wall,
+            p.anneal_wall,
+            p.map_ops.path_queries + p.anneal_ops.path_queries,
+            p.map_ops.dijkstra_pops + p.anneal_ops.dijkstra_pops,
+            p.anneal_ops.groups_rerouted,
+            p.anneal_ops.groups_reused,
+            p.anneal_ops.anneal_accepts
+        );
+    }
+    out
+}
+
 fn render_headline(title: &str, h: &Headline) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "\n== {title} ==");
@@ -225,6 +255,7 @@ pub fn render(output: &ExperimentOutput) -> String {
         } => render_runtimes(title, rows, speedups),
         ExperimentOutput::BeBurst { title, points } => render_be_burst(title, points),
         ExperimentOutput::Headline { title, headline } => render_headline(title, headline),
+        ExperimentOutput::Perf { title, points } => render_perf(title, points),
     }
 }
 

@@ -15,6 +15,7 @@ use noc_topology::{AreaModel, DvsModel};
 use noc_usecase::UseCaseGroups;
 use nocmap::anneal::AnnealConfig;
 use nocmap::dvs::{dvs_savings, parallel_min_frequency};
+pub use nocmap::perf::PerfSnapshot;
 use nocmap::{MapperOptions, MappingSolution, Placement};
 
 use crate::builder::{DesignFlow, FlowBuilder};
@@ -183,6 +184,30 @@ pub struct Headline {
     pub mean_power_saving: f64,
 }
 
+/// One row of the perf-telemetry study: wall time plus the deterministic
+/// op-counter deltas of mapping and then annealing one benchmark.
+///
+/// The op deltas ([`PerfSnapshot`]) are identical at every `noc-par`
+/// thread count (each counted operation is algorithmic work the
+/// determinism contract fixes); the wall-clock fields are the only
+/// machine-dependent cells, and the `BENCH_nocmap.json` schema keeps the
+/// two apart (see `docs/PERFORMANCE.md`).
+#[derive(Debug, Clone)]
+pub struct PerfPoint {
+    /// Benchmark label.
+    pub label: String,
+    /// Switches of the smallest feasible mesh.
+    pub switches: Option<usize>,
+    /// Wall-clock of the smallest-mesh map flow.
+    pub map_wall: std::time::Duration,
+    /// Op-counter delta of the map flow.
+    pub map_ops: PerfSnapshot,
+    /// Wall-clock of the annealing refinement.
+    pub anneal_wall: std::time::Duration,
+    /// Op-counter delta of the annealing refinement.
+    pub anneal_ops: PerfSnapshot,
+}
+
 /// The typed result of executing one [`ExperimentSpec`]: the spec's
 /// title plus the points of its family. [`crate::render::render`]
 /// turns any output into the fixed-width table both CLIs print.
@@ -252,6 +277,13 @@ pub enum ExperimentOutput {
         title: String,
         /// The two means.
         headline: Headline,
+    },
+    /// Perf-telemetry rows.
+    Perf {
+        /// Table title.
+        title: String,
+        /// Rows.
+        points: Vec<PerfPoint>,
     },
 }
 
@@ -634,6 +666,59 @@ fn run_be_burst(
     })
 }
 
+/// Maps and then anneals each benchmark, bracketing both phases with
+/// op-counter snapshots. Benchmarks run sequentially (each is timed;
+/// the flows inside still use `noc-par`), so the per-phase counter
+/// deltas are exact — the perf harness runs in its own process.
+fn run_perf(benches: &[LabeledBench], iterations: u64, chains: u64) -> Vec<PerfPoint> {
+    let spec = TdmaSpec::paper_default();
+    let opts = MapperOptions::default();
+    benches
+        .iter()
+        .map(|b| {
+            let soc = b.bench.generate();
+            let groups = singleton_groups(&soc);
+            let before = nocmap::perf::snapshot();
+            let t0 = std::time::Instant::now();
+            let sol = map_flow(spec, &opts)
+                .run(&soc, &groups)
+                .ok()
+                .and_then(|ctx| ctx.solution);
+            let map_wall = t0.elapsed();
+            let mid = nocmap::perf::snapshot();
+            let t1 = std::time::Instant::now();
+            let annealed = sol.as_ref().and_then(|sol| {
+                nocmap::anneal::refine(
+                    &soc,
+                    &groups,
+                    &opts,
+                    sol,
+                    &AnnealConfig {
+                        iterations: iterations as usize,
+                        chains: chains as usize,
+                        seed: crate::registry::SEED,
+                        ..Default::default()
+                    },
+                )
+                .ok()
+            });
+            let anneal_wall = t1.elapsed();
+            let after = nocmap::perf::snapshot();
+            PerfPoint {
+                label: b.label.clone(),
+                switches: annealed
+                    .as_ref()
+                    .or(sol.as_ref())
+                    .map(MappingSolution::switch_count),
+                map_wall,
+                map_ops: mid.since(&before),
+                anneal_wall,
+                anneal_ops: after.since(&mid),
+            }
+        })
+        .collect()
+}
+
 fn run_headline(
     area_benches: &[LabeledBench],
     dvs_benches: &[LabeledBench],
@@ -726,6 +811,14 @@ pub fn run_spec(spec: &ExperimentSpec) -> Result<ExperimentOutput, FlowError> {
         } => ExperimentOutput::Headline {
             title,
             headline: run_headline(area_benches, dvs_benches, *floor_mhz)?,
+        },
+        ExperimentKind::Perf {
+            benches,
+            anneal_iterations,
+            anneal_chains,
+        } => ExperimentOutput::Perf {
+            title,
+            points: run_perf(benches, *anneal_iterations, *anneal_chains),
         },
     })
 }

@@ -9,14 +9,20 @@
 //!
 //! # Execution model
 //!
-//! Each parallel region spawns a team of workers (scoped threads, so
-//! borrowed closures need no `'static` bound and no `unsafe`). Tasks are
-//! dealt into per-worker deques in contiguous index blocks; a worker pops
-//! from the front of its own deque and, when empty, **steals from the
-//! back** of its neighbours' deques. Regions are coarse in this workspace
-//! (a whole annealing chain, a whole mesh-size mapping attempt, a whole
-//! figure suite), so per-region thread spawning is noise compared to the
-//! work each task performs.
+//! Parallel regions execute on a **lazily initialised persistent pool**
+//! (`pool.rs`): worker threads are spawned once per process (on the first
+//! region that wants them), parked between regions, and re-used by every
+//! later region — entering a region costs a queue push and a condvar
+//! notify, not a thread spawn/join pair. The calling thread always
+//! participates in its own region's work; pool workers are pure
+//! acceleration, and a region whose helpers are all busy simply runs
+//! everything on the caller (work-conserving, deadlock-free).
+//!
+//! Within a region, tasks are dealt into per-worker deques in contiguous
+//! index blocks; a worker pops from the front of its own deque and, when
+//! empty, **steals from the back** of its neighbours' deques.
+//! [`pool_threads_spawned`] exposes the pool's lifetime thread count so
+//! tests can prove regions re-use workers instead of spawning.
 //!
 //! # Determinism contract
 //!
@@ -42,17 +48,29 @@
 //! 2. the `NOC_PAR_THREADS` environment variable,
 //! 3. [`std::thread::available_parallelism`].
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+
+mod pool;
 
 use std::cell::Cell;
 use std::collections::VecDeque;
-use std::panic::resume_unwind;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use pool::run_region;
+
 /// Environment variable overriding the default worker count.
 pub const THREADS_ENV: &str = "NOC_PAR_THREADS";
+
+/// Total OS threads the persistent pool has spawned in this process so
+/// far. Workers are never torn down, so two identical-width regions in
+/// sequence leave this unchanged — the regression tests use exactly that
+/// property to prove pool re-use.
+pub fn pool_threads_spawned() -> usize {
+    pool::Pool::global().threads_spawned()
+}
 
 thread_local! {
     /// Per-thread override installed by [`with_threads`] (and propagated
@@ -171,31 +189,24 @@ where
     slots.resize_with(n, || None);
     let slots_mutex = Mutex::new(&mut slots);
 
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for worker in 0..threads {
-            let queues = &queues;
-            let f = &f;
-            let slots_mutex = &slots_mutex;
-            handles.push(scope.spawn(move || {
-                with_threads(configured, || {
-                    let mut local: Vec<(usize, R)> = Vec::new();
-                    while let Some((index, item)) = queues.next_task(worker) {
-                        local.push((index, f(index, item)));
-                    }
-                    let mut slots = slots_mutex.lock().unwrap();
-                    for (index, result) in local {
-                        slots[index] = Some(result);
-                    }
-                })
-            }));
-        }
-        for handle in handles {
-            if let Err(payload) = handle.join() {
-                resume_unwind(payload);
+    let worker_loop = |worker: usize| {
+        with_threads(configured, || {
+            let mut local: Vec<(usize, R)> = Vec::new();
+            while let Some((index, item)) = queues.next_task(worker) {
+                local.push((index, f(index, item)));
             }
-        }
-    });
+            let mut slots = slots_mutex.lock().unwrap();
+            for (index, result) in local {
+                slots[index] = Some(result);
+            }
+        })
+    };
+    // Helpers draw distinct deque slots 1..threads; the caller is slot 0.
+    // A cancelled ticket simply never draws — its deque is drained by
+    // stealing.
+    let next_slot = AtomicUsize::new(1);
+    let helper = || worker_loop(next_slot.fetch_add(1, Ordering::Relaxed));
+    run_region(threads - 1, &helper, || worker_loop(0));
     drop(slots_mutex);
 
     slots
@@ -228,7 +239,10 @@ where
 /// Runs `a` and `b`, potentially in parallel, and returns both results.
 ///
 /// `a` always runs on the calling thread; with an effective thread count
-/// of 1, `a` then `b` run sequentially.
+/// of 1, `a` then `b` run sequentially. With more threads, `b` is
+/// offered to the persistent pool — and reclaimed by the caller (run
+/// inline after `a`) if no worker picked it up, so a busy pool degrades
+/// to sequential execution instead of blocking.
 pub fn join<RA, RB, A, B>(a: A, b: B) -> (RA, RB)
 where
     RA: Send,
@@ -242,15 +256,32 @@ where
         let rb = b();
         return (ra, rb);
     }
-    std::thread::scope(|scope| {
-        let handle = scope.spawn(move || with_threads(threads, b));
-        let ra = a();
-        let rb = match handle.join() {
-            Ok(rb) => rb,
-            Err(payload) => resume_unwind(payload),
-        };
-        (ra, rb)
-    })
+    let b_cell: Mutex<Option<B>> = Mutex::new(Some(b));
+    let rb_slot: Mutex<Option<std::thread::Result<RB>>> = Mutex::new(None);
+    let helper = || {
+        let taken = b_cell.lock().unwrap().take();
+        if let Some(b) = taken {
+            let result = catch_unwind(AssertUnwindSafe(|| with_threads(threads, b)));
+            *rb_slot.lock().unwrap() = Some(result);
+        }
+    };
+    let mut ra = None;
+    run_region(1, &helper, || ra = Some(a()));
+    let ra = ra.expect("caller closure ran");
+    // After the region, the helper either ran to completion (slot set)
+    // or its ticket was cancelled (b still in the cell).
+    let rb = match rb_slot.into_inner().unwrap() {
+        Some(Ok(rb)) => rb,
+        Some(Err(payload)) => resume_unwind(payload),
+        None => {
+            let b = b_cell
+                .into_inner()
+                .unwrap()
+                .expect("ticket cancelled implies b untaken");
+            b()
+        }
+    };
+    (ra, rb)
 }
 
 /// A fork-join scope handed to the closure of [`scope`]: tasks spawned
@@ -311,19 +342,8 @@ pub fn scope<'env, R>(f: impl FnOnce(&Scope<'env>) -> R) -> R {
         run_worker(&sc);
         return result;
     }
-    std::thread::scope(|ts| {
-        let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            let sc = &sc;
-            let run_worker = &run_worker;
-            handles.push(ts.spawn(move || with_threads(threads, || run_worker(sc))));
-        }
-        for handle in handles {
-            if let Err(payload) = handle.join() {
-                resume_unwind(payload);
-            }
-        }
-    });
+    let helper = || with_threads(threads, || run_worker(&sc));
+    run_region(threads - 1, &helper, || run_worker(&sc));
     result
 }
 
@@ -470,6 +490,67 @@ mod tests {
         for threads in [2, 3, 8, 16] {
             assert_eq!(run(threads), baseline, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn pool_workers_are_reused_across_regions() {
+        // Warm the pool to this test binary's widest region — 16, used
+        // by `deterministic_across_thread_counts`, which may run
+        // concurrently — then prove that running more regions spawns
+        // nothing new: after warm-up no test in this process can grow
+        // the pool, so the count is stable.
+        let _ = with_threads(16, || par_map((0..64).collect::<Vec<u64>>(), |_, x| x));
+        let run = || with_threads(8, || par_map((0..64).collect::<Vec<u64>>(), |_, x| x * 2));
+        let expected: Vec<u64> = (0..64).map(|x| x * 2).collect();
+        assert_eq!(run(), expected);
+        let warmed = pool_threads_spawned();
+        assert!(warmed >= 1, "a 16-wide region must have enlisted the pool");
+        for _ in 0..32 {
+            assert_eq!(run(), expected);
+        }
+        assert_eq!(
+            pool_threads_spawned(),
+            warmed,
+            "sequential regions must re-use pooled workers, not spawn"
+        );
+    }
+
+    #[test]
+    fn caller_absorbs_work_when_pool_is_saturated() {
+        // Deeply nested regions: inner regions find every pool worker
+        // busy with the outer region, so their tickets are cancelled and
+        // the calling task does all the work itself — results unchanged.
+        let got = with_threads(4, || {
+            par_map((0..8).collect::<Vec<u64>>(), |_, outer| {
+                let inner = par_map((0..8).collect::<Vec<u64>>(), |_, x| x + outer);
+                inner.iter().sum::<u64>()
+            })
+        });
+        let want: Vec<u64> = (0..8)
+            .map(|outer| (0..8).map(|x| x + outer).sum())
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn join_reclaims_cancelled_second_closure() {
+        // Saturate the pool from inside a region, then join: even when
+        // no helper is free, both closures must run exactly once.
+        let count = AtomicUsize::new(0);
+        let (a, b) = with_threads(4, || {
+            join(
+                || {
+                    count.fetch_add(1, Ordering::SeqCst);
+                    1
+                },
+                || {
+                    count.fetch_add(1, Ordering::SeqCst);
+                    2
+                },
+            )
+        });
+        assert_eq!((a, b), (1, 2));
+        assert_eq!(count.load(Ordering::SeqCst), 2);
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! Measures `noc-par`'s per-region overhead: many *small* parallel
+//! regions in sequence, the workload the persistent pool exists for.
+//!
+//! ```text
+//! cargo run --release --example pool_overhead
+//! ```
+//!
+//! Before the pool (PR 2 .. PR 4), every region spawned and joined its
+//! own scoped threads: ~160 µs/region at width 4 on this container.
+//! With the persistent pool a region costs a queue push and a condvar
+//! notify: ~7 µs/region, a ~20x reduction — which is what makes
+//! fine-grained regions (not just whole annealing chains or suite
+//! points) worth parallelising. Results are identical either way; see
+//! `docs/PERFORMANCE.md` for the pool lifecycle.
+
+fn main() {
+    noc_par::with_threads(4, || {
+        // Warm the pool so thread spawning is not part of the measurement.
+        for _ in 0..100 {
+            let _ = noc_par::par_map(vec![1u64; 8], |_, x| x + 1);
+        }
+        let spawned = noc_par::pool_threads_spawned();
+        let t0 = std::time::Instant::now();
+        let regions = 20_000u32;
+        for _ in 0..regions {
+            let v = noc_par::par_map(vec![1u64; 8], |_, x| x * 2);
+            assert_eq!(v.iter().sum::<u64>(), 16);
+        }
+        let dt = t0.elapsed();
+        println!("{regions} regions in {dt:?} ({:?}/region)", dt / regions);
+        assert_eq!(
+            noc_par::pool_threads_spawned(),
+            spawned,
+            "the measured regions must not have spawned any thread"
+        );
+    });
+}

@@ -114,6 +114,33 @@ fn per_group_remapping_is_identical_across_thread_counts() {
     }
 }
 
+/// The persistent-pool contract: once a region as wide as any this
+/// binary uses has warmed the pool, running the full design pipeline
+/// again — any number of times, at any width up to the warmed one —
+/// spawns **zero** new OS threads. (Concurrent tests in this binary can
+/// race the warm-up itself, but none uses a wider region, so after
+/// warm-up the spawn count cannot move.)
+#[test]
+fn pool_is_reused_across_sequential_regions() {
+    let soc = SpreadConfig::paper(4).generate(SEED);
+    // Warm up at this binary's widest region width.
+    let warm = with_threads(8, || pipeline(&soc));
+    let spawned = noc_multiusecase::par::pool_threads_spawned();
+    assert!(
+        spawned >= 1,
+        "an 8-wide pipeline must have enlisted the pool"
+    );
+    for threads in [2, 4, 8, 8] {
+        let again = with_threads(threads, || pipeline(&soc));
+        assert_eq!(again, warm, "pooled runs stay byte-identical");
+    }
+    assert_eq!(
+        noc_multiusecase::par::pool_threads_spawned(),
+        spawned,
+        "sequential regions must re-use pooled workers, not spawn new ones"
+    );
+}
+
 /// The speedup claim behind the parallel subsystem, kept honest: a
 /// multi-group suite must not map *slower* with extra workers, and the
 /// result must match the sequential one bit for bit. The parallel run

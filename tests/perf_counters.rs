@@ -1,0 +1,120 @@
+//! Op-counter regression tests for the allocation-free hot loops.
+//!
+//! The counters (`nocmap::perf`) are process-global, so this file keeps
+//! everything inside **one** test function (integration-test files are
+//! separate binaries, and a single `#[test]` cannot race itself): exact
+//! deltas stay exact.
+//!
+//! What is pinned here:
+//!
+//! * the annealer performs **no full re-route per move** — `full_maps`
+//!   rises by exactly 1 (the initial sanity pass) no matter how many
+//!   moves the walk proposes;
+//! * delta evaluation **skips use-case groups untouched by a move**
+//!   (`groups_reused > 0` on a spec with disjoint-core use-cases);
+//! * path queries run against **re-used scratch buffers** — one
+//!   allocation per group per map, not one per query;
+//! * all of those counts are **identical at any thread count**.
+
+use noc_multiusecase::map::anneal::{refine, AnnealConfig};
+use noc_multiusecase::map::design::design_smallest_mesh;
+use noc_multiusecase::map::{perf, MapperOptions};
+use noc_multiusecase::par::with_threads;
+use noc_multiusecase::tdma::TdmaSpec;
+use noc_multiusecase::topology::units::{Bandwidth, Latency};
+use noc_multiusecase::usecase::spec::{CoreId, SocSpec, UseCaseBuilder};
+use noc_multiusecase::usecase::UseCaseGroups;
+
+/// Two use-cases over **disjoint** core sets: a swap touching only one
+/// side must leave the other group's configuration spliced, not
+/// re-routed.
+fn disjoint_soc() -> SocSpec {
+    let c = CoreId::new;
+    let bw = Bandwidth::from_mbps;
+    let mut soc = SocSpec::new("disjoint");
+    soc.add_use_case(
+        UseCaseBuilder::new("u0")
+            .flow(c(0), c(1), bw(400), Latency::UNCONSTRAINED)
+            .unwrap()
+            .flow(c(2), c(3), bw(300), Latency::UNCONSTRAINED)
+            .unwrap()
+            .flow(c(1), c(2), bw(50), Latency::UNCONSTRAINED)
+            .unwrap()
+            .build(),
+    );
+    soc.add_use_case(
+        UseCaseBuilder::new("u1")
+            .flow(c(4), c(5), bw(400), Latency::UNCONSTRAINED)
+            .unwrap()
+            .flow(c(6), c(7), bw(300), Latency::UNCONSTRAINED)
+            .unwrap()
+            .flow(c(5), c(6), bw(50), Latency::UNCONSTRAINED)
+            .unwrap()
+            .build(),
+    );
+    soc
+}
+
+#[test]
+fn hot_loops_are_delta_evaluated_and_allocation_free() {
+    let soc = disjoint_soc();
+    let groups = UseCaseGroups::singletons(2);
+    let opts = MapperOptions::default();
+
+    // -- Mapping: one scratch per group, not one per path query. -------
+    let before = perf::snapshot();
+    let initial = design_smallest_mesh(&soc, &groups, TdmaSpec::paper_default(), &opts, 64)
+        .expect("tiny spec maps");
+    let map_delta = perf::snapshot().since(&before);
+    assert!(
+        map_delta.path_queries > map_delta.scratch_allocs,
+        "queries ({}) must outnumber scratch allocations ({})",
+        map_delta.path_queries,
+        map_delta.scratch_allocs
+    );
+    assert_eq!(
+        map_delta.path_queries, map_delta.group_routes,
+        "the smallest-mesh search retries every failed path at most once per \
+         (pair, group) attempt — each routing attempt is one query here"
+    );
+
+    // -- Annealing: delta evaluation, rollback in place. ---------------
+    let cfg = AnnealConfig {
+        iterations: 40,
+        chains: 1,
+        seed: 2006,
+        ..Default::default()
+    };
+    let run_refine = || {
+        let before = perf::snapshot();
+        let refined = refine(&soc, &groups, &opts, &initial, &cfg).expect("refine succeeds");
+        (perf::snapshot().since(&before), refined)
+    };
+    let (delta, refined) = run_refine();
+    assert!(refined.comm_cost() <= initial.comm_cost());
+    assert_eq!(
+        delta.full_maps, 1,
+        "exactly one full re-route (the initial sanity pass) regardless of \
+         {} proposed moves — the walk itself must never full-map",
+        delta.anneal_moves
+    );
+    assert!(delta.anneal_moves > 0, "the walk must propose moves");
+    assert_eq!(
+        delta.groups_rerouted + delta.groups_reused,
+        2 * delta.anneal_moves,
+        "every evaluated move accounts for both groups, re-routed or spliced"
+    );
+    assert!(
+        delta.groups_reused > 0,
+        "disjoint-core use-cases: moves inside one group must splice the \
+         other ({} rerouted, {} reused)",
+        delta.groups_rerouted,
+        delta.groups_reused
+    );
+
+    // -- Determinism: identical op counts at any thread count. ---------
+    let (seq, seq_sol) = with_threads(1, run_refine);
+    let (par, par_sol) = with_threads(4, run_refine);
+    assert_eq!(seq_sol, par_sol, "thread count must not change the walk");
+    assert_eq!(seq, par, "op counters must be schedule-independent");
+}

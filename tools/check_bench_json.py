@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Validate BENCH_nocmap.json trajectory files (schema + determinism).
+
+Usage:
+    check_bench_json.py FILE [FILE2]
+
+With one file: validates the schema (top-level keys, per-run and
+per-suite fields, op-counter keys). With two files: additionally asserts
+that the *deterministic* fields of the two files' latest run records are
+identical — CI passes records produced at ``--threads 1`` and ``4``, so
+any divergence is a determinism-contract violation. Wall-time fields
+(``map_ms`` / ``anneal_ms``) are machine-dependent and excluded.
+
+See docs/PERFORMANCE.md for the schema.
+"""
+
+import json
+import sys
+
+OP_KEYS = {
+    "path_queries",
+    "dijkstra_pops",
+    "scratch_allocs",
+    "group_routes",
+    "full_maps",
+    "groups_rerouted",
+    "groups_reused",
+    "anneal_moves",
+    "anneal_accepts",
+}
+SUITE_KEYS = {"label", "switches", "map_ms", "anneal_ms", "map_ops", "anneal_ops"}
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc.get("schema") == 1, f"{path}: unexpected schema {doc.get('schema')}"
+    runs = doc.get("trajectory")
+    assert isinstance(runs, list) and runs, f"{path}: empty or missing trajectory"
+    for run in runs:
+        assert set(run) == {"label", "threads", "suites"}, f"{path}: bad run keys {set(run)}"
+        assert isinstance(run["threads"], int) and run["threads"] >= 1
+        assert run["suites"], f"{path}: run '{run['label']}' has no suites"
+        for suite in run["suites"]:
+            assert set(suite) == SUITE_KEYS, f"{path}: bad suite keys {set(suite)}"
+            for ops_key in ("map_ops", "anneal_ops"):
+                assert set(suite[ops_key]) == OP_KEYS, (
+                    f"{path}: bad {ops_key} keys {set(suite[ops_key])}"
+                )
+    return doc
+
+
+def deterministic(run):
+    return [
+        {k: s[k] for k in ("label", "switches", "map_ops", "anneal_ops")}
+        for s in run["suites"]
+    ]
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__)
+        return 2
+    docs = [load(p) for p in argv[1:]]
+    for path in argv[1:]:
+        print(f"{path}: schema OK")
+    if len(docs) == 2:
+        a, b = (deterministic(d["trajectory"][-1]) for d in docs)
+        if a != b:
+            print("FAIL: deterministic fields differ between the two records")
+            for sa, sb in zip(a, b):
+                if sa != sb:
+                    print(f"  suite {sa['label']}: {sa} != {sb}")
+            return 1
+        print(f"deterministic fields identical across {len(a)} suites")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
