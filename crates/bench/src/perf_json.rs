@@ -1,10 +1,12 @@
 //! `BENCH_nocmap.json` — the machine-readable perf trajectory.
 //!
-//! Every run of the `perf` suite can append one **run record** to a
-//! JSON file at the repo root, so the committed file's history (and its
+//! Every run of the `perf` suite can add one **run record** to a JSON
+//! file at the repo root, so the committed file's history (and its
 //! growing `trajectory` array) is a real perf trajectory future PRs
-//! extend instead of optimising blind. The offline `serde` shim has no
-//! format backend, so the document is emitted (and spliced) by hand; the
+//! extend instead of optimising blind. One record per label: re-running
+//! with an existing label replaces that record in place rather than
+//! appending a duplicate. The offline `serde` shim has no format
+//! backend, so the document is emitted (and spliced) by hand; the
 //! layout is fixed — two header lines, one line per run record, two
 //! footer lines — which is what makes [`append_run`] a safe textual
 //! splice. `docs/PERFORMANCE.md` documents the schema.
@@ -41,7 +43,8 @@ fn ops_json(ops: &PerfSnapshot) -> String {
     format!(
         "{{\"path_queries\":{},\"dijkstra_pops\":{},\"scratch_allocs\":{},\
          \"group_routes\":{},\"full_maps\":{},\"groups_rerouted\":{},\
-         \"groups_reused\":{},\"anneal_moves\":{},\"anneal_accepts\":{}}}",
+         \"groups_reused\":{},\"anneal_moves\":{},\"anneal_accepts\":{},\
+         \"conflict_word_tests\":{},\"legacy_slot_probes\":{}}}",
         ops.path_queries,
         ops.dijkstra_pops,
         ops.scratch_allocs,
@@ -51,6 +54,8 @@ fn ops_json(ops: &PerfSnapshot) -> String {
         ops.groups_reused,
         ops.anneal_moves,
         ops.anneal_accepts,
+        ops.conflict_word_tests,
+        ops.legacy_slot_probes,
     )
 }
 
@@ -96,14 +101,32 @@ pub fn document(records: &[String]) -> String {
     out
 }
 
-/// Appends `record` (a [`run_record`] line) to the trajectory file at
-/// `path`, creating the document if the file does not exist.
+/// The `{"label":"…"` prefix of a run-record line, up to and including
+/// the label's closing quote. [`escape`] backslash-escapes every quote
+/// inside a label, so the first bare `","threads":` in a record is
+/// always the real field boundary — the prefix is a safe textual key
+/// for label equality.
+fn label_key(record: &str) -> Option<&str> {
+    record.find("\",\"threads\":").map(|i| &record[..=i])
+}
+
+/// Inserts `record` (a [`run_record`] line) into the trajectory file at
+/// `path`, creating the document if the file does not exist. A record
+/// whose label already appears in the trajectory is **replaced in
+/// place** (same position, so `trajectory[-1]` comparisons stay
+/// meaningful); a new label is appended. Re-running
+/// `nocmap_cli perf --label L` therefore updates L's record instead of
+/// accumulating duplicates.
 ///
 /// # Errors
 ///
-/// I/O failures, or a file that is not a trajectory document this
-/// module wrote (the splice marker is missing).
+/// I/O failures, a malformed record (no label field), or a file that is
+/// not a trajectory document this module wrote (the splice markers are
+/// missing).
 pub fn append_run(path: &std::path::Path, record: &str) -> std::io::Result<()> {
+    let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    let key =
+        label_key(record).ok_or_else(|| bad(format!("run record has no label field: {record}")))?;
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
@@ -111,18 +134,25 @@ pub fn append_run(path: &std::path::Path, record: &str) -> std::io::Result<()> {
         }
         Err(e) => return Err(e),
     };
-    let Some(idx) = text.rfind(FOOTER) else {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!("{} is not a BENCH trajectory document", path.display()),
-        ));
+    let not_doc = || {
+        bad(format!(
+            "{} is not a BENCH trajectory document",
+            path.display()
+        ))
     };
-    let mut out = String::with_capacity(text.len() + record.len() + 8);
-    out.push_str(&text[..idx]);
-    out.push_str(",\n    ");
-    out.push_str(record);
-    out.push_str(&text[idx..]);
-    std::fs::write(path, out)
+    let open = "\"trajectory\": [\n    ";
+    let start = text.find(open).ok_or_else(not_doc)? + open.len();
+    let end = text.rfind(FOOTER).ok_or_else(not_doc)?;
+    let mut records: Vec<String> = text[start..end]
+        .split(",\n    ")
+        .map(str::to_string)
+        .collect();
+    let marker = format!("{key},");
+    match records.iter().position(|r| r.starts_with(&marker)) {
+        Some(i) => records[i] = record.to_string(),
+        None => records.push(record.to_string()),
+    }
+    std::fs::write(path, document(&records))
 }
 
 #[cfg(test)]
@@ -143,6 +173,28 @@ mod tests {
         assert!(text.ends_with("\n  ]\n}\n"));
         // Appending keeps earlier records byte-for-byte.
         assert!(text.contains("{\"label\":\"a\",\"threads\":1,\"suites\":[]}"));
+    }
+
+    #[test]
+    fn rerun_replaces_record_with_same_label() {
+        let dir = std::env::temp_dir().join("noc_perf_json_replace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let _ = std::fs::remove_file(&path);
+        append_run(&path, "{\"label\":\"a\",\"threads\":1,\"suites\":[]}").unwrap();
+        append_run(&path, "{\"label\":\"b\",\"threads\":1,\"suites\":[]}").unwrap();
+        append_run(&path, "{\"label\":\"a\",\"threads\":4,\"suites\":[]}").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.matches("\"label\":\"a\"").count(), 1, "{text}");
+        // Replacement happens in place: 'a' still precedes 'b'.
+        assert!(
+            text.find("\"label\":\"a\",\"threads\":4").unwrap()
+                < text.find("\"label\":\"b\"").unwrap()
+        );
+        // A label that merely *prefixes* another must not match it.
+        append_run(&path, "{\"label\":\"ab\",\"threads\":1,\"suites\":[]}").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.matches("\"label\":").count(), 3);
     }
 
     #[test]

@@ -92,6 +92,12 @@ struct PairTask {
 /// sequence and its path-search scratch buffer. All are per group so
 /// that different groups can be routed in parallel without shared
 /// mutable state whose contents would depend on cross-group scheduling.
+///
+/// The slot state is mask-backed (`noc_tdma::SlotMask`): per-link
+/// occupancy is one bit per slot, so the conflict probes inside
+/// `route_in_group`'s k-growth loop are rotated-word folds rather than
+/// per-slot scans, and cloning this state per group costs `S` bits plus
+/// the live reservations per link.
 struct GroupState {
     slots: NetworkSlots,
     conn_seq: u32,

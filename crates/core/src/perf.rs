@@ -11,28 +11,37 @@
 //! queries stop allocating per call.
 //!
 //! Counters are process-global relaxed atomics — cheap enough to stay
-//! always-on. Readers take [`snapshot`]s and subtract
-//! ([`PerfSnapshot::since`]); exact per-section deltas require that no
-//! unrelated mapping work runs concurrently (the perf harness runs in
-//! its own process, and counter-based tests keep to one test function
-//! per binary).
+//! always-on. Most live in this module; the slot-conflict pair
+//! (`conflict_word_tests` / `legacy_slot_probes`) lives below us in the
+//! crate DAG, in [`noc_tdma::stats`], and is folded into every
+//! [`snapshot`] here so consumers see one struct. Readers take
+//! [`snapshot`]s and subtract ([`PerfSnapshot::since`]); exact
+//! per-section deltas require that no unrelated mapping work runs
+//! concurrently (the perf harness runs in its own process, and
+//! counter-based tests keep to one test function per binary).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 macro_rules! counters {
-    ($($(#[$doc:meta])* $name:ident => $static_name:ident),* $(,)?) => {
+    (
+        local { $($(#[$doc:meta])* $name:ident => $static_name:ident),* $(,)? }
+        external { $($(#[$edoc:meta])* $ename:ident => read $eread:path, reset $ereset:path),* $(,)? }
+    ) => {
         $(pub(crate) static $static_name: AtomicU64 = AtomicU64::new(0);)*
 
         /// A point-in-time copy of every hot-path counter.
         #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
         pub struct PerfSnapshot {
             $($(#[$doc])* pub $name: u64,)*
+            $($(#[$edoc])* pub $ename: u64,)*
         }
 
-        /// Reads every counter at once.
+        /// Reads every counter at once (including the externally sourced
+        /// ones from lower crates).
         pub fn snapshot() -> PerfSnapshot {
             PerfSnapshot {
                 $($name: $static_name.load(Ordering::Relaxed),)*
+                $($ename: $eread(),)*
             }
         }
 
@@ -40,6 +49,7 @@ macro_rules! counters {
         /// mapping work observes the reset mid-flight).
         pub fn reset() {
             $($static_name.store(0, Ordering::Relaxed);)*
+            $($ereset();)*
         }
 
         impl PerfSnapshot {
@@ -49,6 +59,7 @@ macro_rules! counters {
             pub fn since(&self, earlier: &PerfSnapshot) -> PerfSnapshot {
                 PerfSnapshot {
                     $($name: self.$name.saturating_sub(earlier.$name),)*
+                    $($ename: self.$ename.saturating_sub(earlier.$ename),)*
                 }
             }
         }
@@ -56,28 +67,46 @@ macro_rules! counters {
 }
 
 counters! {
-    /// Constrained shortest-path queries ([`crate::path::PathQuery`]).
-    path_queries => PATH_QUERIES,
-    /// Dijkstra heap pops across all path queries.
-    dijkstra_pops => DIJKSTRA_POPS,
-    /// Label-table scratch buffers allocated
-    /// ([`crate::path::PathScratch::new`]); flat while queries climb
-    /// proves the reuse convention holds.
-    scratch_allocs => SCRATCH_ALLOCS,
-    /// Single `(pair, group)` routing attempts inside the mapper.
-    group_routes => GROUP_ROUTES,
-    /// Full `map_multi_usecase` runs (every group routed).
-    full_maps => FULL_MAPS,
-    /// Groups actually re-routed by a delta re-route
-    /// ([`crate::mapper::reroute_preset_groups`]).
-    groups_rerouted => GROUPS_REROUTED,
-    /// Groups a delta re-route reused verbatim from the base solution.
-    groups_reused => GROUPS_REUSED,
-    /// Annealing moves proposed (self-moves excluded).
-    anneal_moves => ANNEAL_MOVES,
-    /// Annealing moves accepted.
-    anneal_accepts => ANNEAL_ACCEPTS,
+    local {
+        /// Constrained shortest-path queries ([`crate::path::PathQuery`]).
+        path_queries => PATH_QUERIES,
+        /// Dijkstra heap pops across all path queries.
+        dijkstra_pops => DIJKSTRA_POPS,
+        /// Label-table scratch buffers allocated
+        /// ([`crate::path::PathScratch::new`]); flat while queries climb
+        /// proves the reuse convention holds.
+        scratch_allocs => SCRATCH_ALLOCS,
+        /// Single `(pair, group)` routing attempts inside the mapper.
+        group_routes => GROUP_ROUTES,
+        /// Full `map_multi_usecase` runs (every group routed).
+        full_maps => FULL_MAPS,
+        /// Groups actually re-routed by a delta re-route
+        /// ([`crate::mapper::reroute_preset_groups`]).
+        groups_rerouted => GROUPS_REROUTED,
+        /// Groups a delta re-route reused verbatim from the base solution.
+        groups_reused => GROUPS_REUSED,
+        /// Annealing moves proposed (self-moves excluded).
+        anneal_moves => ANNEAL_MOVES,
+        /// Annealing moves accepted.
+        anneal_accepts => ANNEAL_ACCEPTS,
+    }
+    external {
+        /// `u64`-word operations in slot-conflict folds
+        /// ([`noc_tdma::stats::conflict_word_tests`]).
+        conflict_word_tests => read noc_tdma::stats::conflict_word_tests, reset reset_tdma_words,
+        /// Per-slot probes the pre-mask slot tables would have needed for
+        /// the same conflict answers
+        /// ([`noc_tdma::stats::legacy_slot_probes`]).
+        legacy_slot_probes => read noc_tdma::stats::legacy_slot_probes, reset reset_tdma_probes,
+    }
 }
+
+// Both tdma counters reset through one call; a second no-op keeps the
+// macro's one-reset-per-external shape.
+fn reset_tdma_words() {
+    noc_tdma::stats::reset();
+}
+fn reset_tdma_probes() {}
 
 #[inline]
 pub(crate) fn add(counter: &AtomicU64, n: u64) {

@@ -17,7 +17,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use noc_tdma::TdmaSpec;
+use noc_tdma::{SlotMask, TdmaSpec};
 use noc_topology::units::Bandwidth;
 use noc_topology::LinkId;
 use noc_usecase::spec::CoreId;
@@ -100,12 +100,12 @@ pub fn simulate_mixed(
         .map(|l| l.index())
         .max()
         .unwrap_or(0);
-    let mut reserved = vec![vec![false; slots]; max_link + 1];
+    let mut reserved = vec![SlotMask::new(slots); max_link + 1];
     for conn in guaranteed {
         for &base in &conn.base_slots {
             assert!(base < slots, "base slot {base} out of range");
             for (i, l) in conn.path.iter().enumerate() {
-                reserved[l.index()][(base + i) % slots] = true;
+                reserved[l.index()].set((base + i) % slots);
             }
         }
     }
@@ -157,7 +157,7 @@ pub fn simulate_mixed(
         // cycle (a word entering a queue this cycle must wait a cycle).
         let mut moves: Vec<(usize, (usize, u64, usize))> = Vec::new();
         for (li, queue) in link_queues.iter_mut().enumerate() {
-            if reserved[li][slot] {
+            if reserved[li].test(slot) {
                 continue;
             }
             if let Some(word) = queue.pop_front() {

@@ -2,7 +2,7 @@
 
 use std::collections::VecDeque;
 
-use noc_tdma::TdmaSpec;
+use noc_tdma::{SlotMask, TdmaSpec};
 use noc_topology::units::Bandwidth;
 use noc_topology::LinkId;
 use noc_usecase::spec::{CoreId, SocSpec, UseCaseId};
@@ -102,7 +102,7 @@ pub fn simulate_connections(
 
     // Per-connection state.
     struct ConnState {
-        in_slot: Vec<bool>,    // base-slot membership table
+        in_slot: SlotMask,     // bit-packed base-slot membership
         queue: VecDeque<u64>,  // enqueue cycle per queued word
         source: TrafficSource, // word generator (integer credit state)
         stats: FlowStats,
@@ -117,10 +117,10 @@ pub fn simulate_connections(
                 "connection {:?} has an empty path",
                 c.key
             );
-            let mut in_slot = vec![false; slots];
+            let mut in_slot = SlotMask::new(slots);
             for &s in &c.base_slots {
                 assert!(s < slots, "base slot {s} out of range for {:?}", c.key);
-                in_slot[s] = true;
+                in_slot.set(s);
             }
             ConnState {
                 in_slot,
@@ -185,7 +185,7 @@ pub fn simulate_connections(
                 .peak_backlog_words
                 .max(st.stats.injected_words - st.stats.delivered_words);
             // Injection: one word if this cycle's slot is owned.
-            if st.in_slot[slot] {
+            if st.in_slot.test(slot) {
                 if let Some(enq) = st.queue.pop_front() {
                     // Claim every (link, slot) cell of the pipeline and
                     // check for contention.

@@ -11,13 +11,19 @@
 //!
 //! This crate supplies:
 //!
-//! * [`SlotTable`] — one link's slot table,
+//! * [`SlotMask`] / [`OccupancyMask`] — bit-packed slot sets (`u64`-word
+//!   conflict tests, rotate-by-offset wraparound probes, popcount free
+//!   counts),
+//! * [`SlotTable`] — one link's slot table: mask-backed occupancy plus a
+//!   slot-sorted ownership side index,
 //! * [`NetworkSlots`] — the per-use-case resource state over all links of a
 //!   topology (Algorithm 2 of the paper keeps one of these per use-case),
 //! * slot search over a path with [`NetworkSlots::find_base_slots`] and the
 //!   reservation/release pair,
 //! * bandwidth⇄slot conversions and worst-case latency bounds for GT
-//!   connections.
+//!   connections,
+//! * [`stats`] — process-global counters for the word-wise conflict folds,
+//!   folded into `nocmap`'s perf snapshots.
 //!
 //! # Example
 //!
@@ -57,11 +63,14 @@
 #![warn(missing_docs)]
 
 mod error;
+mod mask;
 mod network;
 mod spec;
+pub mod stats;
 mod table;
 
 pub use error::TdmaError;
+pub use mask::{OccupancyMask, SlotMask};
 pub use network::{NetworkSlots, SlotPolicy};
 pub use spec::TdmaSpec;
-pub use table::{ConnId, SlotTable};
+pub use table::{ConnId, SlotError, SlotTable};

@@ -4,7 +4,9 @@ use noc_topology::{LinkId, Topology};
 use serde::{Deserialize, Serialize};
 
 use crate::error::TdmaError;
+use crate::mask::SlotMask;
 use crate::spec::TdmaSpec;
+use crate::stats;
 use crate::table::{ConnId, SlotTable};
 
 /// How to pick base slots among the feasible candidates.
@@ -30,6 +32,14 @@ pub enum SlotPolicy {
 ///
 /// Slot accounting subsumes bandwidth accounting: a link with `k` free
 /// slots has `k × slot_bandwidth` residual capacity.
+///
+/// The conflict probes (`base_slot_free`, `free_base_slots`) work on a
+/// *combined occupancy*: each link's bit mask rotated right by its path
+/// position and OR-ed together, so bit `s` of the result is set exactly
+/// when base slot `s` collides somewhere along the path. The
+/// `(s + i) % S` wraparound of the pipelined slot-advance rule is folded
+/// into the rotation — a handful of `u64` word ops per link instead of a
+/// modulo per probed slot.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NetworkSlots {
     tables: Vec<SlotTable>,
@@ -83,19 +93,29 @@ impl NetworkSlots {
             .unwrap_or(self.slots_per_table)
     }
 
+    /// The mask of base slots that conflict anywhere along `path`: link
+    /// `i`'s occupancy rotated by `i` (bit `s` ← bit `(s + i) % S`),
+    /// OR-ed over the path. Bit `s` clear ⇔ base slot `s` is free on
+    /// every link under the pipelined slot-advance rule.
+    pub fn combined_occupancy(&self, path: &[LinkId]) -> SlotMask {
+        let mut acc = SlotMask::new(self.slots_per_table);
+        for (i, &l) in path.iter().enumerate() {
+            acc.or_rotated(self.tables[l.index()].occupancy().mask(), i);
+        }
+        stats::record_fold(path.len(), acc.word_count(), self.slots_per_table);
+        acc
+    }
+
     /// Whether base slot `s` is free along the whole of `path` under the
     /// pipelined slot-advance rule (slot `s + i` on the `i`-th link).
     pub fn base_slot_free(&self, path: &[LinkId], s: usize) -> bool {
-        path.iter()
-            .enumerate()
-            .all(|(i, &l)| self.tables[l.index()].is_free((s + i) % self.slots_per_table))
+        !self.combined_occupancy(path).test(s)
     }
 
-    /// All base slots that are free along `path`.
+    /// All base slots that are free along `path`, ascending — the zero
+    /// bits of one combined-occupancy fold.
     pub fn free_base_slots(&self, path: &[LinkId]) -> Vec<usize> {
-        (0..self.slots_per_table)
-            .filter(|&s| self.base_slot_free(path, s))
-            .collect()
+        self.combined_occupancy(path).zeros().collect()
     }
 
     /// Finds `needed` base slots free along `path`, or `None` if fewer than
@@ -303,6 +323,34 @@ mod tests {
         assert_eq!(ns.table(path[2]).owner(1), Some(ConnId::new(1)));
     }
 
+    /// Regression for the rotate-based probe at the table boundary: a
+    /// reservation near slot `S - 1` wraps onto the low slots of later
+    /// links, and the combined-occupancy fold must report exactly the
+    /// same conflicts as the per-slot `(s + i) % S` scan it replaced.
+    #[test]
+    fn probe_wraps_at_table_boundary() {
+        let (topo, path, spec) = setup();
+        let mut ns = NetworkSlots::new(&topo, &spec);
+        // Slot 0 taken on the *third* link only: under the slot-advance
+        // rule that blocks base slot S - 2 = 6 (6 + 2 ≡ 0 mod 8).
+        ns.reserve(&path[2..], &[0], ConnId::new(1)).unwrap();
+        assert!(!ns.base_slot_free(&path, 6));
+        assert!(ns.base_slot_free(&path, 0));
+        assert_eq!(ns.free_base_slots(&path), vec![0, 1, 2, 3, 4, 5, 7]);
+
+        // Pile on a wrap from the other side: base 7 on the full path
+        // occupies slots 7, 0, 1 across the links.
+        ns.reserve(&path, &[7], ConnId::new(2)).unwrap();
+        let naive: Vec<usize> = (0..8)
+            .filter(|&s| {
+                path.iter()
+                    .enumerate()
+                    .all(|(i, &l)| ns.table(l).is_free((s + i) % 8))
+            })
+            .collect();
+        assert_eq!(ns.free_base_slots(&path), naive);
+    }
+
     #[test]
     fn conflicting_reservations_rejected_atomically() {
         let (topo, path, spec) = setup();
@@ -413,5 +461,21 @@ mod tests {
         ns.reserve(&path[1..2], &[0, 1, 2], ConnId::new(1)).unwrap();
         assert_eq!(ns.min_free_along(&path), 5);
         assert_eq!(ns.min_free_along(&[]), 8);
+    }
+
+    #[test]
+    fn fold_counters_advance() {
+        let (topo, path, spec) = setup();
+        let ns = NetworkSlots::new(&topo, &spec);
+        let (w0, p0) = (
+            crate::stats::conflict_word_tests(),
+            crate::stats::legacy_slot_probes(),
+        );
+        let _ = ns.free_base_slots(&path);
+        // 3 links, 8 slots: one word each, 8 legacy probes each. Other
+        // tests in this binary fold concurrently (the counters are
+        // process-global), so assert lower bounds, not exact deltas.
+        assert!(crate::stats::conflict_word_tests() - w0 >= 3);
+        assert!(crate::stats::legacy_slot_probes() - p0 >= 24);
     }
 }

@@ -1,0 +1,44 @@
+//! Process-global counters for the word-wise conflict probes.
+//!
+//! `noc-tdma` sits below the `nocmap` perf telemetry in the crate DAG,
+//! so the mask-layer counters live here and `nocmap::perf` folds them
+//! into its snapshots. Two counters, both pure functions of the call
+//! sequence (no early exits), so they are identical at any worker
+//! count — the same schedule-independence contract as the rest of the
+//! telemetry:
+//!
+//! * [`conflict_word_tests`] — `u64`-word operations actually performed
+//!   while folding per-link occupancies into a path's combined conflict
+//!   mask (`links × ⌈S/64⌉` per fold);
+//! * [`legacy_slot_probes`] — the per-slot probes the pre-mask
+//!   representation would have needed for the same answers
+//!   (`links × S` per fold, no early exit), kept as the denominator
+//!   that shows the word-for-slot replacement rate (~64× at `S = 128`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CONFLICT_WORD_TESTS: AtomicU64 = AtomicU64::new(0);
+static LEGACY_SLOT_PROBES: AtomicU64 = AtomicU64::new(0);
+
+/// Records one combined-occupancy fold over `links` tables of
+/// `words` words covering `slots` slots each.
+pub(crate) fn record_fold(links: usize, words: usize, slots: usize) {
+    CONFLICT_WORD_TESTS.fetch_add((links * words) as u64, Ordering::Relaxed);
+    LEGACY_SLOT_PROBES.fetch_add((links * slots) as u64, Ordering::Relaxed);
+}
+
+/// Total `u64`-word conflict operations performed so far.
+pub fn conflict_word_tests() -> u64 {
+    CONFLICT_WORD_TESTS.load(Ordering::Relaxed)
+}
+
+/// Total per-slot probes the legacy representation would have needed.
+pub fn legacy_slot_probes() -> u64 {
+    LEGACY_SLOT_PROBES.load(Ordering::Relaxed)
+}
+
+/// Resets both counters to zero.
+pub fn reset() {
+    CONFLICT_WORD_TESTS.store(0, Ordering::Relaxed);
+    LEGACY_SLOT_PROBES.store(0, Ordering::Relaxed);
+}

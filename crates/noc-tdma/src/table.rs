@@ -4,6 +4,8 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::mask::OccupancyMask;
+
 /// Identifier of a GT connection, chosen by the caller (the mapper packs a
 /// use-case index and flow index into one id). Slot tables record the owner
 /// of every reserved slot so configurations can be audited and released.
@@ -43,7 +45,59 @@ impl fmt::Display for ConnId {
     }
 }
 
+/// Why a [`SlotTable`] mutation was refused.
+///
+/// The table's contract: **mutators** ([`SlotTable::occupy`],
+/// [`SlotTable::release`]) report *every* failure — including an
+/// out-of-range index — through this type and never panic; **read-only
+/// accessors** ([`SlotTable::is_free`], [`SlotTable::owner`]) panic on
+/// out-of-range indices, uniformly documented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SlotError {
+    /// The slot index does not exist in a table of `size` slots.
+    OutOfRange {
+        /// The offending index.
+        slot: usize,
+        /// The table size.
+        size: usize,
+    },
+    /// The slot is already reserved by `owner`.
+    Occupied {
+        /// Current owner of the slot.
+        owner: ConnId,
+    },
+    /// The slot is not owned by the releasing connection.
+    NotOwner {
+        /// Actual owner, or `None` if the slot is free.
+        owner: Option<ConnId>,
+    },
+}
+
+impl fmt::Display for SlotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SlotError::OutOfRange { slot, size } => {
+                write!(f, "slot {slot} out of range for table of {size} slots")
+            }
+            SlotError::Occupied { owner } => write!(f, "slot already owned by {owner}"),
+            SlotError::NotOwner { owner: Some(c) } => write!(f, "slot owned by {c}, not caller"),
+            SlotError::NotOwner { owner: None } => write!(f, "slot is free, nothing to release"),
+        }
+    }
+}
+
+impl std::error::Error for SlotError {}
+
 /// One link's slot table: `S` slots, each free or owned by a connection.
+///
+/// Occupancy lives in a bit-packed [`OccupancyMask`] (one bit per slot,
+/// popcount for [`SlotTable::free_count`], word-wise merges for the
+/// network-level conflict probes); connection *ownership* lives in a
+/// slot-sorted side index consulted only by the cold audit paths
+/// ([`SlotTable::owner`], [`SlotTable::reservations`], release checks).
+/// Cloning a table — the parallel mapper clones per-group slot state
+/// wholesale — therefore copies `S` bits plus the live reservations
+/// instead of `S` `Option<ConnId>` words.
 ///
 /// ```
 /// use noc_tdma::{ConnId, SlotTable};
@@ -58,8 +112,10 @@ impl fmt::Display for ConnId {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SlotTable {
-    slots: Vec<Option<ConnId>>,
-    free: usize,
+    occupancy: OccupancyMask,
+    /// `(slot, owner)` pairs sorted by slot — the side index backing
+    /// [`SlotTable::owner`] and [`SlotTable::reservations`].
+    owners: Vec<(usize, ConnId)>,
 }
 
 impl SlotTable {
@@ -71,19 +127,25 @@ impl SlotTable {
     pub fn new(size: usize) -> Self {
         assert!(size > 0, "slot table must have at least one slot");
         SlotTable {
-            slots: vec![None; size],
-            free: size,
+            occupancy: OccupancyMask::new(size),
+            owners: Vec::new(),
         }
     }
 
     /// Number of slots.
     pub fn size(&self) -> usize {
-        self.slots.len()
+        self.occupancy.size()
     }
 
-    /// Number of free slots.
+    /// Number of free slots (a popcount over the occupancy words).
     pub fn free_count(&self) -> usize {
-        self.free
+        self.occupancy.free_count()
+    }
+
+    /// The bit-packed occupancy of this table (set bit = reserved slot),
+    /// for word-wise conflict merges at the network level.
+    pub fn occupancy(&self) -> &OccupancyMask {
+        &self.occupancy
     }
 
     /// Returns `true` if slot `index` is free.
@@ -92,7 +154,7 @@ impl SlotTable {
     ///
     /// Panics if `index` is out of range.
     pub fn is_free(&self, index: usize) -> bool {
-        self.slots[index].is_none()
+        !self.occupancy.is_occupied(index)
     }
 
     /// The owner of slot `index`, if reserved.
@@ -101,20 +163,37 @@ impl SlotTable {
     ///
     /// Panics if `index` is out of range.
     pub fn owner(&self, index: usize) -> Option<ConnId> {
-        self.slots[index]
+        assert!(
+            index < self.size(),
+            "slot {index} out of range ({})",
+            self.size()
+        );
+        self.owners
+            .binary_search_by_key(&index, |&(s, _)| s)
+            .ok()
+            .map(|i| self.owners[i].1)
     }
 
     /// Marks slot `index` as owned by `conn`.
     ///
     /// # Errors
     ///
-    /// Returns the current owner if the slot is already reserved.
-    pub fn occupy(&mut self, index: usize, conn: ConnId) -> Result<(), ConnId> {
-        match self.slots[index] {
-            Some(owner) => Err(owner),
-            None => {
-                self.slots[index] = Some(conn);
-                self.free -= 1;
+    /// [`SlotError::OutOfRange`] if `index` does not exist,
+    /// [`SlotError::Occupied`] if the slot is already reserved.
+    pub fn occupy(&mut self, index: usize, conn: ConnId) -> Result<(), SlotError> {
+        if index >= self.size() {
+            return Err(SlotError::OutOfRange {
+                slot: index,
+                size: self.size(),
+            });
+        }
+        match self.owners.binary_search_by_key(&index, |&(s, _)| s) {
+            Ok(i) => Err(SlotError::Occupied {
+                owner: self.owners[i].1,
+            }),
+            Err(i) => {
+                self.occupancy.occupy(index);
+                self.owners.insert(i, (index, conn));
                 Ok(())
             }
         }
@@ -124,25 +203,33 @@ impl SlotTable {
     ///
     /// # Errors
     ///
-    /// Returns the actual owner (or `None` if the slot was free) when the
-    /// expected owner does not match.
-    pub fn release(&mut self, index: usize, conn: ConnId) -> Result<(), Option<ConnId>> {
-        match self.slots[index] {
-            Some(owner) if owner == conn => {
-                self.slots[index] = None;
-                self.free += 1;
+    /// [`SlotError::OutOfRange`] if `index` does not exist,
+    /// [`SlotError::NotOwner`] when the slot is free or owned by another
+    /// connection (carrying the actual owner, if any).
+    pub fn release(&mut self, index: usize, conn: ConnId) -> Result<(), SlotError> {
+        if index >= self.size() {
+            return Err(SlotError::OutOfRange {
+                slot: index,
+                size: self.size(),
+            });
+        }
+        match self.owners.binary_search_by_key(&index, |&(s, _)| s) {
+            Ok(i) if self.owners[i].1 == conn => {
+                self.occupancy.release(index);
+                self.owners.remove(i);
                 Ok(())
             }
-            other => Err(other),
+            Ok(i) => Err(SlotError::NotOwner {
+                owner: Some(self.owners[i].1),
+            }),
+            Err(_) => Err(SlotError::NotOwner { owner: None }),
         }
     }
 
-    /// Iterates over `(slot_index, owner)` pairs of reserved slots.
+    /// Iterates over `(slot_index, owner)` pairs of reserved slots, in
+    /// ascending slot order.
     pub fn reservations(&self) -> impl Iterator<Item = (usize, ConnId)> + '_ {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, o)| o.map(|c| (i, c)))
+        self.owners.iter().copied()
     }
 }
 
@@ -167,12 +254,42 @@ mod tests {
         t.occupy(0, a).unwrap();
         t.occupy(1, b).unwrap();
         assert_eq!(t.free_count(), 2);
-        assert_eq!(t.occupy(0, b), Err(a));
-        assert_eq!(t.release(0, b), Err(Some(a)));
-        assert_eq!(t.release(2, a), Err(None));
+        assert_eq!(t.occupy(0, b), Err(SlotError::Occupied { owner: a }));
+        assert_eq!(t.release(0, b), Err(SlotError::NotOwner { owner: Some(a) }));
+        assert_eq!(t.release(2, a), Err(SlotError::NotOwner { owner: None }));
         t.release(0, a).unwrap();
         assert_eq!(t.free_count(), 3);
         assert!(t.is_free(0));
+    }
+
+    #[test]
+    fn mutators_report_out_of_range_as_errors() {
+        let mut t = SlotTable::new(4);
+        let a = ConnId::new(1);
+        assert_eq!(
+            t.occupy(4, a),
+            Err(SlotError::OutOfRange { slot: 4, size: 4 })
+        );
+        assert_eq!(
+            t.release(9, a),
+            Err(SlotError::OutOfRange { slot: 9, size: 4 })
+        );
+        // The failed mutations changed nothing.
+        assert_eq!(t.free_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn owner_panics_out_of_range() {
+        let t = SlotTable::new(4);
+        let _ = t.owner(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn is_free_panics_out_of_range() {
+        let t = SlotTable::new(4);
+        let _ = t.is_free(4);
     }
 
     #[test]
@@ -202,5 +319,14 @@ mod tests {
         }
         assert_eq!(t.free_count(), 8);
         assert_eq!(t.reservations().count(), 8);
+    }
+
+    #[test]
+    fn occupancy_mask_mirrors_table() {
+        let mut t = SlotTable::new(70);
+        t.occupy(0, ConnId::new(1)).unwrap();
+        t.occupy(69, ConnId::new(2)).unwrap();
+        assert_eq!(t.occupancy().mask().ones().collect::<Vec<_>>(), vec![0, 69]);
+        assert_eq!(t.occupancy().free_count(), 68);
     }
 }

@@ -1,6 +1,6 @@
 //! Property-based tests of TDMA reservation machinery.
 
-use noc_tdma::{ConnId, NetworkSlots, SlotPolicy, TdmaSpec};
+use noc_tdma::{ConnId, NetworkSlots, SlotError, SlotPolicy, SlotTable, TdmaSpec};
 use noc_topology::units::{Bandwidth, Frequency, LinkWidth};
 use noc_topology::{LinkId, MeshBuilder, Topology};
 use proptest::prelude::*;
@@ -135,6 +135,112 @@ proptest! {
             ns.reserve(&path, &base, ConnId::new(7)).unwrap();
         } else {
             prop_assert!(16 - occupied.len() < k, "refused although {k} free base slots exist");
+        }
+    }
+
+    /// The mask-backed table is bit-for-bit equivalent to the legacy
+    /// `Vec<Option<ConnId>>` representation it replaced: identical
+    /// occupy/release outcomes, free counts, point queries and
+    /// reservation order under random churn (sizes chosen to cross the
+    /// 64-bit word boundary), with the one deliberate divergence —
+    /// out-of-range mutations now report a typed error instead of
+    /// panicking — pinned explicitly.
+    #[test]
+    fn table_matches_legacy_shadow(
+        size in 2usize..130,
+        ops in proptest::collection::vec((0usize..140, 0u64..6, 0usize..3), 1..64),
+    ) {
+        let mut t = SlotTable::new(size);
+        let mut shadow: Vec<Option<ConnId>> = vec![None; size];
+        for (raw, c, action) in ops {
+            let i = raw % (size + 2); // occasionally out of range
+            let conn = ConnId::new(c);
+            match action {
+                0 => {
+                    let got = t.occupy(i, conn);
+                    if i >= size {
+                        prop_assert_eq!(got, Err(SlotError::OutOfRange { slot: i, size }));
+                    } else {
+                        match shadow[i] {
+                            Some(owner) => {
+                                prop_assert_eq!(got, Err(SlotError::Occupied { owner }));
+                            }
+                            None => {
+                                prop_assert_eq!(got, Ok(()));
+                                shadow[i] = Some(conn);
+                            }
+                        }
+                    }
+                }
+                1 => {
+                    let got = t.release(i, conn);
+                    if i >= size {
+                        prop_assert_eq!(got, Err(SlotError::OutOfRange { slot: i, size }));
+                    } else {
+                        match shadow[i] {
+                            Some(owner) if owner == conn => {
+                                prop_assert_eq!(got, Ok(()));
+                                shadow[i] = None;
+                            }
+                            other => {
+                                prop_assert_eq!(got, Err(SlotError::NotOwner { owner: other }));
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    if i < size {
+                        prop_assert_eq!(t.is_free(i), shadow[i].is_none());
+                        prop_assert_eq!(t.owner(i), shadow[i]);
+                    }
+                }
+            }
+            prop_assert_eq!(
+                t.free_count(),
+                shadow.iter().filter(|s| s.is_none()).count()
+            );
+            let want: Vec<(usize, ConnId)> = shadow
+                .iter()
+                .enumerate()
+                .filter_map(|(s, o)| o.map(|c| (s, c)))
+                .collect();
+            prop_assert_eq!(t.reservations().collect::<Vec<_>>(), want);
+        }
+    }
+
+    /// The rotated-mask conflict probes agree with the per-slot
+    /// `(s + i) % S` scan of the legacy representation on random slot
+    /// states, over full paths and suffixes (table sizes small enough
+    /// that a 4-hop path wraps the ring several times).
+    #[test]
+    fn network_probes_match_legacy_scan(
+        slots in 2usize..70,
+        picks in proptest::collection::vec((0usize..70, 0usize..4), 0..24),
+    ) {
+        let (topo, path, spec) = fixture(slots);
+        let mut ns = NetworkSlots::new(&topo, &spec);
+        let mut seq = 0u64;
+        for (raw, cut) in picks {
+            let sub = &path[..path.len() - cut.min(path.len() - 1)];
+            let s = raw % slots;
+            if ns.base_slot_free(sub, s) {
+                ns.reserve(sub, &[s], ConnId::new(seq)).unwrap();
+                seq += 1;
+            }
+        }
+        for cut in 0..path.len() {
+            let sub = &path[cut..];
+            let naive: Vec<usize> = (0..slots)
+                .filter(|&s| {
+                    sub.iter()
+                        .enumerate()
+                        .all(|(i, &l)| ns.table(l).is_free((s + i) % slots))
+                })
+                .collect();
+            prop_assert_eq!(ns.free_base_slots(sub), naive.clone());
+            for s in 0..slots {
+                prop_assert_eq!(ns.base_slot_free(sub, s), naive.contains(&s));
+            }
         }
     }
 

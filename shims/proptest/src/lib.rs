@@ -11,7 +11,10 @@
 //! - **No shrinking.** A failing case reports its inputs via the
 //!   panic message of the assertion that fired.
 //! - **Deterministic.** The RNG seed is derived from the test
-//!   function's name, so failures reproduce exactly across runs.
+//!   function's name, so failures reproduce exactly across runs. The
+//!   failure message prints that seed ([`TestRng::seed_for_test`]);
+//!   feed it to [`TestRng::from_seed`] to replay a failing stream in
+//!   isolation.
 //! - Default case count is 64 (the real crate's 256), keeping the
 //!   suite fast; override per block with
 //!   `#![proptest_config(ProptestConfig::with_cases(n))]`.
@@ -32,16 +35,30 @@ const MAX_REJECTS: usize = 1000;
 pub struct TestRng(SmallRng);
 
 impl TestRng {
-    /// Builds a generator whose seed is a hash of `name`, so each
-    /// test gets a distinct but reproducible stream.
+    /// Builds a generator whose seed is a hash of `name`
+    /// ([`TestRng::seed_for_test`]), so each test gets a distinct but
+    /// reproducible stream.
     pub fn for_test(name: &str) -> Self {
-        // FNV-1a over the test name.
+        Self::from_seed(Self::seed_for_test(name))
+    }
+
+    /// The deterministic seed `for_test(name)` uses — FNV-1a over the
+    /// test name. Failure messages print this value so a failing
+    /// stream can be replayed via [`TestRng::from_seed`] without
+    /// re-deriving the hash.
+    pub fn seed_for_test(name: &str) -> u64 {
         let mut h = 0xcbf2_9ce4_8422_2325u64;
         for b in name.bytes() {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x100_0000_01b3);
         }
-        TestRng(SmallRng::seed_from_u64(h))
+        h
+    }
+
+    /// Builds a generator from an explicit seed (e.g. one printed by a
+    /// failing run).
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(SmallRng::seed_from_u64(seed))
     }
 }
 
@@ -458,7 +475,9 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $config;
-            let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            let test_path = concat!(module_path!(), "::", stringify!($name));
+            let seed = $crate::TestRng::seed_for_test(test_path);
+            let mut rng = $crate::TestRng::from_seed(seed);
             for case in 0..config.cases {
                 let result: ::core::result::Result<(), $crate::TestCaseError> = (|| {
                     $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
@@ -466,7 +485,12 @@ macro_rules! __proptest_impl {
                     ::core::result::Result::Ok(())
                 })();
                 if let ::core::result::Result::Err(e) = result {
-                    panic!("{} failed at case {case}/{}: {e}", stringify!($name), config.cases);
+                    panic!(
+                        "{} failed at case {case}/{} (seed {seed:#018x}, replay with \
+                         TestRng::from_seed): {e}",
+                        stringify!($name),
+                        config.cases
+                    );
                 }
             }
         }
@@ -567,6 +591,23 @@ mod tests {
         use rand::RngCore;
         assert_eq!(a.next_u64(), b.next_u64());
         assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn failure_message_carries_replay_seed() {
+        proptest! {
+            fn doomed(x in 0u32..2) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        let err = std::panic::catch_unwind(doomed).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("panic carries String");
+        let expected = crate::TestRng::seed_for_test(concat!(module_path!(), "::doomed"));
+        assert!(
+            msg.contains(&format!("seed {expected:#018x}")),
+            "failure message must print the deterministic seed: {msg}"
+        );
+        assert!(msg.contains("x was"), "{msg}");
     }
 
     #[test]

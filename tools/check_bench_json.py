@@ -17,7 +17,7 @@ See docs/PERFORMANCE.md for the schema.
 import json
 import sys
 
-OP_KEYS = {
+OP_KEYS_V1 = {
     "path_queries",
     "dijkstra_pops",
     "scratch_allocs",
@@ -28,6 +28,9 @@ OP_KEYS = {
     "anneal_moves",
     "anneal_accepts",
 }
+# PR 6 added the slot-conflict counter pair; records written earlier
+# carry the V1 key set and stay valid.
+OP_KEYS_V2 = OP_KEYS_V1 | {"conflict_word_tests", "legacy_slot_probes"}
 SUITE_KEYS = {"label", "switches", "map_ms", "anneal_ms", "map_ops", "anneal_ops"}
 
 
@@ -37,6 +40,9 @@ def load(path):
     assert doc.get("schema") == 1, f"{path}: unexpected schema {doc.get('schema')}"
     runs = doc.get("trajectory")
     assert isinstance(runs, list) and runs, f"{path}: empty or missing trajectory"
+    labels = [run.get("label") for run in runs]
+    dupes = {lbl for lbl in labels if labels.count(lbl) > 1}
+    assert not dupes, f"{path}: duplicate run labels {sorted(dupes)}"
     for run in runs:
         assert set(run) == {"label", "threads", "suites"}, f"{path}: bad run keys {set(run)}"
         assert isinstance(run["threads"], int) and run["threads"] >= 1
@@ -44,7 +50,7 @@ def load(path):
         for suite in run["suites"]:
             assert set(suite) == SUITE_KEYS, f"{path}: bad suite keys {set(suite)}"
             for ops_key in ("map_ops", "anneal_ops"):
-                assert set(suite[ops_key]) == OP_KEYS, (
+                assert set(suite[ops_key]) in (OP_KEYS_V1, OP_KEYS_V2), (
                     f"{path}: bad {ops_key} keys {set(suite[ops_key])}"
                 )
     return doc
