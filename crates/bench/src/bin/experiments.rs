@@ -22,8 +22,13 @@
 //! as `NOC_PAR_THREADS=N`); every experiment produces identical numbers
 //! at any setting, only wall-clock changes. The `runtime` experiment
 //! additionally reports the measured 1-thread vs N-thread speedup.
+//!
+//! A global `--trace FILE [--trace-mode ops|wall]` (env fallback:
+//! `NOC_TRACE` / `NOC_TRACE_MODE`) records a span trace of the run —
+//! same semantics as `nocmap_cli` (see `docs/OBSERVABILITY.md`); the
+//! status note goes to stderr so stdout stays byte-identical.
 
-use noc_flow::cli::take_threads;
+use noc_flow::cli::{take_threads, take_trace, write_trace};
 use noc_flow::{registry, render, run_spec};
 
 fn run(name: &str) {
@@ -49,6 +54,16 @@ fn main() {
             std::process::exit(1);
         }
     };
+    let trace = match take_trace(&mut args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(req) = &trace {
+        noc_obs::install(req.mode);
+    }
     let run_all = move || {
         if args.is_empty() || args.iter().any(|a| a == "all") {
             for name in [
@@ -66,5 +81,22 @@ fn main() {
     match threads {
         Some(n) => noc_par::with_threads(n, run_all),
         None => run_all(),
+    }
+    if let Some(req) = &trace {
+        if let Some(finished) = noc_obs::finish() {
+            match write_trace(req, &finished) {
+                // Stderr keeps stdout byte-identical with and without
+                // a trace.
+                Ok(()) => eprintln!(
+                    "trace written to {} ({} spans)",
+                    req.path,
+                    finished.span_count()
+                ),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
     }
 }

@@ -42,11 +42,20 @@
 //! worker count (equivalent to `NOC_PAR_THREADS=N`; results are
 //! identical at any setting, only wall-clock changes). `design` reports
 //! its wall-clock and thread count.
+//!
+//! All subcommands also accept a global `--trace FILE [--trace-mode
+//! ops|wall]` (env fallback: `NOC_TRACE` / `NOC_TRACE_MODE`) recording
+//! a span trace of the run: Chrome trace-event JSON when FILE ends in
+//! `.json`, an indented text tree otherwise. The default `ops` mode
+//! timestamps spans with the deterministic op clock, so the trace is
+//! byte-identical at any `--threads` setting; `wall` keeps real
+//! timestamps. See `docs/OBSERVABILITY.md`. The status note goes to
+//! stderr, so stdout stays byte-identical with and without a trace.
 
 use std::process::ExitCode;
 
 use noc_benchgen::{BottleneckConfig, SocDesign, SpreadConfig};
-use noc_flow::cli::{take_flag, take_opt, take_string, take_threads};
+use noc_flow::cli::{take_flag, take_opt, take_string, take_threads, take_trace, write_trace};
 use noc_flow::config::{experiment_to_text, spec_from_text, FlowConfig, SpecFile, StageConfig};
 use noc_flow::{registry, render, run_spec, FlowError};
 use noc_usecase::spec::SocSpec;
@@ -62,7 +71,8 @@ fn usage() -> ExitCode {
          nocmap_cli flow {{run FILE|NAME [--spec SOCFILE] | list | show NAME}}\n  \
          nocmap_cli be-burst\n  \
          nocmap_cli perf [--json FILE] [--label L]\n  \
-         (global: --threads N — pin the noc-par worker count)"
+         (global: --threads N — pin the noc-par worker count;\n  \
+          --trace FILE [--trace-mode ops|wall] — record a span trace)"
     );
     ExitCode::FAILURE
 }
@@ -328,10 +338,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let trace = match take_trace(&mut args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     if args.is_empty() {
         return usage();
     }
     let cmd = args.remove(0);
+    if let Some(req) = &trace {
+        noc_obs::install(req.mode);
+    }
     let run = || match cmd.as_str() {
         "gen" => Some(cmd_gen(args)),
         "design" => Some(cmd_design(args)),
@@ -347,6 +367,23 @@ fn main() -> ExitCode {
         Some(n) => noc_par::with_threads(n, run),
         None => run(),
     };
+    if let Some(req) = &trace {
+        if let Some(finished) = noc_obs::finish() {
+            match write_trace(req, &finished) {
+                // Status on stderr: stdout stays byte-identical with
+                // and without a trace.
+                Ok(()) => eprintln!(
+                    "trace written to {} ({} spans)",
+                    req.path,
+                    finished.span_count()
+                ),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
     match result {
         None => usage(),
         Some(Ok(())) => ExitCode::SUCCESS,

@@ -44,7 +44,8 @@ fn ops_json(ops: &PerfSnapshot) -> String {
         "{{\"path_queries\":{},\"dijkstra_pops\":{},\"scratch_allocs\":{},\
          \"group_routes\":{},\"full_maps\":{},\"groups_rerouted\":{},\
          \"groups_reused\":{},\"anneal_moves\":{},\"anneal_accepts\":{},\
-         \"conflict_word_tests\":{},\"legacy_slot_probes\":{}}}",
+         \"conflict_word_tests\":{},\"legacy_slot_probes\":{},\
+         \"trace_spans\":{}}}",
         ops.path_queries,
         ops.dijkstra_pops,
         ops.scratch_allocs,
@@ -56,6 +57,7 @@ fn ops_json(ops: &PerfSnapshot) -> String {
         ops.anneal_accepts,
         ops.conflict_word_tests,
         ops.legacy_slot_probes,
+        ops.trace_spans,
     )
 }
 
@@ -71,11 +73,12 @@ pub fn run_record(label: &str, threads: usize, points: &[PerfPoint]) -> String {
         .map(|p| {
             format!(
                 "{{\"label\":\"{}\",\"switches\":{},\"map_ms\":{},\"anneal_ms\":{},\
-                 \"map_ops\":{},\"anneal_ops\":{}}}",
+                 \"trace_ms\":{},\"map_ops\":{},\"anneal_ops\":{}}}",
                 escape(&p.label),
                 p.switches.map_or("null".to_string(), |s| s.to_string()),
                 ms(p.map_wall),
                 ms(p.anneal_wall),
+                ms(p.trace_wall),
                 ops_json(&p.map_ops),
                 ops_json(&p.anneal_ops),
             )

@@ -141,6 +141,11 @@ pub fn refine(
         cores.iter().map(|&c| (c, groups_of(c))).collect();
 
     let run_chain = |chain: usize| -> MappingSolution {
+        let span = noc_obs::span("anneal-chain");
+        span.attr("chain", chain);
+        span.attr("iterations", config.iterations as u64);
+        let mut moves: u64 = 0;
+        let mut accepts: u64 = 0;
         let mut rng = SmallRng::seed_from_u64(chain_seed(config.seed, chain));
         let mut current = start.clone();
         // The splice base for delta re-routes must be a solution whose
@@ -167,6 +172,7 @@ pub fn refine(
                 continue;
             }
             perf::inc(&perf::ANNEAL_MOVES);
+            moves += 1;
             let b = cores.iter().copied().find(|c| mapping[c] == target_ni);
             if let Some(b) = b {
                 mapping.insert(b, ni_a);
@@ -190,6 +196,7 @@ pub fn refine(
                     || rng.gen_bool((-delta / temperature.max(1e-9)).exp().clamp(0.0, 1.0));
                 if accept {
                     perf::inc(&perf::ANNEAL_ACCEPTS);
+                    accepts += 1;
                     accepted = true;
                     shadow = None;
                     current = candidate;
@@ -207,6 +214,10 @@ pub fn refine(
             }
             temperature *= config.cooling;
         }
+        // Per-chain RNG seeding makes these deterministic at any width.
+        span.attr("moves", moves);
+        span.attr("accepts", accepts);
+        span.attr("temperature", temperature);
         best
     };
 

@@ -491,6 +491,9 @@ fn run_mapping(
         .filter(|(_, demands)| !demands.is_empty())
         .collect();
     let routed = noc_par::try_par_map(group_work, |_, (g, demands)| {
+        let span = noc_obs::span("route-group");
+        span.attr("group", g);
+        span.attr("demands", demands.len());
         let mut gs = state_ref.group_states[g]
             .lock()
             .expect("no poisoned groups");

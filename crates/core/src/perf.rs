@@ -14,18 +14,36 @@
 //! always-on. Most live in this module; the slot-conflict pair
 //! (`conflict_word_tests` / `legacy_slot_probes`) lives below us in the
 //! crate DAG, in [`noc_tdma::stats`], and is folded into every
-//! [`snapshot`] here so consumers see one struct. Readers take
-//! [`snapshot`]s and subtract ([`PerfSnapshot::since`]); exact
-//! per-section deltas require that no unrelated mapping work runs
-//! concurrently (the perf harness runs in its own process, and
-//! counter-based tests keep to one test function per binary).
+//! [`snapshot`] here so consumers see one struct, as is the span count
+//! from [`noc_obs`].
+//!
+//! # Snapshot reads are not atomic
+//!
+//! [`snapshot`] loads each counter with a separate relaxed read: the
+//! returned struct is **not** a consistent cut of concurrently mutating
+//! counters. A snapshot taken while mapping work runs on other threads
+//! can pair a `path_queries` value from before one of those queries with
+//! a `dijkstra_pops` value from inside it. Exact per-section deltas
+//! therefore require that no unrelated mapping work runs concurrently —
+//! the perf harness runs in its own process, and counter-based tests
+//! keep to one test function per binary. Quiesced reads (after all
+//! regions joined) are exact: `noc-par` regions synchronise through
+//! locks and condvars, which order the workers' relaxed increments
+//! before the reader's loads.
+//!
+//! Every increment also advances the calling thread's [`noc_obs`]
+//! op-clock (when a trace collector is installed), which is what gives
+//! trace spans their schedule-independent cost field.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 macro_rules! counters {
     (
         local { $($(#[$doc:meta])* $name:ident => $static_name:ident),* $(,)? }
-        external { $($(#[$edoc:meta])* $ename:ident => read $eread:path, reset $ereset:path),* $(,)? }
+        external {
+            resets { $($ereset:path),* $(,)? }
+            $($(#[$edoc:meta])* $ename:ident => $eread:path),* $(,)?
+        }
     ) => {
         $(pub(crate) static $static_name: AtomicU64 = AtomicU64::new(0);)*
 
@@ -37,7 +55,8 @@ macro_rules! counters {
         }
 
         /// Reads every counter at once (including the externally sourced
-        /// ones from lower crates).
+        /// ones from lower crates). Not an atomic cut — see the module
+        /// docs.
         pub fn snapshot() -> PerfSnapshot {
             PerfSnapshot {
                 $($name: $static_name.load(Ordering::Relaxed),)*
@@ -46,7 +65,10 @@ macro_rules! counters {
         }
 
         /// Resets every counter to zero (test harnesses only; concurrent
-        /// mapping work observes the reset mid-flight).
+        /// mapping work observes the reset mid-flight). External source
+        /// crates declare one reset each in the `resets` block — not one
+        /// per counter, since a source typically clears all its counters
+        /// in one call.
         pub fn reset() {
             $($static_name.store(0, Ordering::Relaxed);)*
             $($ereset();)*
@@ -91,26 +113,24 @@ counters! {
         anneal_accepts => ANNEAL_ACCEPTS,
     }
     external {
+        resets { noc_tdma::stats::reset, noc_obs::reset_span_count }
         /// `u64`-word operations in slot-conflict folds
         /// ([`noc_tdma::stats::conflict_word_tests`]).
-        conflict_word_tests => read noc_tdma::stats::conflict_word_tests, reset reset_tdma_words,
+        conflict_word_tests => noc_tdma::stats::conflict_word_tests,
         /// Per-slot probes the pre-mask slot tables would have needed for
         /// the same conflict answers
         /// ([`noc_tdma::stats::legacy_slot_probes`]).
-        legacy_slot_probes => read noc_tdma::stats::legacy_slot_probes, reset reset_tdma_probes,
+        legacy_slot_probes => noc_tdma::stats::legacy_slot_probes,
+        /// Trace spans recorded by [`noc_obs`]; stays 0 when no collector
+        /// is installed — the pay-for-use proof for the tracing layer.
+        trace_spans => noc_obs::span_count,
     }
 }
-
-// Both tdma counters reset through one call; a second no-op keeps the
-// macro's one-reset-per-external shape.
-fn reset_tdma_words() {
-    noc_tdma::stats::reset();
-}
-fn reset_tdma_probes() {}
 
 #[inline]
 pub(crate) fn add(counter: &AtomicU64, n: u64) {
     counter.fetch_add(n, Ordering::Relaxed);
+    noc_obs::tick(n);
 }
 
 #[inline]

@@ -118,6 +118,8 @@ pub fn refine_with_remap(
     let all_nis: Vec<_> = topo.nis().to_vec();
 
     let refine_group = |g: usize| -> Result<(MappingSolution, Vec<CoreId>), MapError> {
+        let span = noc_obs::span("remap-group");
+        span.attr("group", g);
         let (sub_soc, sub_groups) = group_spec(soc, groups, g);
         let route = |placement: BTreeMap<CoreId, noc_topology::NodeId>| {
             map_multi_usecase(

@@ -169,6 +169,8 @@ impl DesignFlow {
                 self.seed,
             );
             for stage in &self.stages {
+                let span = noc_obs::span(stage.name());
+                span.attr("config", format!("{:016x}", stage.config_digest()));
                 stage.run(&mut ctx)?;
                 ctx.trace.push(stage.name());
             }

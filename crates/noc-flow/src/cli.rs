@@ -63,6 +63,75 @@ pub fn take_threads(args: &mut Vec<String>) -> Result<Option<usize>, FlowError> 
     Ok(take_opt(args, "--threads")?.map(|n| n as usize))
 }
 
+/// A requested trace: output path plus which clock the exporters use.
+///
+/// Built by [`take_trace`]; the path's extension picks the exporter in
+/// [`write_trace`] (`.json` → Chrome trace-event JSON, anything else →
+/// the text tree).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRequest {
+    /// Destination file.
+    pub path: String,
+    /// Clock mode ([`noc_obs::TraceMode::Ops`] is the deterministic
+    /// default; `wall` keeps real timestamps).
+    pub mode: noc_obs::TraceMode,
+}
+
+/// Pulls the global `--trace FILE [--trace-mode ops|wall]` options both
+/// binaries accept, falling back to the `NOC_TRACE` / `NOC_TRACE_MODE`
+/// environment variables when the flags are absent. Returns `None`
+/// when no trace was requested anywhere.
+///
+/// # Errors
+///
+/// [`FlowError::Usage`] when a value is missing, when the mode is
+/// neither `ops` nor `wall`, or when `--trace-mode` is given without a
+/// trace destination.
+pub fn take_trace(args: &mut Vec<String>) -> Result<Option<TraceRequest>, FlowError> {
+    let flag_path = take_string(args, "--trace")?;
+    let flag_mode = take_string(args, "--trace-mode")?;
+    let path = flag_path.or_else(|| std::env::var("NOC_TRACE").ok().filter(|s| !s.is_empty()));
+    if flag_mode.is_some() && path.is_none() {
+        return Err(FlowError::Usage(
+            "--trace-mode needs a trace destination (--trace FILE or NOC_TRACE)".into(),
+        ));
+    }
+    let mode_name = flag_mode.or_else(|| {
+        std::env::var("NOC_TRACE_MODE")
+            .ok()
+            .filter(|s| !s.is_empty())
+    });
+    let mode = match mode_name.as_deref() {
+        None | Some("ops") => noc_obs::TraceMode::Ops,
+        Some("wall") => noc_obs::TraceMode::Wall,
+        Some(other) => {
+            return Err(FlowError::Usage(format!(
+                "invalid trace mode '{other}' (expected ops|wall)"
+            )))
+        }
+    };
+    Ok(path.map(|path| TraceRequest { path, mode }))
+}
+
+/// Writes a finished trace to the requested destination: Chrome
+/// trace-event JSON when the path ends in `.json`, the indented text
+/// tree otherwise.
+///
+/// # Errors
+///
+/// [`FlowError::Io`] when the file cannot be written.
+pub fn write_trace(request: &TraceRequest, trace: &noc_obs::Trace) -> Result<(), FlowError> {
+    let rendered = if request.path.ends_with(".json") {
+        trace.to_chrome_json()
+    } else {
+        trace.render_text()
+    };
+    std::fs::write(&request.path, rendered).map_err(|e| FlowError::Io {
+        path: request.path.clone(),
+        message: format!("cannot write trace: {e}"),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,5 +187,33 @@ mod tests {
         let mut a = args(&["fig6a", "--threads", "4"]);
         assert_eq!(take_threads(&mut a).unwrap(), Some(4));
         assert_eq!(a, args(&["fig6a"]));
+    }
+
+    #[test]
+    fn take_trace_parses_flags_and_defaults_to_ops() {
+        let mut a = args(&["flow", "--trace", "t.json", "run"]);
+        let req = take_trace(&mut a).unwrap().unwrap();
+        assert_eq!(req.path, "t.json");
+        assert_eq!(req.mode, noc_obs::TraceMode::Ops);
+        assert_eq!(a, args(&["flow", "run"]));
+
+        let mut a = args(&["--trace", "t.txt", "--trace-mode", "wall"]);
+        assert_eq!(
+            take_trace(&mut a).unwrap().unwrap().mode,
+            noc_obs::TraceMode::Wall
+        );
+
+        let mut a = args(&["--trace", "t", "--trace-mode", "sideways"]);
+        assert!(take_trace(&mut a).is_err());
+    }
+
+    #[test]
+    fn trace_mode_without_destination_is_a_usage_error() {
+        // Guard: only meaningful when the env fallback is not set.
+        if std::env::var("NOC_TRACE").is_ok() {
+            return;
+        }
+        let mut a = args(&["--trace-mode", "ops"]);
+        assert!(take_trace(&mut a).is_err());
     }
 }

@@ -194,25 +194,37 @@ pub fn render_be_burst(title: &str, points: &[BeBurstPoint]) -> String {
 }
 
 /// Renders the perf-telemetry table. Wall-clock cells are
-/// machine-dependent; every other column is a deterministic op count
+/// machine-dependent (`traced` is the map flow re-timed with an
+/// op-mode trace collector installed — compare against `map` for the
+/// tracing overhead); every other column is a deterministic op count
 /// (identical at any thread count).
 pub fn render_perf(title: &str, points: &[PerfPoint]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "\n== {title} ==");
     let _ = writeln!(
         out,
-        "{:<8} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9}",
-        "bench", "switches", "map", "anneal", "queries", "pops", "rerouted", "reused", "accepts"
+        "{:<8} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "bench",
+        "switches",
+        "map",
+        "anneal",
+        "traced",
+        "queries",
+        "pops",
+        "rerouted",
+        "reused",
+        "accepts"
     );
     for p in points {
         let s = p.switches.map_or("fail".into(), |n: usize| n.to_string());
         let _ = writeln!(
             out,
-            "{:<8} {:>8} {:>10?} {:>10?} {:>10} {:>10} {:>10} {:>9} {:>9}",
+            "{:<8} {:>8} {:>10?} {:>10?} {:>10?} {:>10} {:>10} {:>10} {:>9} {:>9}",
             p.label,
             s,
             p.map_wall,
             p.anneal_wall,
+            p.trace_wall,
             p.map_ops.path_queries + p.anneal_ops.path_queries,
             p.map_ops.dijkstra_pops + p.anneal_ops.dijkstra_pops,
             p.anneal_ops.groups_rerouted,

@@ -206,6 +206,11 @@ pub struct PerfPoint {
     pub anneal_wall: std::time::Duration,
     /// Op-counter delta of the annealing refinement.
     pub anneal_ops: PerfSnapshot,
+    /// Wall-clock of the map flow re-run with an op-mode trace
+    /// collector installed — compare against `map_wall` for the
+    /// tracing overhead. Zero when a collector was already active
+    /// (the re-run is skipped; the ambient trace covers the run).
+    pub trace_wall: std::time::Duration,
 }
 
 /// The typed result of executing one [`ExperimentSpec`]: the spec's
@@ -704,6 +709,23 @@ fn run_perf(benches: &[LabeledBench], iterations: u64, chains: u64) -> Vec<PerfP
             });
             let anneal_wall = t1.elapsed();
             let after = nocmap::perf::snapshot();
+            // Tracing-overhead probe: re-run the map flow with an
+            // op-mode collector installed and time it. The re-run sits
+            // *outside* the snapshot brackets above, so the per-phase
+            // op deltas are untouched by it (and record trace_spans=0
+            // — the pay-for-use proof). Skipped when a collector is
+            // already active (double-install is refused).
+            let trace_wall = if noc_obs::active() {
+                std::time::Duration::ZERO
+            } else {
+                let t2 = std::time::Instant::now();
+                let installed = noc_obs::install(noc_obs::TraceMode::Ops);
+                let _ = map_flow(spec, &opts).run(&soc, &groups);
+                if installed {
+                    let _ = noc_obs::finish();
+                }
+                t2.elapsed()
+            };
             PerfPoint {
                 label: b.label.clone(),
                 switches: annealed
@@ -714,6 +736,7 @@ fn run_perf(benches: &[LabeledBench], iterations: u64, chains: u64) -> Vec<PerfP
                 map_ops: mid.since(&before),
                 anneal_wall,
                 anneal_ops: after.since(&mid),
+                trace_wall,
             }
         })
         .collect()
@@ -753,6 +776,8 @@ fn run_headline(
 /// has no feasible frequency. Infallible families (comparisons, area
 /// sweeps, …) record per-point failures *in* their points instead.
 pub fn run_spec(spec: &ExperimentSpec) -> Result<ExperimentOutput, FlowError> {
+    let span = noc_obs::span("experiment");
+    span.attr("name", spec.name.clone());
     let title = spec.title.clone();
     Ok(match &spec.kind {
         ExperimentKind::Comparison { benches } => ExperimentOutput::Comparison {

@@ -108,6 +108,14 @@ pub trait Stage {
     /// Short stable name, used in traces and error messages.
     fn name(&self) -> &'static str;
 
+    /// A stable digest of the stage's configuration, attached to the
+    /// stage's trace span so two traces can be told apart by the exact
+    /// settings they ran with. The built-in stages hash their `Debug`
+    /// rendering ([`noc_obs::fnv1a`]); the default is 0 ("no digest").
+    fn config_digest(&self) -> u64 {
+        0
+    }
+
     /// Executes the stage, reading and writing `ctx`.
     ///
     /// # Errors
@@ -128,6 +136,10 @@ pub struct MapStage {
 impl Stage for MapStage {
     fn name(&self) -> &'static str {
         "map"
+    }
+
+    fn config_digest(&self) -> u64 {
+        noc_obs::fnv1a(format!("{self:?}").as_bytes())
     }
 
     fn run(&self, ctx: &mut FlowContext) -> Result<(), FlowError> {
@@ -155,6 +167,10 @@ impl Stage for WorstCaseStage {
         "worst-case"
     }
 
+    fn config_digest(&self) -> u64 {
+        noc_obs::fnv1a(format!("{self:?}").as_bytes())
+    }
+
     fn run(&self, ctx: &mut FlowContext) -> Result<(), FlowError> {
         ctx.wc = Some(design_worst_case(
             &ctx.soc,
@@ -179,6 +195,10 @@ impl Stage for AnnealStage {
         "anneal"
     }
 
+    fn config_digest(&self) -> u64 {
+        noc_obs::fnv1a(format!("{self:?}").as_bytes())
+    }
+
     fn run(&self, ctx: &mut FlowContext) -> Result<(), FlowError> {
         let base = ctx.stage_solution(self.name())?;
         let refined = refine(&ctx.soc, &ctx.groups, &ctx.options, base, &self.0)?;
@@ -200,6 +220,10 @@ impl Stage for RemapStage {
         "remap"
     }
 
+    fn config_digest(&self) -> u64 {
+        noc_obs::fnv1a(format!("{self:?}").as_bytes())
+    }
+
     fn run(&self, ctx: &mut FlowContext) -> Result<(), FlowError> {
         let base = ctx.stage_solution(self.name())?;
         let remapped = refine_with_remap(&ctx.soc, &ctx.groups, &ctx.options, base, &self.0)?;
@@ -216,6 +240,10 @@ pub struct VerifyStage;
 impl Stage for VerifyStage {
     fn name(&self) -> &'static str {
         "verify"
+    }
+
+    fn config_digest(&self) -> u64 {
+        noc_obs::fnv1a(format!("{self:?}").as_bytes())
     }
 
     fn run(&self, ctx: &mut FlowContext) -> Result<(), FlowError> {
@@ -237,6 +265,10 @@ pub struct SimulateStage {
 impl Stage for SimulateStage {
     fn name(&self) -> &'static str {
         "simulate"
+    }
+
+    fn config_digest(&self) -> u64 {
+        noc_obs::fnv1a(format!("{self:?}").as_bytes())
     }
 
     fn run(&self, ctx: &mut FlowContext) -> Result<(), FlowError> {

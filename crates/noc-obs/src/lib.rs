@@ -1,0 +1,348 @@
+//! `noc-obs` — deterministic span tracing for the NoC mapping stack.
+//!
+//! The perf counters (`nocmap::perf`, `BENCH_nocmap.json`) say how much
+//! work the stack does; this crate says **where it nests**: scoped spans
+//! with parent/child structure, typed attributes, and two cost fields
+//! per span — wall-clock nanoseconds (for humans) and an **op-clock**
+//! delta (for goldens). The op-clock is a per-thread counter ticked by
+//! instrumented code ([`tick`]) in units of deterministic algorithmic
+//! work (the `nocmap::perf` counter increments, simulation cycles, …),
+//! so in [`TraceMode::Ops`] a trace is a pure function of the workload:
+//! byte-identical at any `noc-par` thread count, golden-testable like
+//! every other output of this workspace.
+//!
+//! # Span model
+//!
+//! * A [`Span`] guard records a `Begin`/`End` event pair into the
+//!   calling thread's buffer; nesting follows scope nesting.
+//! * [`Span::attr`] attaches a deterministic attribute; schedule-class
+//!   attributes ([`Span::sched_attr`]: queue waits, ticket counts, …)
+//!   are kept out of [`TraceMode::Ops`] exports.
+//! * A parallel region records a [`TaskSet`] marker; each task runs
+//!   under [`TaskSet::run`]`(index, …)`, which gives it a private lane
+//!   buffer. At [`finish`] lanes are spliced under the span that was
+//!   open at the marker, **in index order** — the tree's shape depends
+//!   on the work, never on the schedule.
+//! * Span ids are assigned at finalize time by a preorder walk of the
+//!   merged tree, so they are stable too.
+//!
+//! # Determinism of the op-clock
+//!
+//! The op-clock is thread-local. [`TaskSet::run`] saves and restores the
+//! executing thread's clock around every lane, so a lane that happens to
+//! run inline on the caller (width 1, or a saturated pool) never
+//! inflates the parent span's delta — the parent's *self* cost and each
+//! lane's cost are schedule-independent. In [`TraceMode::Ops`] wall
+//! fields are not even sampled (they export as zero), which is what
+//! makes the whole artifact byte-stable.
+//!
+//! # Pay-for-use
+//!
+//! With no collector [`install`]ed, [`span`] and [`tick`] cost a few
+//! predictable branches (one relaxed atomic load for `tick`, one
+//! thread-local probe for `span`) and never allocate — hot loops keep
+//! their allocation-free guarantee. `tests` pin this with the
+//! `nocmap::perf` counters.
+//!
+//! `docs/OBSERVABILITY.md` documents the model, the exporters, and the
+//! determinism contract in full.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+mod record;
+mod trace;
+
+pub use record::{
+    active, finish, install, recording, span, task_set, untraced, AttrValue, Span, TaskSet,
+};
+pub use trace::{Attr, SpanNode, Trace};
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Export/determinism mode a collector is installed with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Deterministic mode: span costs are op-clock deltas, wall fields
+    /// are zero, schedule-class attributes are dropped. Traces are
+    /// byte-identical at any thread count.
+    Ops,
+    /// Human mode: real wall-clock timestamps and lane ids, plus the
+    /// schedule-class attributes. Not byte-stable across runs.
+    Wall,
+}
+
+/// `true` while a collector is installed (drives the [`tick`] fast
+/// path); set/cleared by [`install`] / [`finish`].
+pub(crate) static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Spans recorded since the last [`reset_span_count`], process-wide.
+/// Zero while tracing is off — `nocmap::perf` folds this in as its
+/// `trace_spans` counter, which is how the bench trajectory proves
+/// tracing is pay-for-use.
+static SPANS_RECORDED: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// The op-clock: a per-thread work counter in instrumentation units.
+    static OP_CLOCK: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Advances the calling thread's op-clock by `n` work units.
+///
+/// A no-op (one relaxed atomic load) while no collector is installed.
+/// Instrumented code calls this wherever it counts deterministic work —
+/// `nocmap::perf` forwards every counter increment here.
+#[inline]
+pub fn tick(n: u64) {
+    if ENABLED.load(Ordering::Relaxed) {
+        OP_CLOCK.with(|c| c.set(c.get().wrapping_add(n)));
+    }
+}
+
+/// Reads the calling thread's op-clock.
+pub(crate) fn clock_read() -> u64 {
+    OP_CLOCK.with(Cell::get)
+}
+
+/// Overwrites the calling thread's op-clock (lane save/restore).
+pub(crate) fn clock_set(value: u64) {
+    OP_CLOCK.with(|c| c.set(value));
+}
+
+/// Spans recorded process-wide since the last [`reset_span_count`].
+/// Stays zero while no collector is installed.
+pub fn span_count() -> u64 {
+    SPANS_RECORDED.load(Ordering::Relaxed)
+}
+
+/// Resets [`span_count`] to zero (test/perf harnesses only).
+pub fn reset_span_count() {
+    SPANS_RECORDED.store(0, Ordering::Relaxed);
+}
+
+pub(crate) fn count_span() {
+    SPANS_RECORDED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// FNV-1a over `bytes` — the workspace's stable 64-bit digest (config
+/// digests in stage spans, nothing cryptographic).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// The collector is process-global; tests that install one take this
+    /// lock so `cargo test`'s parallel scheduling cannot interleave two
+    /// collectors.
+    static COLLECTOR_LOCK: Mutex<()> = Mutex::new(());
+
+    fn collector_test() -> MutexGuard<'static, ()> {
+        COLLECTOR_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn fnv1a_is_stable_and_input_sensitive() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"map"), fnv1a(b"map"));
+        assert_ne!(fnv1a(b"map"), fnv1a(b"anneal"));
+    }
+
+    #[test]
+    fn tracing_is_inert_without_a_collector() {
+        let _guard = collector_test();
+        let spans_before = span_count();
+        let s = span("never-recorded");
+        s.attr("k", 1u64);
+        tick(1_000_000);
+        drop(s);
+        let ts = task_set(2);
+        assert_eq!(ts.run(0, || 7), 7);
+        assert_eq!(span_count(), spans_before, "no collector, no spans");
+        assert_eq!(clock_read(), 0, "tick must be a no-op while disabled");
+    }
+
+    #[test]
+    fn spans_nest_and_ids_are_preorder() {
+        let _guard = collector_test();
+        assert!(install(TraceMode::Ops));
+        assert!(!install(TraceMode::Ops), "second install must refuse");
+        {
+            let a = span("a");
+            a.attr("kind", "outer");
+            {
+                let _b = span("b");
+                tick(5);
+            }
+            {
+                let _c = span("c");
+                tick(2);
+            }
+        }
+        let trace = finish().expect("collector was installed");
+        assert!(finish().is_none(), "finish is one-shot");
+        assert_eq!(trace.roots.len(), 1);
+        let a = &trace.roots[0];
+        assert_eq!((a.name, a.id, a.ops_self, a.ops_total), ("a", 1, 0, 7));
+        assert_eq!(a.children.len(), 2);
+        assert_eq!(
+            (a.children[0].id, a.children[0].ops_total),
+            (2, 5),
+            "preorder ids"
+        );
+        assert_eq!((a.children[1].id, a.children[1].ops_total), (3, 2));
+        assert_eq!(a.wall_end_ns, 0, "ops mode records no wall clock");
+    }
+
+    #[test]
+    fn lanes_merge_in_index_order_regardless_of_execution_order() {
+        let _guard = collector_test();
+        assert!(install(TraceMode::Ops));
+        {
+            let _region = span("region");
+            let ts = task_set(2);
+            // Execute lane 1 before lane 0: the tree must not care.
+            ts.run(1, || {
+                let _s = span("second");
+                tick(20);
+            });
+            ts.run(0, || {
+                let _s = span("first");
+                tick(10);
+            });
+        }
+        let trace = finish().unwrap();
+        let region = &trace.roots[0];
+        let names: Vec<&str> = region.children.iter().map(|c| c.name).collect();
+        assert_eq!(names, ["first", "second"], "lanes splice by index");
+        assert_eq!(region.ops_total, 30);
+        assert_eq!(region.ops_self, 0, "lane work never leaks into self");
+    }
+
+    #[test]
+    fn lane_clock_save_restore_keeps_parent_self_cost_schedule_free() {
+        let _guard = collector_test();
+        assert!(install(TraceMode::Ops));
+        {
+            let _p = span("parent");
+            tick(5);
+            let ts = task_set(1);
+            ts.run(0, || tick(100)); // inline lane, like a width-1 region
+            tick(3);
+        }
+        let trace = finish().unwrap();
+        let p = &trace.roots[0];
+        assert_eq!(p.ops_self, 8, "parent self excludes inline lane work");
+        assert_eq!(p.ops_total, 108, "…but the total includes it");
+    }
+
+    #[test]
+    fn lanes_recorded_on_other_threads_merge_identically() {
+        let _guard = collector_test();
+        assert!(install(TraceMode::Ops));
+        {
+            let _region = span("region");
+            let ts = task_set(2);
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    ts.run(1, || {
+                        let sp = span("worker-lane");
+                        sp.attr("lane", 1u64);
+                        tick(40);
+                    });
+                });
+                ts.run(0, || {
+                    let _sp = span("caller-lane");
+                    tick(4);
+                });
+            });
+        }
+        let trace = finish().unwrap();
+        let region = &trace.roots[0];
+        let names: Vec<&str> = region.children.iter().map(|c| c.name).collect();
+        assert_eq!(names, ["caller-lane", "worker-lane"]);
+        assert_eq!(region.ops_total, 44);
+    }
+
+    #[test]
+    fn untraced_discards_events_and_clock_drift() {
+        let _guard = collector_test();
+        assert!(install(TraceMode::Ops));
+        {
+            let _p = span("parent");
+            tick(1);
+            untraced(|| {
+                let _hidden = span("hidden");
+                tick(1_000);
+            });
+            tick(2);
+        }
+        let trace = finish().unwrap();
+        let p = &trace.roots[0];
+        assert_eq!(p.children.len(), 0, "untraced spans are dropped");
+        assert_eq!(p.ops_total, 3, "untraced ticks don't count");
+    }
+
+    #[test]
+    fn text_and_chrome_exports_are_deterministic() {
+        let _guard = collector_test();
+        let run = || {
+            assert!(install(TraceMode::Ops));
+            {
+                let r = span("region");
+                r.attr("items", 2u64);
+                r.sched_attr("queue_wait_us", 999u64);
+                let ts = task_set(2);
+                for lane in [1usize, 0] {
+                    ts.run(lane, || {
+                        let s = span("task");
+                        s.attr("index", lane as u64);
+                        tick(10 * (lane as u64 + 1));
+                    });
+                }
+            }
+            let trace = finish().unwrap();
+            (trace.render_text(), trace.to_chrome_json())
+        };
+        let (text_a, json_a) = run();
+        let (text_b, json_b) = run();
+        assert_eq!(text_a, text_b);
+        assert_eq!(json_a, json_b);
+        assert!(
+            !text_a.contains("queue_wait_us"),
+            "ops mode drops schedule-class attrs:\n{text_a}"
+        );
+        assert!(text_a.contains("region #1 ops=30 self=0 items=2"));
+        assert_eq!(json_a.matches("\"ph\":\"B\"").count(), 3);
+        assert_eq!(json_a.matches("\"ph\":\"E\"").count(), 3);
+        let parsed: Vec<&str> = json_a.lines().collect();
+        assert_eq!(parsed.first(), Some(&"["));
+        assert_eq!(parsed.last(), Some(&"]"));
+    }
+
+    #[test]
+    fn span_count_tracks_recorded_spans() {
+        let _guard = collector_test();
+        reset_span_count();
+        assert!(install(TraceMode::Ops));
+        {
+            let _a = span("a");
+            let _b = span("b");
+        }
+        assert_eq!(span_count(), 2);
+        let _ = finish();
+        reset_span_count();
+        assert_eq!(span_count(), 0);
+    }
+}

@@ -60,6 +60,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use pool::run_region;
+pub use pool::RegionStats;
 
 /// Environment variable overriding the default worker count.
 pub const THREADS_ENV: &str = "NOC_PAR_THREADS";
@@ -76,6 +77,26 @@ thread_local! {
     /// Per-thread override installed by [`with_threads`] (and propagated
     /// into region workers).
     static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+
+    /// Pool involvement of the most recent region completed on this
+    /// thread; see [`last_region_stats`].
+    static LAST_REGION_STATS: Cell<RegionStats> = const { Cell::new(RegionStats::ZERO) };
+}
+
+/// Pool involvement of the most recent [`par_map`], [`join`] or
+/// [`scope`] call that completed on the calling thread. A region that
+/// ran sequentially (width 1, single item) reports [`RegionStats::ZERO`].
+pub fn last_region_stats() -> RegionStats {
+    LAST_REGION_STATS.with(Cell::get)
+}
+
+/// Publishes a region's stats: thread-local for [`last_region_stats`],
+/// and as schedule-class span attributes (dropped from ops-mode traces —
+/// claims and queue waits are racy by nature).
+fn record_region(span: &noc_obs::Span, stats: RegionStats) {
+    span.sched_attr("tickets_claimed", stats.tickets_claimed);
+    span.sched_attr("queue_wait_us", stats.queue_wait_ns / 1_000);
+    LAST_REGION_STATS.with(|c| c.set(stats));
 }
 
 /// Runs `f` with the effective thread count pinned to `max(threads, 1)`
@@ -176,12 +197,22 @@ where
     // throttle nested regions inside those 2 tasks down to 2.
     let configured = current_threads();
     let threads = configured.min(n);
+    // One trace lane per *item* (not per worker): lane `i` holds item
+    // `i`'s spans regardless of which thread ran it, so the merged tree
+    // is schedule-independent. Both execution paths below run every item
+    // through `tasks.run`, keeping the sequential and parallel traces
+    // structurally identical.
+    let span = noc_obs::span("par_map");
+    span.attr("items", n);
+    let tasks = noc_obs::task_set(n);
     if threads <= 1 {
-        return items
+        let out = items
             .into_iter()
             .enumerate()
-            .map(|(i, t)| f(i, t))
+            .map(|(i, t)| tasks.run(i, || f(i, t)))
             .collect();
+        record_region(&span, RegionStats::ZERO);
+        return out;
     }
 
     let queues = TaskQueues::deal(items.into_iter().enumerate().collect(), threads);
@@ -193,7 +224,7 @@ where
         with_threads(configured, || {
             let mut local: Vec<(usize, R)> = Vec::new();
             while let Some((index, item)) = queues.next_task(worker) {
-                local.push((index, f(index, item)));
+                local.push((index, tasks.run(index, || f(index, item))));
             }
             let mut slots = slots_mutex.lock().unwrap();
             for (index, result) in local {
@@ -206,7 +237,8 @@ where
     // stealing.
     let next_slot = AtomicUsize::new(1);
     let helper = || worker_loop(next_slot.fetch_add(1, Ordering::Relaxed));
-    run_region(threads - 1, &helper, || worker_loop(0));
+    let stats = run_region(threads - 1, &helper, || worker_loop(0));
+    record_region(&span, stats);
     drop(slots_mutex);
 
     slots
@@ -251,9 +283,14 @@ where
     B: FnOnce() -> RB + Send,
 {
     let threads = current_threads();
+    // Lane 0 is `a`, lane 1 is `b`, on every execution path (sequential,
+    // helper-run, reclaimed), so the trace never depends on who ran `b`.
+    let span = noc_obs::span("join");
+    let tasks = noc_obs::task_set(2);
     if threads <= 1 {
-        let ra = a();
-        let rb = b();
+        let ra = tasks.run(0, a);
+        let rb = tasks.run(1, b);
+        record_region(&span, RegionStats::ZERO);
         return (ra, rb);
     }
     let b_cell: Mutex<Option<B>> = Mutex::new(Some(b));
@@ -261,12 +298,15 @@ where
     let helper = || {
         let taken = b_cell.lock().unwrap().take();
         if let Some(b) = taken {
-            let result = catch_unwind(AssertUnwindSafe(|| with_threads(threads, b)));
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                tasks.run(1, || with_threads(threads, b))
+            }));
             *rb_slot.lock().unwrap() = Some(result);
         }
     };
     let mut ra = None;
-    run_region(1, &helper, || ra = Some(a()));
+    let stats = run_region(1, &helper, || ra = Some(tasks.run(0, a)));
+    record_region(&span, stats);
     let ra = ra.expect("caller closure ran");
     // After the region, the helper either ran to completion (slot set)
     // or its ticket was cancelled (b still in the cell).
@@ -278,7 +318,7 @@ where
                 .into_inner()
                 .unwrap()
                 .expect("ticket cancelled implies b untaken");
-            b()
+            tasks.run(1, b)
         }
     };
     (ra, rb)
@@ -337,13 +377,21 @@ pub fn scope<'env, R>(f: impl FnOnce(&Scope<'env>) -> R) -> R {
         }
     };
 
+    // Scope tasks have no deterministic lane index (spawn order is not
+    // execution order), so their spans are suppressed with `untraced` at
+    // every width — otherwise a width-1 run would record what a width-4
+    // run drops on cursor-less workers, breaking trace determinism.
     let threads = current_threads();
     if threads <= 1 {
-        run_worker(&sc);
+        noc_obs::untraced(|| run_worker(&sc));
+        LAST_REGION_STATS.with(|c| c.set(RegionStats::ZERO));
         return result;
     }
     let helper = || with_threads(threads, || run_worker(&sc));
-    run_region(threads - 1, &helper, || run_worker(&sc));
+    let stats = run_region(threads - 1, &helper, || {
+        noc_obs::untraced(|| run_worker(&sc))
+    });
+    LAST_REGION_STATS.with(|c| c.set(stats));
     result
 }
 
@@ -551,6 +599,60 @@ mod tests {
         });
         assert_eq!((a, b), (1, 2));
         assert_eq!(count.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn width1_region_reports_zero_pool_involvement() {
+        let got = with_threads(1, || par_map(vec![1, 2, 3], |_, x: u32| x * 2));
+        assert_eq!(got, vec![2, 4, 6]);
+        assert_eq!(
+            last_region_stats(),
+            RegionStats::ZERO,
+            "a sequential region must not touch the pool"
+        );
+        let _ = with_threads(1, || join(|| 1, || 2));
+        assert_eq!(last_region_stats(), RegionStats::ZERO);
+    }
+
+    #[test]
+    fn region_stats_account_for_every_ticket() {
+        let _ = with_threads(4, || {
+            par_map((0..64).collect::<Vec<u64>>(), |_, x| x.wrapping_mul(3))
+        });
+        let stats = last_region_stats();
+        assert_eq!(stats.tickets_submitted, 3, "width 4 enqueues 3 tickets");
+        assert_eq!(
+            stats.tickets_claimed + stats.tickets_cancelled,
+            stats.tickets_submitted,
+            "every ticket is either claimed or cancelled"
+        );
+        if stats.tickets_claimed == 0 {
+            assert_eq!(stats.queue_wait_ns, 0, "no claim, no queue wait");
+        }
+    }
+
+    // The only test in this binary that installs the (process-global)
+    // noc-obs collector: concurrent tests never record (their threads
+    // hold no cursor), so they cannot disturb this trace.
+    #[test]
+    fn op_clock_region_trace_is_identical_at_any_width() {
+        let run = |threads: usize| {
+            assert!(noc_obs::install(noc_obs::TraceMode::Ops));
+            with_threads(threads, || {
+                par_map((0..8).collect::<Vec<u64>>(), |i, _| {
+                    let sp = noc_obs::span("task");
+                    sp.attr("index", i);
+                    noc_obs::tick(1 + i as u64);
+                })
+            });
+            noc_obs::finish().unwrap().render_text()
+        };
+        let baseline = run(1);
+        assert!(baseline.contains("par_map #1"), "got:\n{baseline}");
+        assert!(baseline.contains("items=8"));
+        for threads in [2, 4] {
+            assert_eq!(run(threads), baseline, "threads = {threads}");
+        }
     }
 
     #[test]

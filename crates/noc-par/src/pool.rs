@@ -36,10 +36,39 @@
 #![allow(unsafe_code)]
 
 use std::any::Any;
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Pool involvement of one completed parallel region, as reported by
+/// [`crate::last_region_stats`]. A region that ran sequentially (width
+/// 1, or a single-item map) never touches the pool and reports all
+/// zeros.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegionStats {
+    /// Helper tickets enqueued for the region (`width - 1`).
+    pub tickets_submitted: usize,
+    /// Tickets a pool worker actually picked up.
+    pub tickets_claimed: usize,
+    /// Tickets cancelled unclaimed when the caller finished first.
+    pub tickets_cancelled: usize,
+    /// Total time claimed tickets spent queued before a worker picked
+    /// them up, summed across helpers.
+    pub queue_wait_ns: u64,
+}
+
+impl RegionStats {
+    /// The all-zero value (`const`, unlike `Default::default()`).
+    pub const ZERO: RegionStats = RegionStats {
+        tickets_submitted: 0,
+        tickets_claimed: 0,
+        tickets_cancelled: 0,
+        queue_wait_ns: 0,
+    };
+}
 
 /// Hard cap on pool threads: far above any sane `NOC_PAR_THREADS`, low
 /// enough that a typo cannot exhaust process limits.
@@ -51,6 +80,10 @@ struct RegionState {
     finished: Mutex<usize>,
     done: Condvar,
     panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Queue wait of claimed tickets, accumulated at claim time — every
+    /// claim happens before the corresponding finish, so the sum is
+    /// complete once the region's claimed tickets are awaited.
+    queue_wait_ns: AtomicU64,
 }
 
 impl RegionState {
@@ -59,6 +92,7 @@ impl RegionState {
             finished: Mutex::new(0),
             done: Condvar::new(),
             panic: Mutex::new(None),
+            queue_wait_ns: AtomicU64::new(0),
         }
     }
 
@@ -94,6 +128,7 @@ struct Ticket {
     work: *const (dyn Fn() + Sync),
     region: Arc<RegionState>,
     region_id: u64,
+    enqueued: Instant,
 }
 
 // SAFETY: `work` is only dereferenced while the submitting region is
@@ -158,11 +193,13 @@ impl Pool {
                 .spawn(move || self.worker_main())
                 .expect("cannot spawn noc-par pool worker");
         }
+        let enqueued = Instant::now();
         for _ in 0..helpers {
             inner.queue.push_back(Ticket {
                 work,
                 region: Arc::clone(region),
                 region_id,
+                enqueued,
             });
         }
         drop(inner);
@@ -191,6 +228,10 @@ impl Pool {
                 }
             };
             let region = Arc::clone(&ticket.region);
+            region.queue_wait_ns.fetch_add(
+                ticket.enqueued.elapsed().as_nanos() as u64,
+                Ordering::Relaxed,
+            );
             let result = {
                 // SAFETY: the ticket was claimed (removed from the
                 // queue), so the submitting region waits for
@@ -215,22 +256,29 @@ struct RegionGuard<'a> {
     region: &'a RegionState,
     region_id: u64,
     submitted: usize,
+    cancelled: &'a Cell<usize>,
 }
 
 impl Drop for RegionGuard<'_> {
     fn drop(&mut self) {
         let cancelled = self.pool.cancel(self.region_id);
+        self.cancelled.set(cancelled);
         self.region.wait_finished(self.submitted - cancelled);
     }
 }
 
 /// Runs one parallel region: `caller` executes on the current thread
 /// while up to `helpers` pool workers run `work` (once each). Returns
-/// after every claimed helper finished; re-raises the first helper panic.
-pub(crate) fn run_region(helpers: usize, work: &(dyn Fn() + Sync), caller: impl FnOnce()) {
+/// the region's pool involvement after every claimed helper finished;
+/// re-raises the first helper panic.
+pub(crate) fn run_region(
+    helpers: usize,
+    work: &(dyn Fn() + Sync),
+    caller: impl FnOnce(),
+) -> RegionStats {
     if helpers == 0 {
         caller();
-        return;
+        return RegionStats::ZERO;
     }
     let pool = Pool::global();
     let region = Arc::new(RegionState::new());
@@ -240,15 +288,24 @@ pub(crate) fn run_region(helpers: usize, work: &(dyn Fn() + Sync), caller: impl 
     let work: *const (dyn Fn() + Sync) =
         unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(work) };
     let region_id = pool.submit(helpers, work, &region);
+    let cancelled = Cell::new(0);
     let guard = RegionGuard {
         pool,
         region: &region,
         region_id,
         submitted: helpers,
+        cancelled: &cancelled,
     };
     caller();
     drop(guard);
     if let Some(payload) = region.take_panic() {
         resume_unwind(payload);
+    }
+    let cancelled = cancelled.get();
+    RegionStats {
+        tickets_submitted: helpers,
+        tickets_claimed: helpers - cancelled,
+        tickets_cancelled: cancelled,
+        queue_wait_ns: region.queue_wait_ns.load(Ordering::Relaxed),
     }
 }

@@ -80,6 +80,13 @@ pub fn simulate_mixed(
     best_effort: &[BestEffortFlow],
     cycles: u64,
 ) -> MixedReport {
+    let span = noc_obs::span("simulate-mixed");
+    span.attr("gt", guaranteed.len());
+    span.attr("be", best_effort.len());
+    span.attr("cycles", cycles);
+    // The BE wheel below costs one op-clock unit per cycle (the GT side
+    // ticks inside `simulate_connections`).
+    noc_obs::tick(cycles);
     let slots = spec.slots();
 
     // The GT side runs exactly as in the pure-GT engine.
@@ -181,11 +188,17 @@ pub fn simulate_mixed(
     }
 
     let mut be_stats = BTreeMap::new();
+    let mut injected = 0u64;
+    let mut delivered = 0u64;
     for (fi, flow) in best_effort.iter().enumerate() {
         let st = &mut flows[fi].stats;
         st.backlog_words = st.injected_words - st.delivered_words;
+        injected += st.injected_words;
+        delivered += st.delivered_words;
         be_stats.insert(flow.key, st.clone());
     }
+    span.attr("be_injected", injected);
+    span.attr("be_delivered", delivered);
     MixedReport {
         guaranteed: gt_report,
         best_effort: be_stats,

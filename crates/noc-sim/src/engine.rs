@@ -97,6 +97,9 @@ pub fn simulate_connections(
     connections: &[Connection],
     config: &SimConfig,
 ) -> SimReport {
+    // Op-clock cost of the engine: one unit per (cycle, connection) step
+    // of the main loop — a deterministic function of the inputs.
+    noc_obs::tick(config.cycles.saturating_mul(connections.len() as u64));
     let slots = spec.slots();
     let slack = config.slack_cycles(slots);
 
@@ -264,6 +267,8 @@ pub fn simulate_use_case(
     use_case: usize,
     config: &SimConfig,
 ) -> SimReport {
+    let span = noc_obs::span("simulate-use-case");
+    span.attr("use_case", use_case);
     let uc_id = UseCaseId::new(use_case as u32);
     let spec = solution.spec();
     let g = groups.group_of(uc_id);

@@ -1,0 +1,54 @@
+//! Op-clock trace determinism: the `be_burst` flow spec produces a
+//! **byte-identical** op-mode trace at 1, 2, and 4 `noc-par` workers,
+//! and that trace matches the committed golden
+//! (`tests/goldens/be_burst_trace.txt`).
+//!
+//! This is the `noc-obs` acceptance bar: span nesting, lane splicing,
+//! span-id assignment, op-clock costs, and both exporters must all be
+//! schedule-independent. The wall-clock fields are zeroed in ops mode,
+//! so the whole document — not just selected fields — can be compared.
+//!
+//! The collector is process-global, so this file holds exactly one
+//! `#[test]` (the sequential install/finish pairs inside it are fine;
+//! a *concurrent* second installer would be refused).
+
+use noc_multiusecase::flow::config::{spec_from_text, SpecFile};
+use noc_multiusecase::flow::run_spec;
+use noc_multiusecase::{obs, par};
+
+/// Runs `specs/flow_be_burst.flow` under an op-mode collector at the
+/// given worker count and returns both renderings of the trace.
+fn traced_run(threads: usize) -> (String, String) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/specs/flow_be_burst.flow");
+    let text = std::fs::read_to_string(path).expect("spec file is committed");
+    let SpecFile::Experiment(spec) = spec_from_text(&text).expect("spec parses") else {
+        panic!("flow_be_burst.flow declares an experiment spec");
+    };
+    assert!(
+        obs::install(obs::TraceMode::Ops),
+        "no other collector may be active in this test binary"
+    );
+    par::with_threads(threads, || run_spec(&spec).expect("be_burst runs"));
+    let trace = obs::finish().expect("finish on the installing thread");
+    (trace.render_text(), trace.to_chrome_json())
+}
+
+#[test]
+fn op_clock_trace_is_byte_identical_at_any_thread_count() {
+    let (text1, json1) = traced_run(1);
+    let (text2, json2) = traced_run(2);
+    let (text4, json4) = traced_run(4);
+    assert_eq!(text1, text2, "text trace diverged between 1 and 2 workers");
+    assert_eq!(text1, text4, "text trace diverged between 1 and 4 workers");
+    assert_eq!(json1, json2, "JSON trace diverged between 1 and 2 workers");
+    assert_eq!(json1, json4, "JSON trace diverged between 1 and 4 workers");
+
+    let golden = include_str!("goldens/be_burst_trace.txt");
+    assert_eq!(
+        text1, golden,
+        "op-mode trace diverged from tests/goldens/be_burst_trace.txt \
+         (if the instrumentation changed intentionally, regenerate the \
+         golden: nocmap_cli flow run specs/flow_be_burst.flow --trace \
+         tests/goldens/be_burst_trace.txt --trace-mode ops)"
+    );
+}

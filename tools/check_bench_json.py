@@ -9,7 +9,8 @@ per-suite fields, op-counter keys). With two files: additionally asserts
 that the *deterministic* fields of the two files' latest run records are
 identical — CI passes records produced at ``--threads 1`` and ``4``, so
 any divergence is a determinism-contract violation. Wall-time fields
-(``map_ms`` / ``anneal_ms``) are machine-dependent and excluded.
+(``map_ms`` / ``anneal_ms`` / ``trace_ms``) are machine-dependent and
+excluded.
 
 See docs/PERFORMANCE.md for the schema.
 """
@@ -31,7 +32,12 @@ OP_KEYS_V1 = {
 # PR 6 added the slot-conflict counter pair; records written earlier
 # carry the V1 key set and stay valid.
 OP_KEYS_V2 = OP_KEYS_V1 | {"conflict_word_tests", "legacy_slot_probes"}
+# PR 7 added the trace-span counter (stays 0 with no collector — the
+# pay-for-use proof) and the trace_ms wall column per suite.
+OP_KEYS_V3 = OP_KEYS_V2 | {"trace_spans"}
+OP_KEY_SETS = (OP_KEYS_V1, OP_KEYS_V2, OP_KEYS_V3)
 SUITE_KEYS = {"label", "switches", "map_ms", "anneal_ms", "map_ops", "anneal_ops"}
+SUITE_KEYS_V2 = SUITE_KEYS | {"trace_ms"}
 
 
 def load(path):
@@ -48,9 +54,11 @@ def load(path):
         assert isinstance(run["threads"], int) and run["threads"] >= 1
         assert run["suites"], f"{path}: run '{run['label']}' has no suites"
         for suite in run["suites"]:
-            assert set(suite) == SUITE_KEYS, f"{path}: bad suite keys {set(suite)}"
+            assert set(suite) in (SUITE_KEYS, SUITE_KEYS_V2), (
+                f"{path}: bad suite keys {set(suite)}"
+            )
             for ops_key in ("map_ops", "anneal_ops"):
-                assert set(suite[ops_key]) in (OP_KEYS_V1, OP_KEYS_V2), (
+                assert set(suite[ops_key]) in OP_KEY_SETS, (
                     f"{path}: bad {ops_key} keys {set(suite[ops_key])}"
                 )
     return doc

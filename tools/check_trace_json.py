@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Validate Chrome trace-event JSON emitted by ``--trace FILE.json``.
+
+Usage:
+    check_trace_json.py FILE [FILE2]
+
+With one file: asserts the document is a well-formed JSON array of
+trace events in which, per ``tid`` timeline, every ``B`` (begin) event
+is closed by a name-matched ``E`` (end) event in stack order, the
+timestamps are non-decreasing, and every begin carries a unique span id
+in ``args.span``. With two files: additionally asserts the two
+documents are byte-identical — CI passes op-mode traces produced at
+``--threads 1`` and ``4``, so any divergence is a determinism-contract
+violation (wall-mode traces are machine-dependent and should not be
+diffed).
+
+See docs/OBSERVABILITY.md for the trace format and contract.
+"""
+
+import json
+import sys
+
+
+def check(path):
+    with open(path) as f:
+        events = json.load(f)
+    assert isinstance(events, list) and events, f"{path}: empty or not a JSON array"
+    stacks = {}  # tid -> [name, ...] of open spans
+    last_ts = {}  # tid -> latest timestamp seen
+    span_ids = set()
+    for i, ev in enumerate(events):
+        where = f"{path}: event {i}"
+        assert isinstance(ev, dict), f"{where}: not an object"
+        for key in ("name", "ph", "pid", "tid", "ts"):
+            assert key in ev, f"{where}: missing '{key}'"
+        tid, ts, ph = ev["tid"], ev["ts"], ev["ph"]
+        assert ph in ("B", "E"), f"{where}: unexpected phase '{ph}'"
+        assert ts >= last_ts.get(tid, 0), (
+            f"{where}: timestamp {ts} goes backwards on tid {tid}"
+        )
+        last_ts[tid] = ts
+        stack = stacks.setdefault(tid, [])
+        if ph == "B":
+            span = ev.get("args", {}).get("span")
+            assert isinstance(span, int), f"{where}: begin without integer args.span"
+            assert span not in span_ids, f"{where}: duplicate span id {span}"
+            span_ids.add(span)
+            stack.append(ev["name"])
+        else:
+            assert stack, f"{where}: end '{ev['name']}' with no open span on tid {tid}"
+            opened = stack.pop()
+            assert opened == ev["name"], (
+                f"{where}: end '{ev['name']}' closes span '{opened}' on tid {tid}"
+            )
+    for tid, stack in stacks.items():
+        assert not stack, f"{path}: tid {tid} left spans open: {stack}"
+    print(f"{path}: {len(span_ids)} spans balanced across {len(stacks)} timeline(s)")
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__)
+        return 2
+    for path in argv[1:]:
+        check(path)
+    if len(argv) == 3:
+        a, b = (open(p, "rb").read() for p in argv[1:])
+        if a != b:
+            print(f"FAIL: {argv[1]} and {argv[2]} differ")
+            return 1
+        print("traces byte-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
