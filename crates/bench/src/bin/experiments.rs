@@ -9,13 +9,16 @@
 //! executed by the generic runner and printed by the shared renderer —
 //! this binary only resolves names. Valid names: `fig6a`, `fig6b`,
 //! `fig6c`, `fig7a`, `fig7b`, `fig7c`, `verify`, `ablation`, `runtime`,
-//! `be_burst`, `headline`, `perf`, `all`. `fig6b`/`fig6c` accept the
-//! paper's prose 40-use-case extension with `fig6b+` / `fig6c+`.
-//! `be_burst` sweeps best-effort traffic burstiness against multi-hop
-//! chain contention (see `docs/SIMULATION.md`); `perf` prints the
-//! hot-path op-counter table behind the `BENCH_nocmap.json` trajectory
-//! (see `docs/PERFORMANCE.md`; it is excluded from `all` because its
-//! wall-time cells are machine-dependent). The pipeline itself is
+//! `be_burst`, `headline`, `perf`, `frontier`, `all`. `fig6b`/`fig6c`
+//! accept the paper's prose 40-use-case extension with `fig6b+` /
+//! `fig6c+`. `be_burst` sweeps best-effort traffic burstiness against
+//! multi-hop chain contention (see `docs/SIMULATION.md`); `perf` prints
+//! the hot-path op-counter table behind the `BENCH_nocmap.json`
+//! trajectory (see `docs/PERFORMANCE.md`; it is excluded from `all`
+//! because its wall-time cells are machine-dependent); `frontier`
+//! prints the strategy-portfolio quality-vs-ops table (all cells
+//! deterministic, see `docs/STRATEGIES.md`; excluded from `all` to
+//! keep the legacy aggregate output stable). The pipeline itself is
 //! documented in `docs/PIPELINE.md`.
 //!
 //! A global `--threads N` pins the `noc-par` worker count (same effect

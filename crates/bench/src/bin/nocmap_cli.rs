@@ -18,10 +18,12 @@
 //! * `gen {d1|d2|d3|d4|sp|bot} [--use-cases N] [--seed S]` — write a spec
 //!   (text format of `noc_usecase::textio`) to stdout.
 //! * `design SPEC [--freq MHZ] [--slots N] [--max-switches N] [--wc]
-//!   [--anneal ITERxCHAINS] [--emit FILE]` — run the design pipeline
-//!   (map → \[anneal\] → verify, plus the worst-case baseline with
-//!   `--wc`), print the analytic report, optionally emit the
-//!   configuration artifact.
+//!   [--anneal ITERxCHAINS] [--strategy greedy|displacement|bnb]
+//!   [--emit FILE]` — run the design pipeline (map → \[anneal\] →
+//!   verify, plus the worst-case baseline with `--wc`), print the
+//!   analytic report, optionally emit the configuration artifact. The
+//!   optional `--strategy` picks a mapping strategy from the
+//!   `nocmap::strategy` portfolio (see `docs/STRATEGIES.md`).
 //! * `flow run {FILE|NAME} [--spec SOCFILE]` — execute an experiment
 //!   spec (a registry name, or a file in the `noc-flow` text format) via
 //!   the generic runner; a `flow NAME` config file instead runs its
@@ -37,6 +39,13 @@
 //!   (with `--json`) append a run record to the `BENCH_nocmap.json`
 //!   trajectory (see `docs/PERFORMANCE.md`). The op-count fields are
 //!   deterministic at any `--threads` setting; only wall times vary.
+//! * `frontier [--json FILE] [--label L]` — the strategy-portfolio
+//!   frontier suite: map every standard benchmark with each strategy
+//!   (greedy, displacement, bounded branch-and-bound), print the
+//!   quality-vs-ops table, and (with `--json`) append a frontier record
+//!   to the trajectory. Every cell is deterministic — the record is
+//!   byte-identical at any `--threads` setting (see
+//!   `docs/STRATEGIES.md`).
 //!
 //! All subcommands accept a global `--threads N` to pin the `noc-par`
 //! worker count (equivalent to `NOC_PAR_THREADS=N`; results are
@@ -62,6 +71,7 @@ use noc_usecase::spec::SocSpec;
 use noc_usecase::UseCaseGroups;
 use nocmap::emit::emit_text;
 use nocmap::report::SolutionReport;
+use nocmap::strategy::StrategyKind;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -71,6 +81,7 @@ fn usage() -> ExitCode {
          nocmap_cli flow {{run FILE|NAME [--spec SOCFILE] | list | show NAME}}\n  \
          nocmap_cli be-burst\n  \
          nocmap_cli perf [--json FILE] [--label L]\n  \
+         nocmap_cli frontier [--json FILE] [--label L]\n  \
          (global: --threads N — pin the noc-par worker count;\n  \
           --trace FILE [--trace-mode ops|wall] — record a span trace)"
     );
@@ -114,6 +125,14 @@ fn cmd_design(mut args: Vec<String>) -> Result<(), FlowError> {
     let max_switches = take_opt(&mut args, "--max-switches")?.unwrap_or(400) as usize;
     let compare_wc = take_flag(&mut args, "--wc");
     let anneal = take_string(&mut args, "--anneal")?;
+    let strategy = match take_string(&mut args, "--strategy")? {
+        Some(tok) => StrategyKind::parse(&tok).ok_or_else(|| {
+            FlowError::Usage(format!(
+                "invalid --strategy '{tok}' (expected greedy|displacement|bnb)"
+            ))
+        })?,
+        None => StrategyKind::Greedy,
+    };
     let emit_path = take_string(&mut args, "--emit")?;
     let spec_path = args
         .first()
@@ -137,7 +156,7 @@ fn cmd_design(mut args: Vec<String>) -> Result<(), FlowError> {
         max_switches,
         ..FlowConfig::design_defaults()
     };
-    config.stages = vec![StageConfig::Map];
+    config.stages = vec![StageConfig::Map { strategy }];
     if let Some(spec) = &anneal {
         let (iterations, chains) = spec
             .split_once('x')
@@ -329,6 +348,25 @@ fn cmd_perf(mut args: Vec<String>) -> Result<(), FlowError> {
     Ok(())
 }
 
+fn cmd_frontier(mut args: Vec<String>) -> Result<(), FlowError> {
+    let json_path = take_string(&mut args, "--json")?;
+    let label = take_string(&mut args, "--label")?.unwrap_or_else(|| "local".to_string());
+    let points = noc_bench::frontier()?;
+    print!("{}", noc_bench::format_frontier(&points));
+    if let Some(path) = json_path {
+        let record =
+            noc_bench::perf_json::frontier_record(&label, noc_par::current_threads(), &points);
+        noc_bench::perf_json::append_run(std::path::Path::new(&path), &record).map_err(|e| {
+            FlowError::Io {
+                path: path.clone(),
+                message: format!("cannot write trajectory: {e}"),
+            }
+        })?;
+        println!("frontier record '{label}' appended to {path}");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let threads = match take_threads(&mut args) {
@@ -361,6 +399,7 @@ fn main() -> ExitCode {
             Some(Ok(()))
         }
         "perf" => Some(cmd_perf(args)),
+        "frontier" => Some(cmd_frontier(args)),
         _ => None,
     };
     let result = match threads {

@@ -28,8 +28,8 @@ use noc_flow::{registry, run_spec, ExperimentOutput, FlowError};
 
 pub use noc_flow::registry::{MAX_SWITCHES, SEED};
 pub use noc_flow::runner::{
-    AblationPoint, AreaPoint, BeBurstPoint, Comparison, DvsPoint, Headline, ParallelPoint,
-    PerfPoint, PerfSnapshot, RuntimePoint, SpeedupPoint, VerifyPoint,
+    AblationPoint, AreaPoint, BeBurstPoint, Comparison, DvsPoint, FrontierPoint, Headline,
+    ParallelPoint, PerfPoint, PerfSnapshot, RuntimePoint, SpeedupPoint, VerifyPoint,
 };
 
 /// Runs a registry entry that cannot fail (its failures are recorded
@@ -168,6 +168,30 @@ pub fn perf() -> Vec<PerfPoint> {
 pub fn format_perf(points: &[PerfPoint]) -> String {
     let spec = registry::find("perf").expect("registered experiment");
     noc_flow::render::render_perf(&spec.title, points)
+}
+
+/// The strategy-portfolio frontier suite: every benchmark of the
+/// `frontier` registry entry mapped by every `nocmap` strategy, with
+/// quality and deterministic op totals per row (see
+/// `docs/STRATEGIES.md`).
+///
+/// # Errors
+///
+/// Propagates the mapper failure (as [`FlowError`]) if any benchmark
+/// fails to map under any strategy.
+pub fn frontier() -> Result<Vec<FrontierPoint>, FlowError> {
+    match run_spec(&registry::find("frontier")?)? {
+        ExperimentOutput::Frontier { points, .. } => Ok(points),
+        _ => unreachable!("frontier is a frontier study"),
+    }
+}
+
+/// Renders the [`frontier`] points as the fixed-width table both CLIs
+/// print. Every cell is deterministic, so this rendering is pinned as
+/// a golden (`tests/goldens/frontier.txt`).
+pub fn format_frontier(points: &[FrontierPoint]) -> String {
+    let spec = registry::find("frontier").expect("registered experiment");
+    noc_flow::render::render_frontier(&spec.title, points)
 }
 
 /// Computes the headline numbers from the Figure 6(a) and 7(b) data.

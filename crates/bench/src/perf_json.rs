@@ -17,7 +17,7 @@
 //! 4 workers and diffs the deterministic fields
 //! (`tools/check_bench_json.py`).
 
-use noc_flow::runner::{PerfPoint, PerfSnapshot};
+use noc_flow::runner::{FrontierPoint, PerfPoint, PerfSnapshot};
 
 /// Schema version of the document (bump when fields change meaning).
 pub const SCHEMA_VERSION: u32 = 1;
@@ -44,6 +44,7 @@ fn ops_json(ops: &PerfSnapshot) -> String {
         "{{\"path_queries\":{},\"dijkstra_pops\":{},\"scratch_allocs\":{},\
          \"group_routes\":{},\"full_maps\":{},\"groups_rerouted\":{},\
          \"groups_reused\":{},\"anneal_moves\":{},\"anneal_accepts\":{},\
+         \"route_cache_hits\":{},\"route_cache_misses\":{},\
          \"conflict_word_tests\":{},\"legacy_slot_probes\":{},\
          \"trace_spans\":{}}}",
         ops.path_queries,
@@ -55,6 +56,8 @@ fn ops_json(ops: &PerfSnapshot) -> String {
         ops.groups_reused,
         ops.anneal_moves,
         ops.anneal_accepts,
+        ops.route_cache_hits,
+        ops.route_cache_misses,
         ops.conflict_word_tests,
         ops.legacy_slot_probes,
         ops.trace_spans,
@@ -89,6 +92,37 @@ pub fn run_record(label: &str, threads: usize, points: &[PerfPoint]) -> String {
         escape(label),
         threads,
         suites.join(",")
+    )
+}
+
+/// One frontier run record as a single JSON line: the run label, the
+/// worker count, and one row object per [`FrontierPoint`] (strategy
+/// portfolio quality vs deterministic ops — see `docs/STRATEGIES.md`).
+/// Unlike [`run_record`], **every** field here is deterministic: the
+/// same record regenerated at any `noc-par` worker count is
+/// byte-identical, which is what CI diffs.
+pub fn frontier_record(label: &str, threads: usize, points: &[FrontierPoint]) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"bench\":\"{}\",\"strategy\":\"{}\",\"switches\":{},\
+                 \"cost\":{},\"evictions\":{},\"nodes\":{},\"ops\":{}}}",
+                escape(&p.bench),
+                p.strategy.token(),
+                p.switches,
+                p.cost,
+                p.evictions,
+                p.nodes,
+                ops_json(&p.ops),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"label\":\"{}\",\"threads\":{},\"frontier\":[{}]}}",
+        escape(label),
+        threads,
+        rows.join(",")
     )
 }
 

@@ -36,7 +36,10 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::error::MapError;
-use crate::mapper::{map_multi_usecase, reroute_preset_groups, MapperOptions, Placement};
+use crate::mapper::{
+    map_multi_usecase, reroute_preset_groups, reroute_preset_groups_cached, MapperOptions,
+    Placement, RouteCache,
+};
 use crate::merge::merged_group_flows;
 use crate::perf;
 use crate::result::MappingSolution;
@@ -95,6 +98,39 @@ pub fn refine(
     initial: &MappingSolution,
     config: &AnnealConfig,
 ) -> Result<MappingSolution, MapError> {
+    refine_impl(soc, groups, options, initial, config, false)
+}
+
+/// [`refine`] with the route cache enabled: each chain owns a
+/// [`RouteCache`] seeded from the starting solution, so a move whose
+/// affected groups revisit an already-seen placement signature splices
+/// the memoized configs instead of re-routing (`route_cache_hits` /
+/// `route_cache_misses` in [`crate::perf`]). The walk — RNG stream,
+/// accepted solutions, final winner — is **byte-identical** to
+/// [`refine`]; only the op profile changes. Pinned by
+/// `tests/perf_counters.rs`.
+///
+/// # Errors
+///
+/// As [`refine`].
+pub fn refine_cached(
+    soc: &SocSpec,
+    groups: &UseCaseGroups,
+    options: &MapperOptions,
+    initial: &MappingSolution,
+    config: &AnnealConfig,
+) -> Result<MappingSolution, MapError> {
+    refine_impl(soc, groups, options, initial, config, true)
+}
+
+fn refine_impl(
+    soc: &SocSpec,
+    groups: &UseCaseGroups,
+    options: &MapperOptions,
+    initial: &MappingSolution,
+    config: &AnnealConfig,
+    use_cache: bool,
+) -> Result<MappingSolution, MapError> {
     assert!(
         config.cooling > 0.0 && config.cooling < 1.0,
         "cooling must be in (0, 1)"
@@ -147,6 +183,14 @@ pub fn refine(
         let mut moves: u64 = 0;
         let mut accepts: u64 = 0;
         let mut rng = SmallRng::seed_from_u64(chain_seed(config.seed, chain));
+        // Per-chain cache (schedule-independent hit/miss counts), seeded
+        // with the preset-pure start so moves revisiting the starting
+        // signature of a group hit immediately.
+        let mut cache = use_cache.then(|| {
+            let mut cache = RouteCache::new(&merged);
+            cache.seed(&rerouted_start);
+            cache
+        });
         let mut current = start.clone();
         // The splice base for delta re-routes must be a solution whose
         // per-group configs equal a full preset re-route of its own
@@ -188,9 +232,15 @@ pub fn refine(
 
             let mut accepted = false;
             let base = shadow.as_ref().unwrap_or(&current);
-            if let Ok(candidate) =
-                reroute_preset_groups(soc, groups, base, options, &mapping, &affected, &merged)
-            {
+            let candidate = match cache.as_mut() {
+                Some(cache) => reroute_preset_groups_cached(
+                    soc, groups, base, options, &mapping, &affected, &merged, cache,
+                ),
+                None => {
+                    reroute_preset_groups(soc, groups, base, options, &mapping, &affected, &merged)
+                }
+            };
+            if let Ok(candidate) = candidate {
                 let delta = candidate.comm_cost() - current.comm_cost();
                 let accept = delta <= 0.0
                     || rng.gen_bool((-delta / temperature.max(1e-9)).exp().clamp(0.0, 1.0));

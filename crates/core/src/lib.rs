@@ -65,13 +65,18 @@ pub mod perf;
 pub mod remap;
 pub mod report;
 pub mod result;
+pub mod strategy;
 pub mod verify;
 pub mod wc;
 
 mod error;
 
 pub use error::MapError;
-pub use mapper::{map_multi_usecase, reroute_preset_groups, MapperOptions, Placement};
+pub use mapper::{
+    map_multi_usecase, reroute_preset_groups, reroute_preset_groups_cached, MapperOptions,
+    Placement, RouteCache,
+};
 pub use merge::merged_group_flows;
 pub use result::{GroupConfig, MappingSolution, Route};
+pub use strategy::{design_with_strategy, StrategyKind, StrategyOutcome};
 pub use verify::VerifyError;

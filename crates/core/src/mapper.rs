@@ -638,6 +638,157 @@ pub fn reroute_preset_groups(
     ))
 }
 
+/// Memoizes per-group configurations by **placement signature** — the
+/// route cache behind cached delta re-routes
+/// ([`reroute_preset_groups_cached`]).
+///
+/// Soundness rests on the invariant documented on
+/// [`reroute_preset_groups`]: with placement fixed up front, each group's
+/// configuration is a pure function of its own cores' NIs (pair order,
+/// slot state and connection ids are all group-private). The cache key
+/// for group `g` is therefore the NI assignment of exactly the cores
+/// appearing in `merged[g]`, in sorted core order; topology, TDMA spec
+/// and mapper options must stay fixed for the cache's lifetime, which is
+/// why search strategies own one cache per (chain, search) rather than
+/// sharing a global one — per-unit caches also keep the hit/miss
+/// counters schedule-independent.
+#[derive(Debug, Clone)]
+pub struct RouteCache {
+    /// Per group: the sorted cores its configuration depends on.
+    group_cores: Vec<Vec<CoreId>>,
+    /// Per group: placement signature → routed config.
+    configs: Vec<BTreeMap<Vec<NodeId>, GroupConfig>>,
+}
+
+impl RouteCache {
+    /// Creates an empty cache for the given merged per-group flows
+    /// (`merged_group_flows(soc, groups)`).
+    pub fn new(merged: &[BTreeMap<(CoreId, CoreId), MergedFlow>]) -> Self {
+        let group_cores: Vec<Vec<CoreId>> = merged
+            .iter()
+            .map(|flows| {
+                let cores: BTreeSet<CoreId> = flows.keys().flat_map(|&(s, d)| [s, d]).collect();
+                cores.into_iter().collect()
+            })
+            .collect();
+        let configs = vec![BTreeMap::new(); group_cores.len()];
+        RouteCache {
+            group_cores,
+            configs,
+        }
+    }
+
+    /// The signature of group `g` under `placement`: its cores' NIs in
+    /// sorted core order. `None` when a core is unplaced (never cached).
+    fn signature(&self, g: usize, placement: &BTreeMap<CoreId, NodeId>) -> Option<Vec<NodeId>> {
+        self.group_cores[g]
+            .iter()
+            .map(|c| placement.get(c).copied())
+            .collect()
+    }
+
+    /// Seeds the cache with `solution`'s per-group configs under its own
+    /// placement (the solution must be preset-pure, i.e. produced by a
+    /// full preset re-route — see [`reroute_preset_groups`]).
+    pub fn seed(&mut self, solution: &MappingSolution) {
+        for g in 0..self.group_cores.len() {
+            if let Some(sig) = self.signature(g, solution.core_mapping()) {
+                self.configs[g]
+                    .entry(sig)
+                    .or_insert_with(|| solution.group_configs()[g].clone());
+            }
+        }
+    }
+
+    /// Total cached configs across all groups.
+    pub fn len(&self) -> usize {
+        self.configs.iter().map(BTreeMap::len).sum()
+    }
+
+    /// Whether nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// [`reroute_preset_groups`] with a [`RouteCache`]: affected groups whose
+/// placement signature is cached are spliced from the cache
+/// (`route_cache_hits`) instead of being re-routed; re-routed groups are
+/// inserted (`route_cache_misses`). Byte-identical to the uncached call
+/// because cached configs are pure functions of the signature — pinned by
+/// `tests/perf_counters.rs` and the strategy differential tests.
+///
+/// # Errors
+///
+/// As [`reroute_preset_groups`].
+///
+/// # Panics
+///
+/// When `affected.len() != groups.group_count()`, or when `cache` was
+/// built for a different group count.
+#[allow(clippy::too_many_arguments)]
+pub fn reroute_preset_groups_cached(
+    soc: &SocSpec,
+    groups: &UseCaseGroups,
+    base: &MappingSolution,
+    options: &MapperOptions,
+    placement: &BTreeMap<CoreId, NodeId>,
+    affected: &[bool],
+    merged: &[BTreeMap<(CoreId, CoreId), MergedFlow>],
+    cache: &mut RouteCache,
+) -> Result<MappingSolution, MapError> {
+    assert_eq!(
+        affected.len(),
+        groups.group_count(),
+        "one affected flag per group"
+    );
+    assert_eq!(
+        cache.group_cores.len(),
+        groups.group_count(),
+        "cache built for this partition"
+    );
+    // Split the affected set into cache hits (spliced below) and misses
+    // (re-routed through the plain delta path).
+    let mut to_route = vec![false; affected.len()];
+    let mut hits: Vec<(usize, Vec<NodeId>)> = Vec::new();
+    let mut misses: Vec<(usize, Vec<NodeId>)> = Vec::new();
+    for (g, &a) in affected.iter().enumerate() {
+        if !a {
+            continue;
+        }
+        match cache.signature(g, placement) {
+            Some(sig) if cache.configs[g].contains_key(&sig) => hits.push((g, sig)),
+            Some(sig) => {
+                to_route[g] = true;
+                misses.push((g, sig));
+            }
+            // Unplaced cores never occur on the preset paths that use the
+            // cache; route them uncached to keep behavior identical.
+            None => to_route[g] = true,
+        }
+    }
+    perf::add(&perf::ROUTE_CACHE_HITS, hits.len() as u64);
+    perf::add(&perf::ROUTE_CACHE_MISSES, misses.len() as u64);
+    let sol = reroute_preset_groups(soc, groups, base, options, placement, &to_route, merged)?;
+    for (g, sig) in misses {
+        cache.configs[g].insert(sig, sol.group_configs()[g].clone());
+    }
+    if hits.is_empty() {
+        return Ok(sol);
+    }
+    let mut configs = sol.group_configs().to_vec();
+    for (g, sig) in hits {
+        configs[g] = cache.configs[g][&sig].clone();
+    }
+    Ok(MappingSolution::new(
+        sol.topology().clone(),
+        sol.label(),
+        sol.spec(),
+        sol.core_mapping().clone(),
+        configs,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

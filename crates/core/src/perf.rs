@@ -111,6 +111,12 @@ counters! {
         anneal_moves => ANNEAL_MOVES,
         /// Annealing moves accepted.
         anneal_accepts => ANNEAL_ACCEPTS,
+        /// Per-group configs served from a [`crate::mapper::RouteCache`]
+        /// instead of being re-routed.
+        route_cache_hits => ROUTE_CACHE_HITS,
+        /// Per-group configs routed and inserted into a
+        /// [`crate::mapper::RouteCache`].
+        route_cache_misses => ROUTE_CACHE_MISSES,
     }
     external {
         resets { noc_tdma::stats::reset, noc_obs::reset_span_count }

@@ -13,6 +13,7 @@ use noc_usecase::UseCaseGroups;
 use nocmap::anneal::AnnealConfig;
 use nocmap::design::FabricKind;
 use nocmap::remap::RemapConfig;
+use nocmap::strategy::StrategyKind;
 use nocmap::MapperOptions;
 
 use crate::stage::{
@@ -85,7 +86,20 @@ impl FlowBuilder {
     /// Appends the map stage on the given fabric family.
     #[must_use]
     pub fn map_fabric(self, fabric: FabricKind) -> Self {
-        self.stage(MapStage { fabric })
+        self.stage(MapStage {
+            fabric,
+            ..Default::default()
+        })
+    }
+
+    /// Appends the map stage with an explicit mapping strategy from the
+    /// portfolio (see [`nocmap::strategy`]).
+    #[must_use]
+    pub fn map_strategy(self, strategy: StrategyKind) -> Self {
+        self.stage(MapStage {
+            strategy,
+            ..Default::default()
+        })
     }
 
     /// Appends the worst-case baseline stage.

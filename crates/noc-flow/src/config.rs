@@ -37,6 +37,7 @@ use noc_topology::units::{Frequency, LinkWidth};
 use noc_usecase::spec::SocSpec;
 use nocmap::anneal::AnnealConfig;
 use nocmap::remap::RemapConfig;
+use nocmap::strategy::StrategyKind;
 use serde::{Deserialize, Serialize};
 
 use crate::builder::{DesignFlow, FlowBuilder};
@@ -270,6 +271,13 @@ pub enum ExperimentKind {
         /// Independent annealing chains per benchmark.
         anneal_chains: u64,
     },
+    /// Strategy-portfolio frontier: map each benchmark with every
+    /// [`StrategyKind`], recording cost quality against deterministic
+    /// op totals (see `docs/STRATEGIES.md`).
+    Frontier {
+        /// Benchmarks to sweep, in row order.
+        benches: Vec<LabeledBench>,
+    },
 }
 
 /// A named, titled, executable experiment description.
@@ -286,8 +294,14 @@ pub struct ExperimentSpec {
 /// One stage entry of a [`FlowConfig`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum StageConfig {
-    /// Smallest-mesh mapping.
-    Map,
+    /// Smallest-mesh mapping, optionally refined by a portfolio
+    /// strategy (`stage map [greedy|displacement|bnb]` in the text
+    /// form; the bare `stage map` spelling is the greedy default and
+    /// round-trips byte-identically).
+    Map {
+        /// Mapping strategy from the portfolio.
+        strategy: StrategyKind,
+    },
     /// Worst-case baseline.
     WorstCase,
     /// Annealing refinement.
@@ -317,6 +331,15 @@ pub enum StageConfig {
         /// Cycles per use-case.
         cycles: u64,
     },
+}
+
+impl StageConfig {
+    /// The default map stage (greedy strategy).
+    pub fn map() -> Self {
+        StageConfig::Map {
+            strategy: StrategyKind::Greedy,
+        }
+    }
 }
 
 /// Declarative form of one [`DesignFlow`]: the shared knobs plus the
@@ -350,7 +373,7 @@ impl FlowConfig {
             max_switches: 400,
             threads: None,
             seed: 2006,
-            stages: vec![StageConfig::Map, StageConfig::Verify],
+            stages: vec![StageConfig::map(), StageConfig::Verify],
         }
     }
 
@@ -367,7 +390,9 @@ impl FlowConfig {
             .seed(self.seed);
         for stage in &self.stages {
             b = match *stage {
-                StageConfig::Map => b.map(),
+                // `map_strategy` with the greedy default is exactly
+                // `map()` — one arm keeps every spelling uniform.
+                StageConfig::Map { strategy } => b.map_strategy(strategy),
                 StageConfig::WorstCase => b.worst_case(),
                 StageConfig::Anneal {
                     iterations,
@@ -576,6 +601,10 @@ pub fn experiment_to_text(spec: &ExperimentSpec) -> String {
             let _ = writeln!(out, "anneal_iterations {anneal_iterations}");
             let _ = writeln!(out, "anneal_chains {anneal_chains}");
         }
+        ExperimentKind::Frontier { benches } => {
+            let _ = writeln!(out, "kind frontier");
+            write_labeled(&mut out, "bench", benches);
+        }
     }
     out
 }
@@ -593,8 +622,17 @@ pub fn flow_to_text(cfg: &FlowConfig) -> String {
     let _ = writeln!(out, "seed {}", cfg.seed);
     for s in &cfg.stages {
         match s {
-            StageConfig::Map => {
-                let _ = writeln!(out, "stage map");
+            StageConfig::Map { strategy } => {
+                // Bare `stage map` for the greedy default so existing
+                // specs round-trip byte-for-byte.
+                match strategy {
+                    StrategyKind::Greedy => {
+                        let _ = writeln!(out, "stage map");
+                    }
+                    other => {
+                        let _ = writeln!(out, "stage map {}", other.token());
+                    }
+                }
             }
             StageConfig::WorstCase => {
                 let _ = writeln!(out, "stage worst_case");
@@ -997,6 +1035,7 @@ fn experiment_body(name: String, lines: &mut Lines<'_>) -> Result<ExperimentSpec
             anneal_iterations: scalar("anneal_iterations", Some(60))?,
             anneal_chains: scalar("anneal_chains", Some(2))?,
         },
+        "frontier" => ExperimentKind::Frontier { benches },
         other => {
             return Err(FlowError::parse(
                 kline,
@@ -1027,7 +1066,14 @@ fn flow_body(name: String, lines: &mut Lines<'_>) -> Result<FlowConfig, FlowErro
             "seed" => cfg.seed = parse_num(line, "seed", value(1)?)?,
             "stage" => {
                 let stage = match value(1)? {
-                    "map" => StageConfig::Map,
+                    "map" => StageConfig::Map {
+                        strategy: match toks.get(2) {
+                            Some(tok) => StrategyKind::parse(tok).ok_or_else(|| {
+                                FlowError::parse(line, format!("unknown map strategy '{tok}'"))
+                            })?,
+                            None => StrategyKind::Greedy,
+                        },
+                    },
                     "worst_case" => StageConfig::WorstCase,
                     "anneal" => {
                         let d = AnnealConfig::default();
@@ -1103,7 +1149,7 @@ mod tests {
             threads: Some(4),
             seed: 42,
             stages: vec![
-                StageConfig::Map,
+                StageConfig::map(),
                 StageConfig::WorstCase,
                 StageConfig::Anneal {
                     iterations: 50,
@@ -1137,6 +1183,42 @@ mod tests {
     fn comments_and_blanks_are_ignored() {
         let cfg = flow_from_text("# header\nflow x\n\nslots 8  # eight\nstage map\n").unwrap();
         assert_eq!(cfg.slots, 8);
-        assert_eq!(cfg.stages, vec![StageConfig::Map]);
+        assert_eq!(cfg.stages, vec![StageConfig::map()]);
+    }
+
+    #[test]
+    fn map_strategy_round_trips_and_defaults_to_greedy() {
+        for strategy in StrategyKind::ALL {
+            let cfg = FlowConfig {
+                stages: vec![StageConfig::Map { strategy }, StageConfig::Verify],
+                ..FlowConfig::design_defaults()
+            };
+            let text = flow_to_text(&cfg);
+            // The greedy default keeps the historical bare spelling.
+            if strategy == StrategyKind::Greedy {
+                assert!(text.contains("stage map\n"), "{text}");
+            } else {
+                assert!(
+                    text.contains(&format!("stage map {}\n", strategy.token())),
+                    "{text}"
+                );
+            }
+            assert_eq!(flow_from_text(&text).unwrap(), cfg);
+        }
+        let err = flow_from_text("flow x\nstage map banana\n").unwrap_err();
+        assert_eq!(err, FlowError::parse(2, "unknown map strategy 'banana'"));
+    }
+
+    #[test]
+    fn frontier_experiment_round_trips() {
+        let spec = ExperimentSpec {
+            name: "frontier".into(),
+            title: "Strategy frontier".into(),
+            kind: ExperimentKind::Frontier {
+                benches: vec![LabeledBench::new("sp3", BenchmarkSpec::spread(3, 7))],
+            },
+        };
+        let text = experiment_to_text(&spec);
+        assert_eq!(experiment_from_text(&text).unwrap(), spec);
     }
 }

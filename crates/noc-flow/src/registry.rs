@@ -243,6 +243,25 @@ pub fn registry() -> Vec<ExperimentSpec> {
             anneal_chains: 2,
         },
     ));
+    specs.push(spec(
+        "frontier",
+        "Strategy portfolio: quality vs deterministic ops per strategy",
+        ExperimentKind::Frontier {
+            benches: design_benches()
+                .into_iter()
+                .chain([
+                    LabeledBench::new("sp10", BenchmarkSpec::spread(10, SEED + 10)),
+                    LabeledBench::new(
+                        "bot10",
+                        BenchmarkSpec::Bottleneck {
+                            use_cases: 10,
+                            seed: SEED + 10,
+                        },
+                    ),
+                ])
+                .collect(),
+        },
+    ));
     specs
 }
 

@@ -9,8 +9,8 @@
 use std::fmt::Write as _;
 
 use crate::runner::{
-    AblationPoint, AreaPoint, BeBurstPoint, Comparison, DvsPoint, ExperimentOutput, Headline,
-    ParallelPoint, PerfPoint, RuntimePoint, SpeedupPoint, VerifyPoint,
+    AblationPoint, AreaPoint, BeBurstPoint, Comparison, DvsPoint, ExperimentOutput, FrontierPoint,
+    Headline, ParallelPoint, PerfPoint, RuntimePoint, SpeedupPoint, VerifyPoint,
 };
 
 /// Renders a comparison table (Figures 6(a)–(c)).
@@ -235,6 +235,46 @@ pub fn render_perf(title: &str, points: &[PerfPoint]) -> String {
     out
 }
 
+/// Renders the strategy-portfolio frontier table. Every cell is
+/// schedule-independent — quality columns plus deterministic op
+/// counters, no wall-clock — so the rendering is pinned as a golden
+/// and compared across `noc-par` worker counts.
+pub fn render_frontier(title: &str, points: &[FrontierPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== {title} ==");
+    let _ = writeln!(
+        out,
+        "{:<8} {:<13} {:>8} {:>14} {:>6} {:>7} {:>10} {:>12} {:>10} {:>10}",
+        "bench",
+        "strategy",
+        "switches",
+        "cost",
+        "evict",
+        "nodes",
+        "queries",
+        "pops",
+        "cache hit",
+        "cache miss"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:<8} {:<13} {:>8} {:>14} {:>6} {:>7} {:>10} {:>12} {:>10} {:>10}",
+            p.bench,
+            p.strategy.token(),
+            p.switches,
+            p.cost,
+            p.evictions,
+            p.nodes,
+            p.ops.path_queries,
+            p.ops.dijkstra_pops,
+            p.ops.route_cache_hits,
+            p.ops.route_cache_misses,
+        );
+    }
+    out
+}
+
 fn render_headline(title: &str, h: &Headline) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "\n== {title} ==");
@@ -268,6 +308,7 @@ pub fn render(output: &ExperimentOutput) -> String {
         ExperimentOutput::BeBurst { title, points } => render_be_burst(title, points),
         ExperimentOutput::Headline { title, headline } => render_headline(title, headline),
         ExperimentOutput::Perf { title, points } => render_perf(title, points),
+        ExperimentOutput::Frontier { title, points } => render_frontier(title, points),
     }
 }
 

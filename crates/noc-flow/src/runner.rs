@@ -14,8 +14,10 @@ use noc_topology::units::{Bandwidth, Frequency, LinkWidth};
 use noc_topology::{AreaModel, DvsModel};
 use noc_usecase::UseCaseGroups;
 use nocmap::anneal::AnnealConfig;
+use nocmap::design::FabricKind;
 use nocmap::dvs::{dvs_savings, parallel_min_frequency};
 pub use nocmap::perf::PerfSnapshot;
+use nocmap::strategy::{design_with_strategy, StrategyKind};
 use nocmap::{MapperOptions, MappingSolution, Placement};
 
 use crate::builder::{DesignFlow, FlowBuilder};
@@ -213,6 +215,34 @@ pub struct PerfPoint {
     pub trace_wall: std::time::Duration,
 }
 
+/// One row of the strategy-portfolio frontier: one benchmark mapped by
+/// one [`StrategyKind`], with the quality of the result (switches,
+/// integer comm cost) and the deterministic effort that bought it
+/// (op-counter delta plus the strategy's own search counters).
+///
+/// Unlike [`PerfPoint`] this row carries **no wall-clock**: every field
+/// is identical at any `noc-par` thread count, so the rendered table is
+/// goldenable and the `BENCH_nocmap.json` frontier record diffs clean
+/// across worker counts.
+#[derive(Debug, Clone)]
+pub struct FrontierPoint {
+    /// Benchmark label.
+    pub bench: String,
+    /// Strategy that produced this row.
+    pub strategy: StrategyKind,
+    /// Switches of the produced fabric (same for every strategy — the
+    /// portfolio refines placement on the greedy design's fabric).
+    pub switches: usize,
+    /// Bandwidth × hop integer cost of the solution.
+    pub cost: u128,
+    /// Evictions the displacement search spent (0 for the others).
+    pub evictions: u64,
+    /// Branch-and-bound nodes expanded (0 for the others).
+    pub nodes: u64,
+    /// Op-counter delta of the run.
+    pub ops: PerfSnapshot,
+}
+
 /// The typed result of executing one [`ExperimentSpec`]: the spec's
 /// title plus the points of its family. [`crate::render::render`]
 /// turns any output into the fixed-width table both CLIs print.
@@ -289,6 +319,14 @@ pub enum ExperimentOutput {
         title: String,
         /// Rows.
         points: Vec<PerfPoint>,
+    },
+    /// Strategy-portfolio frontier rows.
+    Frontier {
+        /// Table title.
+        title: String,
+        /// Rows (benchmark-major, strategies in [`StrategyKind::ALL`]
+        /// order).
+        points: Vec<FrontierPoint>,
     },
 }
 
@@ -742,6 +780,43 @@ fn run_perf(benches: &[LabeledBench], iterations: u64, chains: u64) -> Vec<PerfP
         .collect()
 }
 
+/// Maps each benchmark with every portfolio strategy, bracketing each
+/// run with op-counter snapshots. Rows run sequentially so the
+/// per-row deltas are exact (the mapper inside still uses `noc-par`);
+/// every recorded field is schedule-independent.
+fn run_frontier(benches: &[LabeledBench]) -> Result<Vec<FrontierPoint>, FlowError> {
+    let spec = TdmaSpec::paper_default();
+    let opts = MapperOptions::default();
+    let mut points = Vec::new();
+    for b in benches {
+        let soc = b.bench.generate();
+        let groups = singleton_groups(&soc);
+        for kind in StrategyKind::ALL {
+            let before = nocmap::perf::snapshot();
+            let outcome = design_with_strategy(
+                &soc,
+                &groups,
+                spec,
+                &opts,
+                MAX_SWITCHES,
+                FabricKind::Mesh,
+                kind,
+            )?;
+            let ops = nocmap::perf::snapshot().since(&before);
+            points.push(FrontierPoint {
+                bench: b.label.clone(),
+                strategy: kind,
+                switches: outcome.solution.switch_count(),
+                cost: outcome.solution.comm_cost_bytes_hops(),
+                evictions: outcome.evictions,
+                nodes: outcome.nodes_expanded,
+                ops,
+            });
+        }
+    }
+    Ok(points)
+}
+
 fn run_headline(
     area_benches: &[LabeledBench],
     dvs_benches: &[LabeledBench],
@@ -844,6 +919,10 @@ pub fn run_spec(spec: &ExperimentSpec) -> Result<ExperimentOutput, FlowError> {
         } => ExperimentOutput::Perf {
             title,
             points: run_perf(benches, *anneal_iterations, *anneal_chains),
+        },
+        ExperimentKind::Frontier { benches } => ExperimentOutput::Frontier {
+            title,
+            points: run_frontier(benches)?,
         },
     })
 }

@@ -13,6 +13,7 @@ use noc_usecase::UseCaseGroups;
 use nocmap::anneal::{refine, AnnealConfig};
 use nocmap::design::{design_smallest_fabric, FabricKind};
 use nocmap::remap::{refine_with_remap, RemapConfig, RemappedDesign};
+use nocmap::strategy::{design_with_strategy, StrategyKind};
 use nocmap::wc::design_worst_case;
 use nocmap::{MapError, MapperOptions, MappingSolution};
 
@@ -126,11 +127,17 @@ pub trait Stage {
 }
 
 /// Map stage: smallest feasible fabric for the whole multi-use-case
-/// spec (the paper's outer growth loop + Algorithm 2).
+/// spec (the paper's outer growth loop + Algorithm 2), optionally
+/// refined by an alternative search strategy from the portfolio
+/// (`nocmap::strategy`). The default ([`StrategyKind::Greedy`]) is
+/// byte- and op-identical to the historical plain greedy stage.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MapStage {
     /// Fabric family to grow (mesh by default).
     pub fabric: FabricKind,
+    /// Mapping strategy (greedy by default; `displacement` and `bnb`
+    /// refine the greedy design on its own fabric).
+    pub strategy: StrategyKind,
 }
 
 impl Stage for MapStage {
@@ -143,14 +150,30 @@ impl Stage for MapStage {
     }
 
     fn run(&self, ctx: &mut FlowContext) -> Result<(), FlowError> {
-        let sol = design_smallest_fabric(
-            &ctx.soc,
-            &ctx.groups,
-            ctx.spec,
-            &ctx.options,
-            ctx.max_switches,
-            self.fabric,
-        )?;
+        let sol = match self.strategy {
+            // Call the plain design entry point directly so the default
+            // path stays op-identical to the pre-portfolio stage.
+            StrategyKind::Greedy => design_smallest_fabric(
+                &ctx.soc,
+                &ctx.groups,
+                ctx.spec,
+                &ctx.options,
+                ctx.max_switches,
+                self.fabric,
+            )?,
+            strategy => {
+                design_with_strategy(
+                    &ctx.soc,
+                    &ctx.groups,
+                    ctx.spec,
+                    &ctx.options,
+                    ctx.max_switches,
+                    self.fabric,
+                    strategy,
+                )?
+                .solution
+            }
+        };
         ctx.solution = Some(sol);
         Ok(())
     }

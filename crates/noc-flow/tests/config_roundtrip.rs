@@ -116,7 +116,7 @@ fn flow_config_round_trips_with_and_without_threads() {
             threads,
             seed: 7,
             stages: vec![
-                StageConfig::Map,
+                StageConfig::map(),
                 StageConfig::Anneal {
                     iterations: 30,
                     chains: 3,
@@ -141,7 +141,7 @@ fn flow_config_round_trips_with_and_without_threads() {
 fn built_flow_matches_its_stage_list() {
     let cfg = FlowConfig {
         stages: vec![
-            StageConfig::Map,
+            StageConfig::map(),
             StageConfig::WorstCase,
             StageConfig::Verify,
             StageConfig::Simulate { cycles: 256 },

@@ -13,7 +13,9 @@ use noc_multiusecase::flow::{registry, render, run_spec};
 use noc_multiusecase::par::with_threads;
 
 /// `(registry name, golden file)` for every deterministic suite.
-const GOLDENS: [(&str, &str); 12] = [
+/// `frontier` post-dates the redesign: its golden was captured from the
+/// PR-8 strategy portfolio (every cell deterministic, no wall-clock).
+const GOLDENS: [(&str, &str); 13] = [
     ("fig6a", include_str!("goldens/fig6a.txt")),
     ("fig6b", include_str!("goldens/fig6b.txt")),
     ("fig6b+", include_str!("goldens/fig6bx.txt")),
@@ -26,6 +28,7 @@ const GOLDENS: [(&str, &str); 12] = [
     ("ablation", include_str!("goldens/ablation.txt")),
     ("be_burst", include_str!("goldens/be_burst.txt")),
     ("headline", include_str!("goldens/headline.txt")),
+    ("frontier", include_str!("goldens/frontier.txt")),
 ];
 
 /// What the `experiments` binary prints for one name: the rendering on

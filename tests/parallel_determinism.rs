@@ -15,10 +15,11 @@
 
 use noc_multiusecase::benchgen::{BottleneckConfig, SpreadConfig};
 use noc_multiusecase::map::anneal::{refine, AnnealConfig};
-use noc_multiusecase::map::design::design_smallest_mesh;
+use noc_multiusecase::map::design::{design_smallest_mesh, FabricKind};
 use noc_multiusecase::map::emit::emit_text;
 use noc_multiusecase::map::remap::{refine_with_remap, RemapConfig};
 use noc_multiusecase::map::report::SolutionReport;
+use noc_multiusecase::map::strategy::{design_with_strategy, StrategyKind};
 use noc_multiusecase::map::{MapperOptions, MappingSolution};
 use noc_multiusecase::par::with_threads;
 use noc_multiusecase::tdma::TdmaSpec;
@@ -111,6 +112,46 @@ fn per_group_remapping_is_identical_across_thread_counts() {
             refine_with_remap(&soc, &groups, &opts, &base_sol, &cfg).unwrap()
         });
         assert_eq!(remapped, base, "remapping differs at {threads} threads");
+    }
+}
+
+/// The strategy portfolio (PR 8) extends the byte-identity contract:
+/// every [`StrategyKind`] — greedy, displacement local search, bounded
+/// branch-and-bound — must produce the same [`StrategyOutcome`] (solution
+/// *and* work accounting: evictions, nodes expanded) at every worker
+/// count. The refinement searches route candidates through the shared
+/// route cache, so this also pins the cache as schedule-independent.
+///
+/// [`StrategyOutcome`]: noc_multiusecase::map::strategy::StrategyOutcome
+#[test]
+fn strategy_portfolio_is_identical_across_thread_counts() {
+    let soc = SpreadConfig::paper(4).generate(SEED);
+    let groups = UseCaseGroups::singletons(4);
+    let opts = MapperOptions::default();
+    for kind in StrategyKind::ALL {
+        let run = || {
+            design_with_strategy(
+                &soc,
+                &groups,
+                TdmaSpec::paper_default(),
+                &opts,
+                MAX_SWITCHES,
+                FabricKind::Mesh,
+                kind,
+            )
+            .expect("pinned-seed benchmarks are feasible")
+        };
+        let base = with_threads(1, run);
+        base.solution
+            .verify(&soc, &groups)
+            .expect("strategy output verifies");
+        for threads in THREAD_COUNTS {
+            let outcome = with_threads(threads, run);
+            assert_eq!(
+                outcome, base,
+                "strategy {kind} differs at {threads} threads"
+            );
+        }
     }
 }
 

@@ -14,9 +14,13 @@
 //!   (`groups_reused > 0` on a spec with disjoint-core use-cases);
 //! * path queries run against **re-used scratch buffers** — one
 //!   allocation per group per map, not one per query;
+//! * the route cache is **pay-for-use**: plain `refine` leaves both
+//!   `route_cache_*` counters at zero, while `refine_cached` records
+//!   hits on revisited placement signatures, saves their re-routes, and
+//!   still returns the byte-identical winner;
 //! * all of those counts are **identical at any thread count**.
 
-use noc_multiusecase::map::anneal::{refine, AnnealConfig};
+use noc_multiusecase::map::anneal::{refine, refine_cached, AnnealConfig};
 use noc_multiusecase::map::design::design_smallest_mesh;
 use noc_multiusecase::map::{perf, MapperOptions};
 use noc_multiusecase::par::with_threads;
@@ -112,9 +116,53 @@ fn hot_loops_are_delta_evaluated_and_allocation_free() {
         delta.groups_reused
     );
 
+    // -- Route cache: pay-for-use, byte-identical walk. ----------------
+    assert_eq!(
+        (delta.route_cache_hits, delta.route_cache_misses),
+        (0, 0),
+        "plain refine must never touch the route cache"
+    );
+    let run_cached = || {
+        let before = perf::snapshot();
+        let refined =
+            refine_cached(&soc, &groups, &opts, &initial, &cfg).expect("refine_cached succeeds");
+        (perf::snapshot().since(&before), refined)
+    };
+    let (cached, cached_sol) = run_cached();
+    assert_eq!(
+        cached_sol, refined,
+        "the cache must not change the walk's winner"
+    );
+    assert_eq!(
+        (cached.anneal_moves, cached.anneal_accepts),
+        (delta.anneal_moves, delta.anneal_accepts),
+        "the cache must not change the walk itself"
+    );
+    assert!(
+        cached.route_cache_hits > 0,
+        "a 40-iteration walk over two groups must revisit placement signatures"
+    );
+    assert!(
+        cached.route_cache_misses > 0,
+        "fresh placement signatures must be routed (and recorded) as misses"
+    );
+    assert!(
+        cached.group_routes < delta.group_routes,
+        "every cache hit must save a group re-route ({} cached vs {} uncached)",
+        cached.group_routes,
+        delta.group_routes
+    );
+
     // -- Determinism: identical op counts at any thread count. ---------
     let (seq, seq_sol) = with_threads(1, run_refine);
     let (par, par_sol) = with_threads(4, run_refine);
     assert_eq!(seq_sol, par_sol, "thread count must not change the walk");
     assert_eq!(seq, par, "op counters must be schedule-independent");
+    let (cached_seq, cached_seq_sol) = with_threads(1, run_cached);
+    let (cached_par, cached_par_sol) = with_threads(4, run_cached);
+    assert_eq!(cached_seq_sol, cached_par_sol);
+    assert_eq!(
+        cached_seq, cached_par,
+        "cache hit/miss counts must be schedule-independent"
+    );
 }

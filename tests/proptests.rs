@@ -220,6 +220,38 @@ proptest! {
         prop_assert_eq!(slots, pristine);
     }
 
+    /// The mapper contract holds for slot tables that cross u64 word
+    /// boundaries: `S = 130` needs three words per bit-packed link mask
+    /// (`130 > 2 × 64`), so every wheel wrap, occupancy fold and
+    /// reservation in the mapper path exercises multi-word arithmetic.
+    /// The solution must still verify, re-map deterministically, and keep
+    /// every reserved base slot inside the wheel.
+    #[test]
+    fn mapper_output_contract_with_multiword_slot_tables(
+        ucs in proptest::collection::vec(use_case_strategy(5, 6), 1..3),
+    ) {
+        let mut soc = SocSpec::new("prop");
+        for uc in ucs {
+            soc.add_use_case(uc);
+        }
+        let groups = UseCaseGroups::singletons(soc.use_case_count());
+        let spec = TdmaSpec::new(130, Frequency::from_mhz(500), LinkWidth::BITS_32);
+        let opts = MapperOptions::default();
+        if let Ok(sol) = design_smallest_mesh(&soc, &groups, spec, &opts, 16) {
+            prop_assert!(sol.verify(&soc, &groups).is_ok());
+            let again = design_smallest_mesh(&soc, &groups, spec, &opts, 16)
+                .expect("determinism: feasible stays feasible");
+            prop_assert_eq!(&sol, &again);
+            for config in sol.group_configs() {
+                for (_, route) in config.iter() {
+                    for &base in &route.base_slots {
+                        prop_assert!(base < 130, "base slot {} outside the wheel", base);
+                    }
+                }
+            }
+        }
+    }
+
     /// Any random small SoC the mapper accepts yields a verifiable,
     /// simulation-clean, deterministic solution.
     #[test]

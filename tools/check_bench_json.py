@@ -10,7 +10,8 @@ that the *deterministic* fields of the two files' latest run records are
 identical — CI passes records produced at ``--threads 1`` and ``4``, so
 any divergence is a determinism-contract violation. Wall-time fields
 (``map_ms`` / ``anneal_ms`` / ``trace_ms``) are machine-dependent and
-excluded.
+excluded. Frontier records (``"frontier"`` instead of ``"suites"``)
+carry no wall-clock at all, so every field of their rows is compared.
 
 See docs/PERFORMANCE.md for the schema.
 """
@@ -35,9 +36,15 @@ OP_KEYS_V2 = OP_KEYS_V1 | {"conflict_word_tests", "legacy_slot_probes"}
 # PR 7 added the trace-span counter (stays 0 with no collector — the
 # pay-for-use proof) and the trace_ms wall column per suite.
 OP_KEYS_V3 = OP_KEYS_V2 | {"trace_spans"}
-OP_KEY_SETS = (OP_KEYS_V1, OP_KEYS_V2, OP_KEYS_V3)
+# PR 8 added the route-cache hit/miss pair (strategy portfolio).
+OP_KEYS_V4 = OP_KEYS_V3 | {"route_cache_hits", "route_cache_misses"}
+OP_KEY_SETS = (OP_KEYS_V1, OP_KEYS_V2, OP_KEYS_V3, OP_KEYS_V4)
 SUITE_KEYS = {"label", "switches", "map_ms", "anneal_ms", "map_ops", "anneal_ops"}
 SUITE_KEYS_V2 = SUITE_KEYS | {"trace_ms"}
+# PR 8 frontier records: one row per (benchmark, strategy), strategy-keyed
+# quality and op columns. Every field is deterministic (no wall-clock).
+FRONTIER_ROW_KEYS = {"bench", "strategy", "switches", "cost", "evictions", "nodes", "ops"}
+STRATEGIES = {"greedy", "displacement", "bnb"}
 
 
 def load(path):
@@ -50,8 +57,18 @@ def load(path):
     dupes = {lbl for lbl in labels if labels.count(lbl) > 1}
     assert not dupes, f"{path}: duplicate run labels {sorted(dupes)}"
     for run in runs:
-        assert set(run) == {"label", "threads", "suites"}, f"{path}: bad run keys {set(run)}"
         assert isinstance(run["threads"], int) and run["threads"] >= 1
+        if "frontier" in run:
+            assert set(run) == {"label", "threads", "frontier"}, (
+                f"{path}: bad frontier run keys {set(run)}"
+            )
+            assert run["frontier"], f"{path}: run '{run['label']}' has no rows"
+            for row in run["frontier"]:
+                assert set(row) == FRONTIER_ROW_KEYS, f"{path}: bad row keys {set(row)}"
+                assert row["strategy"] in STRATEGIES, f"{path}: bad strategy {row['strategy']}"
+                assert set(row["ops"]) in OP_KEY_SETS, f"{path}: bad ops keys {set(row['ops'])}"
+            continue
+        assert set(run) == {"label", "threads", "suites"}, f"{path}: bad run keys {set(run)}"
         assert run["suites"], f"{path}: run '{run['label']}' has no suites"
         for suite in run["suites"]:
             assert set(suite) in (SUITE_KEYS, SUITE_KEYS_V2), (
@@ -65,6 +82,9 @@ def load(path):
 
 
 def deterministic(run):
+    if "frontier" in run:
+        # Frontier rows carry no wall-clock: every field must match.
+        return run["frontier"]
     return [
         {k: s[k] for k in ("label", "switches", "map_ops", "anneal_ops")}
         for s in run["suites"]
