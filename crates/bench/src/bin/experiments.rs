@@ -9,7 +9,8 @@
 //! executed by the generic runner and printed by the shared renderer —
 //! this binary only resolves names. Valid names: `fig6a`, `fig6b`,
 //! `fig6c`, `fig7a`, `fig7b`, `fig7c`, `verify`, `ablation`, `runtime`,
-//! `be_burst`, `headline`, `perf`, `frontier`, `all`. `fig6b`/`fig6c`
+//! `be_burst`, `headline`, `perf`, `frontier`, `service`, `all`.
+//! `fig6b`/`fig6c`
 //! accept the paper's prose 40-use-case extension with `fig6b+` /
 //! `fig6c+`. `be_burst` sweeps best-effort traffic burstiness against
 //! multi-hop chain contention (see `docs/SIMULATION.md`); `perf` prints
@@ -18,8 +19,10 @@
 //! because its wall-time cells are machine-dependent); `frontier`
 //! prints the strategy-portfolio quality-vs-ops table (all cells
 //! deterministic, see `docs/STRATEGIES.md`; excluded from `all` to
-//! keep the legacy aggregate output stable). The pipeline itself is
-//! documented in `docs/PIPELINE.md`.
+//! keep the legacy aggregate output stable); `service` prints the
+//! online-admission blocking/reconfiguration-cost table (all cells
+//! deterministic, see `docs/SERVICE.md`; also excluded from `all`).
+//! The pipeline itself is documented in `docs/PIPELINE.md`.
 //!
 //! A global `--threads N` pins the `noc-par` worker count (same effect
 //! as `NOC_PAR_THREADS=N`); every experiment produces identical numbers

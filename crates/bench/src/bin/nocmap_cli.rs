@@ -46,6 +46,25 @@
 //!   to the trajectory. Every cell is deterministic — the record is
 //!   byte-identical at any `--threads` setting (see
 //!   `docs/STRATEGIES.md`).
+//! * `serve [--port P] [--rows R] [--cols C] [--nis N] [--batch B]
+//!   [--budget M] [--mode incremental|resolve]` — run the `nocd` online
+//!   mapping daemon: a TCP line-protocol server admitting streaming
+//!   use-case requests incrementally (see `docs/SERVICE.md`). Blocks
+//!   until a client sends `shutdown`.
+//! * `request --port P WORD...` — send one protocol line to a running
+//!   daemon and print the framed response.
+//! * `replay [--requests N] [--seed S] [--rows R] [--cols C] [--nis N]
+//!   [--batch B] [--budget M] [--mode incremental|resolve]
+//!   [--transcript]` — the in-process deterministic replay: drive a
+//!   seeded request trace through a fresh engine (no sockets), print
+//!   the final admission report, and (with `--transcript`) the full
+//!   request/response transcript — byte-identical at any `--threads`
+//!   setting.
+//! * `service [--json FILE] [--label L]` — the online-admission suite:
+//!   replay the `service` registry trace per fabric × admission mode,
+//!   print the blocking/reconfiguration-cost table, and (with `--json`)
+//!   append a service record to the trajectory. Every cell is
+//!   deterministic (see `docs/SERVICE.md`).
 //!
 //! All subcommands accept a global `--threads N` to pin the `noc-par`
 //! worker count (equivalent to `NOC_PAR_THREADS=N`; results are
@@ -64,7 +83,9 @@
 use std::process::ExitCode;
 
 use noc_benchgen::{BottleneckConfig, SocDesign, SpreadConfig};
-use noc_flow::cli::{take_flag, take_opt, take_string, take_threads, take_trace, write_trace};
+use noc_flow::cli::{
+    take_flag, take_num, take_opt, take_string, take_threads, take_trace, write_trace,
+};
 use noc_flow::config::{experiment_to_text, spec_from_text, FlowConfig, SpecFile, StageConfig};
 use noc_flow::{registry, render, run_spec, FlowError};
 use noc_usecase::spec::SocSpec;
@@ -82,6 +103,12 @@ fn usage() -> ExitCode {
          nocmap_cli be-burst\n  \
          nocmap_cli perf [--json FILE] [--label L]\n  \
          nocmap_cli frontier [--json FILE] [--label L]\n  \
+         nocmap_cli serve [--port P] [--rows R] [--cols C] [--nis N] [--batch B] \
+         [--budget M] [--mode incremental|resolve]\n  \
+         nocmap_cli request --port P WORD...\n  \
+         nocmap_cli replay [--requests N] [--seed S] [--rows R] [--cols C] [--nis N] \
+         [--batch B] [--budget M] [--mode incremental|resolve] [--transcript]\n  \
+         nocmap_cli service [--json FILE] [--label L]\n  \
          (global: --threads N — pin the noc-par worker count;\n  \
           --trace FILE [--trace-mode ops|wall] — record a span trace)"
     );
@@ -367,6 +394,114 @@ fn cmd_frontier(mut args: Vec<String>) -> Result<(), FlowError> {
     Ok(())
 }
 
+/// Consumes the shared engine-configuration options (`serve` and
+/// `replay` accept the same fabric/policy knobs over
+/// [`noc_service::EngineConfig::default`]).
+fn take_engine_config(args: &mut Vec<String>) -> Result<noc_service::EngineConfig, FlowError> {
+    let defaults = noc_service::EngineConfig::default();
+    let mode = match take_string(args, "--mode")? {
+        Some(tok) => noc_service::AdmitMode::parse(&tok).ok_or_else(|| {
+            FlowError::Usage(format!(
+                "invalid --mode '{tok}' (expected incremental|resolve)"
+            ))
+        })?,
+        None => defaults.mode,
+    };
+    Ok(noc_service::EngineConfig {
+        rows: take_num(args, "--rows", defaults.rows)?,
+        cols: take_num(args, "--cols", defaults.cols)?,
+        nis_per_switch: take_num(args, "--nis", defaults.nis_per_switch)?,
+        batch: take_num(args, "--batch", defaults.batch)?,
+        budget: take_num(args, "--budget", defaults.budget)?,
+        mode,
+        ..defaults
+    })
+}
+
+fn cmd_serve(mut args: Vec<String>) -> Result<(), FlowError> {
+    let port: u16 = take_num(&mut args, "--port", 0)?;
+    let cfg = take_engine_config(&mut args)?;
+    let io_err = |e: std::io::Error| FlowError::Io {
+        path: format!("port {port}"),
+        message: format!("daemon failed: {e}"),
+    };
+    let server = noc_service::Server::bind(cfg, port).map_err(io_err)?;
+    // Status on stderr so scripted stdout parsing stays clean.
+    eprintln!(
+        "nocd listening on 127.0.0.1:{} (send 'shutdown' to stop)",
+        server.port().map_err(io_err)?
+    );
+    server.run().map_err(io_err)
+}
+
+fn cmd_request(mut args: Vec<String>) -> Result<(), FlowError> {
+    let port: u16 = take_num(&mut args, "--port", 0)?;
+    if port == 0 {
+        return Err(FlowError::Usage("request needs --port P".into()));
+    }
+    if args.is_empty() {
+        return Err(FlowError::Usage(
+            "request needs a protocol line (e.g. request --port P add u0 flow 0 1 200)".into(),
+        ));
+    }
+    let line = args.join(" ");
+    let response = noc_service::Client::connect(("127.0.0.1", port))
+        .and_then(|mut client| client.send(&line))
+        .map_err(|e| FlowError::Io {
+            path: format!("127.0.0.1:{port}"),
+            message: format!("request failed: {e}"),
+        })?;
+    print!("{response}");
+    Ok(())
+}
+
+fn cmd_replay(mut args: Vec<String>) -> Result<(), FlowError> {
+    let requests: u64 = take_num(&mut args, "--requests", 200)?;
+    let seed: u64 = take_num(&mut args, "--seed", 2006)?;
+    let transcript = take_flag(&mut args, "--transcript");
+    let cfg = take_engine_config(&mut args)?;
+    let mode = cfg.mode;
+    let replay = noc_service::replay(cfg, requests, seed).map_err(|m| FlowError::Parse {
+        line: 0,
+        message: m,
+    })?;
+    if transcript {
+        print!("{}", replay.transcript);
+    }
+    let s = replay.stats;
+    println!(
+        "replayed {requests} requests (seed {seed}, mode {}): admitted={} rejected={} \
+         blocking={:.4} displaced={} evictions={} flushes={}",
+        mode.token(),
+        s.admitted,
+        s.rejected,
+        s.blocking(),
+        s.displaced,
+        s.evictions,
+        s.flushes
+    );
+    Ok(())
+}
+
+fn cmd_service(mut args: Vec<String>) -> Result<(), FlowError> {
+    let json_path = take_string(&mut args, "--json")?;
+    let label = take_string(&mut args, "--label")?.unwrap_or_else(|| "local".to_string());
+    let points = noc_bench::service()?;
+    print!("{}", noc_bench::format_service(&points));
+    if let Some(path) = json_path {
+        let record =
+            noc_bench::perf_json::service_record(&label, noc_par::current_threads(), &points);
+        noc_bench::perf_json::append_run(std::path::Path::new(&path), &record).map_err(|e| {
+            FlowError::Io {
+                path: path.clone(),
+                message: format!("cannot write trajectory: {e}"),
+            }
+        })?;
+        println!("service record '{label}' appended to {path}");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let threads = match take_threads(&mut args) {
@@ -400,6 +535,10 @@ fn main() -> ExitCode {
         }
         "perf" => Some(cmd_perf(args)),
         "frontier" => Some(cmd_frontier(args)),
+        "serve" => Some(cmd_serve(args)),
+        "request" => Some(cmd_request(args)),
+        "replay" => Some(cmd_replay(args)),
+        "service" => Some(cmd_service(args)),
         _ => None,
     };
     let result = match threads {

@@ -29,7 +29,7 @@ use noc_flow::{registry, run_spec, ExperimentOutput, FlowError};
 pub use noc_flow::registry::{MAX_SWITCHES, SEED};
 pub use noc_flow::runner::{
     AblationPoint, AreaPoint, BeBurstPoint, Comparison, DvsPoint, FrontierPoint, Headline,
-    ParallelPoint, PerfPoint, PerfSnapshot, RuntimePoint, SpeedupPoint, VerifyPoint,
+    ParallelPoint, PerfPoint, PerfSnapshot, RuntimePoint, ServicePoint, SpeedupPoint, VerifyPoint,
 };
 
 /// Runs a registry entry that cannot fail (its failures are recorded
@@ -192,6 +192,29 @@ pub fn frontier() -> Result<Vec<FrontierPoint>, FlowError> {
 pub fn format_frontier(points: &[FrontierPoint]) -> String {
     let spec = registry::find("frontier").expect("registered experiment");
     noc_flow::render::render_frontier(&spec.title, points)
+}
+
+/// The online-service admission suite: the `service` registry entry's
+/// seeded request trace replayed per fabric × admission mode, with
+/// blocking probability and reconfiguration cost per row (see
+/// `docs/SERVICE.md`).
+///
+/// # Errors
+///
+/// Propagates an engine-configuration failure (as [`FlowError`]).
+pub fn service() -> Result<Vec<ServicePoint>, FlowError> {
+    match run_spec(&registry::find("service")?)? {
+        ExperimentOutput::Service { points, .. } => Ok(points),
+        _ => unreachable!("service is an admission study"),
+    }
+}
+
+/// Renders the [`service`] points as the fixed-width table both CLIs
+/// print. Every cell is deterministic, so this rendering is pinned as
+/// a golden (`tests/goldens/service.txt`).
+pub fn format_service(points: &[ServicePoint]) -> String {
+    let spec = registry::find("service").expect("registered experiment");
+    noc_flow::render::render_service(&spec.title, points)
 }
 
 /// Computes the headline numbers from the Figure 6(a) and 7(b) data.

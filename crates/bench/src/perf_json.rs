@@ -17,7 +17,7 @@
 //! 4 workers and diffs the deterministic fields
 //! (`tools/check_bench_json.py`).
 
-use noc_flow::runner::{FrontierPoint, PerfPoint, PerfSnapshot};
+use noc_flow::runner::{FrontierPoint, PerfPoint, PerfSnapshot, ServicePoint};
 
 /// Schema version of the document (bump when fields change meaning).
 pub const SCHEMA_VERSION: u32 = 1;
@@ -46,7 +46,8 @@ fn ops_json(ops: &PerfSnapshot) -> String {
          \"groups_reused\":{},\"anneal_moves\":{},\"anneal_accepts\":{},\
          \"route_cache_hits\":{},\"route_cache_misses\":{},\
          \"conflict_word_tests\":{},\"legacy_slot_probes\":{},\
-         \"trace_spans\":{}}}",
+         \"trace_spans\":{},\"admissions\":{},\"rejections\":{},\
+         \"displacement_evictions\":{},\"batch_flushes\":{}}}",
         ops.path_queries,
         ops.dijkstra_pops,
         ops.scratch_allocs,
@@ -61,6 +62,10 @@ fn ops_json(ops: &PerfSnapshot) -> String {
         ops.conflict_word_tests,
         ops.legacy_slot_probes,
         ops.trace_spans,
+        ops.admissions,
+        ops.rejections,
+        ops.displacement_evictions,
+        ops.batch_flushes,
     )
 }
 
@@ -120,6 +125,43 @@ pub fn frontier_record(label: &str, threads: usize, points: &[FrontierPoint]) ->
         .collect();
     format!(
         "{{\"label\":\"{}\",\"threads\":{},\"frontier\":[{}]}}",
+        escape(label),
+        threads,
+        rows.join(",")
+    )
+}
+
+/// One service run record as a single JSON line: the run label, the
+/// worker count, and one row object per [`ServicePoint`] (online
+/// admission outcome + reconfiguration ops per fabric × mode — see
+/// `docs/SERVICE.md`). Like [`frontier_record`], **every** field is
+/// deterministic: the seeded request trace replays byte-identically at
+/// any `noc-par` worker count, which is what CI diffs. The
+/// incremental-vs-resolve contrast lives in the `ops` object
+/// (`group_routes` / `full_maps`): resolve re-maps every live use-case
+/// at each reconfiguration point, incremental routes only the admitted
+/// group plus displacement-affected neighbours.
+pub fn service_record(label: &str, threads: usize, points: &[ServicePoint]) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"fabric\":\"{}\",\"mode\":\"{}\",\"admitted\":{},\
+                 \"rejected\":{},\"displaced\":{},\"evictions\":{},\
+                 \"flushes\":{},\"ops\":{}}}",
+                escape(&p.fabric),
+                p.mode.token(),
+                p.stats.admitted,
+                p.stats.rejected,
+                p.stats.displaced,
+                p.stats.evictions,
+                p.stats.flushes,
+                ops_json(&p.ops),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"label\":\"{}\",\"threads\":{},\"service\":[{}]}}",
         escape(label),
         threads,
         rows.join(",")

@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admit;
 pub mod anneal;
 pub mod design;
 pub mod dvs;
@@ -71,6 +72,7 @@ pub mod wc;
 
 mod error;
 
+pub use admit::{admit_group, Admission, RejectReason};
 pub use error::MapError;
 pub use mapper::{
     map_multi_usecase, reroute_preset_groups, reroute_preset_groups_cached, MapperOptions,

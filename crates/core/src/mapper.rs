@@ -709,6 +709,46 @@ impl RouteCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// The signature of group `g` under `placement` — the key
+    /// [`reroute_preset_groups_cached`] would use (see the type docs).
+    /// `None` when a core of the group is unplaced.
+    ///
+    /// # Panics
+    ///
+    /// When `g` is out of range for the partition the cache was built on.
+    pub fn signature_of(
+        &self,
+        g: usize,
+        placement: &BTreeMap<CoreId, NodeId>,
+    ) -> Option<Vec<NodeId>> {
+        self.signature(g, placement)
+    }
+
+    /// Inserts a routed config for group `g` under an explicit signature
+    /// (as returned by [`Self::signature_of`]). Long-running callers —
+    /// the online mapping service — use this to re-seed a fresh cache
+    /// from configs exported by [`Self::group_entries`] on an earlier
+    /// cache whose group indices have since shifted. The config must be
+    /// the pure routing of the group under that signature; inserting
+    /// anything else breaks the splice soundness invariant.
+    ///
+    /// # Panics
+    ///
+    /// When `g` is out of range for the partition the cache was built on.
+    pub fn insert(&mut self, g: usize, sig: Vec<NodeId>, config: GroupConfig) {
+        self.configs[g].insert(sig, config);
+    }
+
+    /// All cached `signature → config` entries for group `g`, for export
+    /// into a longer-lived store (see [`Self::insert`]).
+    ///
+    /// # Panics
+    ///
+    /// When `g` is out of range for the partition the cache was built on.
+    pub fn group_entries(&self, g: usize) -> &BTreeMap<Vec<NodeId>, GroupConfig> {
+        &self.configs[g]
+    }
 }
 
 /// [`reroute_preset_groups`] with a [`RouteCache`]: affected groups whose

@@ -117,6 +117,18 @@ counters! {
         /// Per-group configs routed and inserted into a
         /// [`crate::mapper::RouteCache`].
         route_cache_misses => ROUTE_CACHE_MISSES,
+        /// Use-case admissions accepted by [`crate::admit::admit_group`]
+        /// or an online-service resolve baseline.
+        admissions => ADMISSIONS,
+        /// Use-case admissions rejected (NI exhaustion or unroutable
+        /// after displacement).
+        rejections => REJECTIONS,
+        /// Pre-existing cores displaced (evicted onto another NI) during
+        /// admission-time displacement search.
+        displacement_evictions => DISPLACEMENT_EVICTIONS,
+        /// Non-empty request batches flushed at a reconfiguration point
+        /// by the online mapping service.
+        batch_flushes => BATCH_FLUSHES,
     }
     external {
         resets { noc_tdma::stats::reset, noc_obs::reset_span_count }
@@ -142,6 +154,30 @@ pub(crate) fn add(counter: &AtomicU64, n: u64) {
 #[inline]
 pub(crate) fn inc(counter: &AtomicU64) {
     add(counter, 1);
+}
+
+/// Records one accepted admission (for admission engines living outside
+/// this crate, e.g. the online service's resolve baseline; the
+/// incremental path in [`crate::admit`] records its own).
+pub fn record_admission() {
+    inc(&ADMISSIONS);
+}
+
+/// Records one rejected admission.
+pub fn record_rejection() {
+    inc(&REJECTIONS);
+}
+
+/// Records `n` displaced-core evictions performed while admitting.
+pub fn record_displacement_evictions(n: u64) {
+    if n > 0 {
+        add(&DISPLACEMENT_EVICTIONS, n);
+    }
+}
+
+/// Records one non-empty batch flushed at a reconfiguration point.
+pub fn record_batch_flush() {
+    inc(&BATCH_FLUSHES);
 }
 
 #[cfg(test)]

@@ -24,6 +24,28 @@ pub fn take_opt(args: &mut Vec<String>, name: &str) -> Result<Option<u64>, FlowE
     }
 }
 
+/// Pulls `--name VALUE` out of `args`, parsing VALUE into any integer
+/// type and substituting `default` when the option is absent — the
+/// typed form `nocmap_cli serve --port/--batch/--budget` uses (`u16`
+/// ports, `usize` batch sizes, `u64` budgets) without per-site casts.
+///
+/// # Errors
+///
+/// [`FlowError::Usage`] when the value is missing, not an integer, or
+/// out of range for `T`.
+pub fn take_num<T: std::str::FromStr>(
+    args: &mut Vec<String>,
+    name: &str,
+    default: T,
+) -> Result<T, FlowError> {
+    match take_string(args, name)? {
+        Some(value) => value
+            .parse::<T>()
+            .map_err(|_| FlowError::Usage(format!("invalid {name} '{value}'"))),
+        None => Ok(default),
+    }
+}
+
 /// Removes the bare flag `--name` from `args`, reporting whether it was
 /// present.
 pub fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
@@ -161,6 +183,38 @@ mod tests {
         assert_eq!(
             take_opt(&mut a, "--freq").unwrap_err(),
             FlowError::Usage("invalid --freq 'fast'".into())
+        );
+    }
+
+    #[test]
+    fn take_num_parses_types_and_defaults() {
+        let mut a = args(&["serve", "--port", "7777", "--batch", "8"]);
+        let port: u16 = take_num(&mut a, "--port", 0).unwrap();
+        assert_eq!(port, 7777);
+        let batch: usize = take_num(&mut a, "--batch", 4).unwrap();
+        assert_eq!(batch, 8);
+        // Absent option: the default, args untouched.
+        let budget: u64 = take_num(&mut a, "--budget", 6).unwrap();
+        assert_eq!(budget, 6);
+        assert_eq!(a, args(&["serve"]));
+    }
+
+    #[test]
+    fn take_num_rejects_out_of_range_and_malformed() {
+        let mut a = args(&["--port", "70000"]);
+        assert_eq!(
+            take_num::<u16>(&mut a, "--port", 0).unwrap_err(),
+            FlowError::Usage("invalid --port '70000'".into())
+        );
+        let mut a = args(&["--batch", "many"]);
+        assert_eq!(
+            take_num::<usize>(&mut a, "--batch", 4).unwrap_err(),
+            FlowError::Usage("invalid --batch 'many'".into())
+        );
+        let mut a = args(&["--budget"]);
+        assert_eq!(
+            take_num::<u64>(&mut a, "--budget", 6).unwrap_err(),
+            FlowError::Usage("--budget needs a value".into())
         );
     }
 

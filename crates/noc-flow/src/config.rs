@@ -278,6 +278,20 @@ pub enum ExperimentKind {
         /// Benchmarks to sweep, in row order.
         benches: Vec<LabeledBench>,
     },
+    /// Online-service admission study: replay one seeded request trace
+    /// through `noc-service` per fabric × admission mode, reporting
+    /// blocking probability and reconfiguration cost (see
+    /// `docs/SERVICE.md`).
+    Service {
+        /// Requests in the generated trace.
+        requests: u64,
+        /// Trace seed.
+        seed: u64,
+        /// Mutations batched between reconfiguration points.
+        batch: u64,
+        /// Displacement eviction budget per admission.
+        budget: u64,
+    },
 }
 
 /// A named, titled, executable experiment description.
@@ -605,6 +619,18 @@ pub fn experiment_to_text(spec: &ExperimentSpec) -> String {
             let _ = writeln!(out, "kind frontier");
             write_labeled(&mut out, "bench", benches);
         }
+        ExperimentKind::Service {
+            requests,
+            seed,
+            batch,
+            budget,
+        } => {
+            let _ = writeln!(out, "kind service");
+            let _ = writeln!(out, "requests {requests}");
+            let _ = writeln!(out, "seed {seed}");
+            let _ = writeln!(out, "batch {batch}");
+            let _ = writeln!(out, "budget {budget}");
+        }
     }
     out
 }
@@ -887,7 +913,7 @@ fn experiment_body(name: String, lines: &mut Lines<'_>) -> Result<ExperimentSpec
     let mut parallel = Vec::new();
     let mut scalars: std::collections::BTreeMap<&'static str, u64> =
         std::collections::BTreeMap::new();
-    const SCALARS: [&str; 10] = [
+    const SCALARS: [&str; 14] = [
         "floor_mhz",
         "lo_mhz",
         "hi_mhz",
@@ -898,6 +924,10 @@ fn experiment_body(name: String, lines: &mut Lines<'_>) -> Result<ExperimentSpec
         "freq_mhz",
         "anneal_iterations",
         "anneal_chains",
+        "requests",
+        "seed",
+        "batch",
+        "budget",
     ];
 
     while let Some((line, toks, _)) = lines.next().cloned() {
@@ -1036,6 +1066,12 @@ fn experiment_body(name: String, lines: &mut Lines<'_>) -> Result<ExperimentSpec
             anneal_chains: scalar("anneal_chains", Some(2))?,
         },
         "frontier" => ExperimentKind::Frontier { benches },
+        "service" => ExperimentKind::Service {
+            requests: scalar("requests", Some(200))?,
+            seed: scalar("seed", Some(2006))?,
+            batch: scalar("batch", Some(4))?,
+            budget: scalar("budget", Some(6))?,
+        },
         other => {
             return Err(FlowError::parse(
                 kline,
@@ -1207,6 +1243,33 @@ mod tests {
         }
         let err = flow_from_text("flow x\nstage map banana\n").unwrap_err();
         assert_eq!(err, FlowError::parse(2, "unknown map strategy 'banana'"));
+    }
+
+    #[test]
+    fn service_experiment_round_trips() {
+        let spec = ExperimentSpec {
+            name: "service".into(),
+            title: "Online admission".into(),
+            kind: ExperimentKind::Service {
+                requests: 200,
+                seed: 2006,
+                batch: 4,
+                budget: 6,
+            },
+        };
+        let text = experiment_to_text(&spec);
+        assert_eq!(experiment_from_text(&text).unwrap(), spec);
+        // Scalars default when omitted.
+        let spec = experiment_from_text("experiment s\ntitle t\nkind service\n").unwrap();
+        assert!(matches!(
+            spec.kind,
+            ExperimentKind::Service {
+                requests: 200,
+                seed: 2006,
+                batch: 4,
+                budget: 6,
+            }
+        ));
     }
 
     #[test]

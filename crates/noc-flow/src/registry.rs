@@ -262,6 +262,16 @@ pub fn registry() -> Vec<ExperimentSpec> {
                 .collect(),
         },
     ));
+    specs.push(spec(
+        "service",
+        "Online admission: blocking and reconfiguration cost, incremental vs resolve",
+        ExperimentKind::Service {
+            requests: 200,
+            seed: SEED,
+            batch: 4,
+            budget: 6,
+        },
+    ));
     specs
 }
 

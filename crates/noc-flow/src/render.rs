@@ -10,7 +10,7 @@ use std::fmt::Write as _;
 
 use crate::runner::{
     AblationPoint, AreaPoint, BeBurstPoint, Comparison, DvsPoint, ExperimentOutput, FrontierPoint,
-    Headline, ParallelPoint, PerfPoint, RuntimePoint, SpeedupPoint, VerifyPoint,
+    Headline, ParallelPoint, PerfPoint, RuntimePoint, ServicePoint, SpeedupPoint, VerifyPoint,
 };
 
 /// Renders a comparison table (Figures 6(a)–(c)).
@@ -275,6 +275,49 @@ pub fn render_frontier(title: &str, points: &[FrontierPoint]) -> String {
     out
 }
 
+/// Renders the online-service admission table. Every cell is
+/// schedule-independent — engine metrics of a deterministic replay
+/// plus op counters, no wall-clock — so the rendering is pinned as a
+/// golden and compared across `noc-par` worker counts. The
+/// `routes`/`maps` columns are the incremental-vs-resolve contrast:
+/// incremental admissions cost one group route each, the resolve
+/// baseline a full map per applied mutation.
+pub fn render_service(title: &str, points: &[ServicePoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== {title} ==");
+    let _ = writeln!(
+        out,
+        "{:<12} {:<12} {:>8} {:>8} {:>9} {:>9} {:>6} {:>8} {:>8} {:>6}",
+        "fabric",
+        "mode",
+        "admitted",
+        "rejected",
+        "blocking",
+        "displaced",
+        "evict",
+        "flushes",
+        "routes",
+        "maps"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:<12} {:<12} {:>8} {:>8} {:>9.4} {:>9} {:>6} {:>8} {:>8} {:>6}",
+            p.fabric,
+            p.mode.token(),
+            p.stats.admitted,
+            p.stats.rejected,
+            p.stats.blocking(),
+            p.stats.displaced,
+            p.stats.evictions,
+            p.stats.flushes,
+            p.ops.group_routes,
+            p.ops.full_maps,
+        );
+    }
+    out
+}
+
 fn render_headline(title: &str, h: &Headline) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "\n== {title} ==");
@@ -309,6 +352,7 @@ pub fn render(output: &ExperimentOutput) -> String {
         ExperimentOutput::Headline { title, headline } => render_headline(title, headline),
         ExperimentOutput::Perf { title, points } => render_perf(title, points),
         ExperimentOutput::Frontier { title, points } => render_frontier(title, points),
+        ExperimentOutput::Service { title, points } => render_service(title, points),
     }
 }
 

@@ -243,6 +243,28 @@ pub struct FrontierPoint {
     pub ops: PerfSnapshot,
 }
 
+/// One row of the online-service admission study: one seeded request
+/// trace replayed in-process through the `noc-service` engine on one
+/// fabric in one admission mode.
+///
+/// Like [`FrontierPoint`] this row carries **no wall-clock**: the
+/// replay transcript is byte-identical at any `noc-par` width, and the
+/// op-counter delta records only algorithmic work, so the rendered
+/// table is goldenable and diffs clean across worker counts. The
+/// `group_routes` / `full_maps` cells are the incremental-vs-resolve
+/// contrast the `pr9` bench record pins (see `docs/SERVICE.md`).
+#[derive(Debug, Clone)]
+pub struct ServicePoint {
+    /// Fabric label (`mesh-4x4`, `bneck-2x1x8`).
+    pub fabric: String,
+    /// Admission mode of this row.
+    pub mode: noc_service::AdmitMode,
+    /// Final cumulative engine metrics of the replay.
+    pub stats: noc_service::ServiceStats,
+    /// Op-counter delta of the replay.
+    pub ops: PerfSnapshot,
+}
+
 /// The typed result of executing one [`ExperimentSpec`]: the spec's
 /// title plus the points of its family. [`crate::render::render`]
 /// turns any output into the fixed-width table both CLIs print.
@@ -327,6 +349,13 @@ pub enum ExperimentOutput {
         /// Rows (benchmark-major, strategies in [`StrategyKind::ALL`]
         /// order).
         points: Vec<FrontierPoint>,
+    },
+    /// Online-service admission rows.
+    Service {
+        /// Table title.
+        title: String,
+        /// Rows (fabric-major, incremental before resolve).
+        points: Vec<ServicePoint>,
     },
 }
 
@@ -817,6 +846,51 @@ fn run_frontier(benches: &[LabeledBench]) -> Result<Vec<FrontierPoint>, FlowErro
     Ok(points)
 }
 
+/// The fabrics the service study replays on: the paper's canonical
+/// 4×4 mesh (16 NIs, high path diversity — displacement rarely needed)
+/// and a two-switch bottleneck fabric with the same NI count, where
+/// heavy use-cases conflict on the single inter-switch link and the
+/// displacement path earns its keep.
+const SERVICE_FABRICS: [(&str, u16, u16, u16); 2] =
+    [("mesh-4x4", 4, 4, 1), ("bneck-2x1x8", 2, 1, 8)];
+
+/// Replays the seeded trace once per fabric × admission mode,
+/// bracketing each replay with op-counter snapshots. Rows run
+/// sequentially so the per-row deltas are exact; every recorded field
+/// is schedule-independent.
+fn run_service(
+    requests: u64,
+    seed: u64,
+    batch: u64,
+    budget: u64,
+) -> Result<Vec<ServicePoint>, FlowError> {
+    use noc_service::{replay, AdmitMode, EngineConfig};
+    let mut points = Vec::new();
+    for (fabric, rows, cols, nis) in SERVICE_FABRICS {
+        for mode in [AdmitMode::Incremental, AdmitMode::Resolve] {
+            let cfg = EngineConfig {
+                rows,
+                cols,
+                nis_per_switch: nis,
+                batch: batch as usize,
+                budget,
+                mode,
+                ..EngineConfig::default()
+            };
+            let before = nocmap::perf::snapshot();
+            let replayed = replay(cfg, requests, seed).map_err(|m| FlowError::parse(0, m))?;
+            let ops = nocmap::perf::snapshot().since(&before);
+            points.push(ServicePoint {
+                fabric: fabric.to_string(),
+                mode,
+                stats: replayed.stats,
+                ops,
+            });
+        }
+    }
+    Ok(points)
+}
+
 fn run_headline(
     area_benches: &[LabeledBench],
     dvs_benches: &[LabeledBench],
@@ -923,6 +997,15 @@ pub fn run_spec(spec: &ExperimentSpec) -> Result<ExperimentOutput, FlowError> {
         ExperimentKind::Frontier { benches } => ExperimentOutput::Frontier {
             title,
             points: run_frontier(benches)?,
+        },
+        ExperimentKind::Service {
+            requests,
+            seed,
+            batch,
+            budget,
+        } => ExperimentOutput::Service {
+            title,
+            points: run_service(*requests, *seed, *batch, *budget)?,
         },
     })
 }

@@ -1,0 +1,595 @@
+//! The `nocd` admission engine: streaming use-case admission with
+//! incremental remapping and request batching.
+//!
+//! The engine owns the running mapping state (admitted use-cases, the
+//! preset-pure per-group configs, the core → NI placement) and applies
+//! a stream of [`Command`]s. Mutations (`add` / `modify` / `remove`)
+//! are **queued** and applied together at the next *reconfiguration
+//! point* — when the batch fills, on an explicit `flush`, or before any
+//! `stats` / `snapshot` / `shutdown` — mirroring how a deployed NoC
+//! reconfigures between use-case groups rather than per request.
+//!
+//! Admission ([`AdmitMode::Incremental`], the default) goes through
+//! [`nocmap::admit_group`]: greedy placement on free NIs, one group
+//! route (everything else spliced from the running solution), and
+//! displacement under the eviction budget on conflict. The per-use-case
+//! route store re-seeds each admission's [`RouteCache`] with every
+//! signature routed since that use-case was admitted, so repeated
+//! displacement probes across the stream hit the cache.
+//! [`AdmitMode::Resolve`] is the from-scratch baseline: every applied
+//! add/modify re-runs the full batch mapper over all admitted use-cases
+//! — the `pr9` perf record contrasts the two on identical traces.
+//!
+//! Everything is a pure function of the request stream — responses
+//! (and therefore replay transcripts) are byte-identical at any
+//! `noc-par` width.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt::Write as _;
+
+use noc_tdma::TdmaSpec;
+use noc_topology::units::{Bandwidth, Frequency, Latency, LinkWidth};
+use noc_topology::{MeshBuilder, NodeId, Topology};
+use noc_usecase::spec::{CoreId, SocSpec, UseCase, UseCaseBuilder};
+use noc_usecase::UseCaseGroups;
+use nocmap::strategy::displacement_eviction_budget;
+use nocmap::{
+    admit_group, map_multi_usecase, merged_group_flows, GroupConfig, MapperOptions,
+    MappingSolution, RouteCache,
+};
+
+use crate::protocol::{parse_command, Command, FlowSpec, TERMINATOR};
+
+/// How applied mutations reach a new mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmitMode {
+    /// Incremental admission via [`nocmap::admit_group`] (greedy fast
+    /// path, displacement on conflict, route-cache reuse).
+    #[default]
+    Incremental,
+    /// From-scratch baseline: re-run the full batch mapper on every
+    /// applied add/modify.
+    Resolve,
+}
+
+impl AdmitMode {
+    /// CLI/flags token.
+    pub fn token(self) -> &'static str {
+        match self {
+            AdmitMode::Incremental => "incremental",
+            AdmitMode::Resolve => "resolve",
+        }
+    }
+
+    /// Parses a [`Self::token`].
+    pub fn parse(token: &str) -> Option<AdmitMode> {
+        [AdmitMode::Incremental, AdmitMode::Resolve]
+            .into_iter()
+            .find(|m| m.token() == token)
+    }
+}
+
+/// Engine construction parameters (the daemon's fixed fabric plus
+/// admission policy).
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Mesh rows.
+    pub rows: u16,
+    /// Mesh columns.
+    pub cols: u16,
+    /// NIs per switch.
+    pub nis_per_switch: u16,
+    /// TDMA slots per table.
+    pub slots: usize,
+    /// NoC frequency in MHz.
+    pub freq_mhz: u64,
+    /// Mutations applied together per reconfiguration point.
+    pub batch: usize,
+    /// Displacement eviction budget per admission.
+    pub budget: u64,
+    /// Admission mode.
+    pub mode: AdmitMode,
+}
+
+impl Default for EngineConfig {
+    /// A 4×4 mesh (16 NIs) at the paper's TDMA operating point, batch
+    /// of 4, and the [`displacement_eviction_budget`] the strategy
+    /// portfolio uses.
+    fn default() -> Self {
+        EngineConfig {
+            rows: 4,
+            cols: 4,
+            nis_per_switch: 1,
+            slots: 128,
+            freq_mhz: 500,
+            batch: 4,
+            budget: displacement_eviction_budget(),
+            mode: AdmitMode::Incremental,
+        }
+    }
+}
+
+/// Cumulative admission-control metrics (all counters monotonic over
+/// the engine's lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Commands received (parse errors included, blank/comment lines
+    /// not).
+    pub requests: u64,
+    /// `add` requests queued.
+    pub adds: u64,
+    /// `modify` requests queued.
+    pub modifies: u64,
+    /// `remove` requests queued.
+    pub removes: u64,
+    /// Parse errors plus apply-time id/spec errors.
+    pub errors: u64,
+    /// Admissions accepted (adds and modifies).
+    pub admitted: u64,
+    /// Admissions rejected by capacity (NI exhaustion or unroutable).
+    pub rejected: u64,
+    /// Admissions that displaced at least one pre-existing core.
+    pub displaced: u64,
+    /// Cumulative pre-existing cores moved — the reconfiguration cost.
+    pub evictions: u64,
+    /// Non-empty batches applied at reconfiguration points.
+    pub flushes: u64,
+}
+
+impl ServiceStats {
+    /// Blocking probability: rejected / (admitted + rejected), `0` with
+    /// no capacity decisions yet. Id/spec errors are not admission
+    /// attempts and do not count.
+    pub fn blocking(&self) -> f64 {
+        let attempts = self.admitted + self.rejected;
+        if attempts == 0 {
+            return 0.0;
+        }
+        self.rejected as f64 / attempts as f64
+    }
+}
+
+/// The admission engine. See the module docs; the socket layer
+/// ([`crate::net`]) is a thin transport over [`Engine::submit_line`].
+#[derive(Debug)]
+pub struct Engine {
+    cfg: EngineConfig,
+    topo: Topology,
+    spec: TdmaSpec,
+    options: MapperOptions,
+    /// Admitted use-cases in admission order (a modify re-admits at the
+    /// back).
+    ucs: Vec<(String, UseCase)>,
+    /// Preset-pure per-group configs, parallel to `ucs`.
+    configs: Vec<GroupConfig>,
+    /// Core → NI placement of every referenced core.
+    placement: BTreeMap<CoreId, NodeId>,
+    /// Per use-case id: every `signature → config` routed while the
+    /// use-case's flows were live (invalidated on modify/remove).
+    store: BTreeMap<String, BTreeMap<Vec<NodeId>, GroupConfig>>,
+    pending: VecDeque<(u64, Command)>,
+    seq: u64,
+    stats: ServiceStats,
+    shutdown: bool,
+}
+
+impl Engine {
+    /// Builds an engine over a fresh, empty mesh.
+    ///
+    /// # Errors
+    ///
+    /// A message when the mesh dimensions are invalid.
+    pub fn new(cfg: EngineConfig) -> Result<Engine, String> {
+        let topo = MeshBuilder::new(cfg.rows, cfg.cols)
+            .nis_per_switch(cfg.nis_per_switch)
+            .build()
+            .map_err(|e| e.to_string())?
+            .into_topology();
+        let spec = TdmaSpec::new(
+            cfg.slots,
+            Frequency::from_mhz(cfg.freq_mhz),
+            LinkWidth::BITS_32,
+        );
+        Ok(Engine {
+            cfg,
+            topo,
+            spec,
+            options: MapperOptions::default(),
+            ucs: Vec::new(),
+            configs: Vec::new(),
+            placement: BTreeMap::new(),
+            store: BTreeMap::new(),
+            pending: VecDeque::new(),
+            seq: 0,
+            stats: ServiceStats::default(),
+            shutdown: false,
+        })
+    }
+
+    /// Whether a `shutdown` command has been applied.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown
+    }
+
+    /// The cumulative admission-control metrics.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// The current total communication cost (exact bytes/s·hops).
+    pub fn comm_cost(&self) -> u128 {
+        self.configs
+            .iter()
+            .flat_map(|g| g.iter())
+            .map(|(_, r)| r.bandwidth.as_bytes_per_sec() as u128 * r.hops() as u128)
+            .sum()
+    }
+
+    /// Admitted use-case count.
+    pub fn use_case_count(&self) -> usize {
+        self.ucs.len()
+    }
+
+    /// Handles one request line and returns the full framed response
+    /// (status line, detail lines, `.` terminator).
+    pub fn submit_line(&mut self, line: &str) -> String {
+        match parse_command(line) {
+            Ok(None) => format!("ok\n{TERMINATOR}\n"),
+            Ok(Some(cmd)) => self.submit(cmd),
+            Err(msg) => {
+                self.stats.requests += 1;
+                self.stats.errors += 1;
+                format!("err parse: {msg}\n{TERMINATOR}\n")
+            }
+        }
+    }
+
+    fn submit(&mut self, cmd: Command) -> String {
+        self.stats.requests += 1;
+        let mut out = String::new();
+        match cmd {
+            cmd @ (Command::Add { .. } | Command::Modify { .. } | Command::Remove { .. }) => {
+                self.seq += 1;
+                match &cmd {
+                    Command::Add { .. } => self.stats.adds += 1,
+                    Command::Modify { .. } => self.stats.modifies += 1,
+                    _ => self.stats.removes += 1,
+                }
+                self.pending.push_back((self.seq, cmd));
+                if self.pending.len() >= self.cfg.batch {
+                    self.write_applied(&mut out);
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "ok queued seq={} pending={}/{}",
+                        self.seq,
+                        self.pending.len(),
+                        self.cfg.batch
+                    );
+                }
+            }
+            Command::Flush => self.write_applied(&mut out),
+            Command::Stats => {
+                let events = self.flush();
+                out.push_str("ok stats\n");
+                for e in &events {
+                    out.push_str(e);
+                    out.push('\n');
+                }
+                let s = &self.stats;
+                let _ = writeln!(
+                    out,
+                    "requests={} adds={} modifies={} removes={} errors={}",
+                    s.requests, s.adds, s.modifies, s.removes, s.errors
+                );
+                let _ = writeln!(
+                    out,
+                    "admitted={} rejected={} blocking={:.4}",
+                    s.admitted,
+                    s.rejected,
+                    s.blocking()
+                );
+                let _ = writeln!(
+                    out,
+                    "displaced={} evictions={} flushes={}",
+                    s.displaced, s.evictions, s.flushes
+                );
+                let _ = writeln!(
+                    out,
+                    "use_cases={} cores={} free_nis={} comm_cost={}",
+                    self.ucs.len(),
+                    self.placement.len(),
+                    self.topo.ni_count() - self.placement.len(),
+                    self.comm_cost()
+                );
+            }
+            Command::Snapshot => {
+                let events = self.flush();
+                let _ = writeln!(
+                    out,
+                    "ok snapshot use_cases={} cores={}",
+                    self.ucs.len(),
+                    self.placement.len()
+                );
+                for e in &events {
+                    out.push_str(e);
+                    out.push('\n');
+                }
+                for (id, uc) in &self.ucs {
+                    let seats: Vec<String> = uc
+                        .cores()
+                        .iter()
+                        .map(|c| format!("{c}->{}", self.placement[c]))
+                        .collect();
+                    let _ = writeln!(out, "uc {id}: {}", seats.join(" "));
+                }
+            }
+            Command::Shutdown => {
+                let events = self.flush();
+                out.push_str("ok shutdown\n");
+                for e in &events {
+                    out.push_str(e);
+                    out.push('\n');
+                }
+                self.shutdown = true;
+            }
+        }
+        out.push_str(TERMINATOR);
+        out.push('\n');
+        out
+    }
+
+    fn write_applied(&mut self, out: &mut String) {
+        let events = self.flush();
+        let _ = writeln!(out, "ok applied n={}", events.len());
+        for e in &events {
+            out.push_str(e);
+            out.push('\n');
+        }
+    }
+
+    /// Applies every queued mutation (one reconfiguration point) and
+    /// returns the per-request event lines.
+    fn flush(&mut self) -> Vec<String> {
+        if self.pending.is_empty() {
+            return Vec::new();
+        }
+        self.stats.flushes += 1;
+        nocmap::perf::record_batch_flush();
+        let batch: Vec<(u64, Command)> = self.pending.drain(..).collect();
+        batch
+            .into_iter()
+            .map(|(seq, cmd)| self.apply(seq, cmd))
+            .collect()
+    }
+
+    fn apply(&mut self, seq: u64, cmd: Command) -> String {
+        match cmd {
+            Command::Add { id, flows } => {
+                if self.index_of(&id).is_some() {
+                    self.stats.errors += 1;
+                    return format!("#{seq} add {id}: error duplicate-id");
+                }
+                self.admit(seq, "add", id, &flows, None)
+            }
+            Command::Modify { id, flows } => {
+                let Some(at) = self.index_of(&id) else {
+                    self.stats.errors += 1;
+                    return format!("#{seq} modify {id}: error unknown-id");
+                };
+                self.admit(seq, "modify", id, &flows, Some(at))
+            }
+            Command::Remove { id } => {
+                let Some(at) = self.index_of(&id) else {
+                    self.stats.errors += 1;
+                    return format!("#{seq} remove {id}: error unknown-id");
+                };
+                let (_, uc) = self.ucs.remove(at);
+                self.configs.remove(at);
+                self.store.remove(&id);
+                let freed = self.prune_placement(&uc);
+                format!("#{seq} remove {id}: removed freed={freed}")
+            }
+            _ => unreachable!("only mutations are queued"),
+        }
+    }
+
+    /// Admits (or, with `replace_at`, atomically re-admits) a use-case.
+    fn admit(
+        &mut self,
+        seq: u64,
+        op: &str,
+        id: String,
+        flows: &[FlowSpec],
+        replace_at: Option<usize>,
+    ) -> String {
+        let uc = match build_use_case(&id, flows) {
+            Ok(uc) => uc,
+            Err(e) => {
+                self.stats.errors += 1;
+                return format!("#{seq} {op} {id}: error bad-flows: {e}");
+            }
+        };
+        let span = noc_obs::span("admission");
+        span.attr("op", op);
+        span.attr("id", id.as_str());
+        span.attr("seq", seq);
+
+        // A modify re-admits against the state without its old version;
+        // the removal is rolled back wholesale if the new version is
+        // rejected, so a failed modify leaves the engine untouched
+        // (minus the old version's now-stale route-store entry).
+        let mut old: Option<(
+            usize,
+            String,
+            UseCase,
+            GroupConfig,
+            BTreeMap<CoreId, NodeId>,
+        )> = None;
+        if let Some(at) = replace_at {
+            let (oid, ouc) = self.ucs.remove(at);
+            let ocfg = self.configs.remove(at);
+            self.store.remove(&oid);
+            let saved_placement = self.placement.clone();
+            self.prune_placement(&ouc);
+            old = Some((at, oid, ouc, ocfg, saved_placement));
+        }
+
+        let outcome = match self.cfg.mode {
+            AdmitMode::Incremental => self.admit_incremental(&id, &uc),
+            AdmitMode::Resolve => self.admit_resolve(&id, &uc),
+        };
+        match outcome {
+            Ok((cost, placed, moved)) => {
+                self.stats.admitted += 1;
+                if moved > 0 {
+                    self.stats.displaced += 1;
+                    self.stats.evictions += moved;
+                }
+                span.attr("admitted", 1u64);
+                span.attr("moved", moved);
+                format!(
+                    "#{seq} {op} {id}: admitted cost={cost} placed={placed} \
+                     moved={moved} evictions={moved}"
+                )
+            }
+            Err(reason) => {
+                self.stats.rejected += 1;
+                if let Some((at, oid, ouc, ocfg, saved_placement)) = old {
+                    self.placement = saved_placement;
+                    self.ucs.insert(at, (oid, ouc));
+                    self.configs.insert(at, ocfg);
+                }
+                span.attr("admitted", 0u64);
+                format!("#{seq} {op} {id}: rejected {reason}")
+            }
+        }
+    }
+
+    fn admit_incremental(&mut self, id: &str, uc: &UseCase) -> Result<(u128, usize, u64), String> {
+        let (soc, groups) = self.soc_with(uc);
+        let group = groups.group_count() - 1;
+        let merged = merged_group_flows(&soc, &groups);
+        let mut base_configs = self.configs.clone();
+        base_configs.push(GroupConfig::new());
+        let base = MappingSolution::new(
+            self.topo.clone(),
+            format!("{}sw", self.topo.switch_count()),
+            self.spec,
+            self.placement.clone(),
+            base_configs,
+        );
+        let mut cache = RouteCache::new(&merged);
+        for (g, (gid, _)) in self.ucs.iter().enumerate() {
+            if let Some(entries) = self.store.get(gid) {
+                for (sig, config) in entries {
+                    cache.insert(g, sig.clone(), config.clone());
+                }
+            }
+        }
+        match admit_group(
+            &soc,
+            &groups,
+            &base,
+            &self.options,
+            group,
+            self.cfg.budget,
+            &merged,
+            &mut cache,
+        ) {
+            Ok(adm) => {
+                self.ucs.push((id.to_string(), uc.clone()));
+                self.placement = adm.solution.core_mapping().clone();
+                self.configs = adm.solution.group_configs().to_vec();
+                for (g, (gid, _)) in self.ucs.iter().enumerate() {
+                    let entries = self.store.entry(gid.clone()).or_default();
+                    for (sig, config) in cache.group_entries(g) {
+                        entries.entry(sig.clone()).or_insert_with(|| config.clone());
+                    }
+                }
+                Ok((
+                    adm.solution.comm_cost_bytes_hops(),
+                    adm.placed.len(),
+                    adm.evictions,
+                ))
+            }
+            Err(reason) => Err(reason.to_string()),
+        }
+    }
+
+    fn admit_resolve(&mut self, id: &str, uc: &UseCase) -> Result<(u128, usize, u64), String> {
+        let (soc, groups) = self.soc_with(uc);
+        match map_multi_usecase(&soc, &groups, &self.topo, self.spec, &self.options) {
+            Ok(sol) => {
+                let placed = uc
+                    .cores()
+                    .iter()
+                    .filter(|c| !self.placement.contains_key(c))
+                    .count();
+                let moved = self
+                    .placement
+                    .iter()
+                    .filter(|(c, ni)| sol.core_mapping().get(c).is_some_and(|n| n != *ni))
+                    .count() as u64;
+                self.ucs.push((id.to_string(), uc.clone()));
+                self.placement = sol.core_mapping().clone();
+                self.configs = sol.group_configs().to_vec();
+                nocmap::perf::record_admission();
+                nocmap::perf::record_displacement_evictions(moved);
+                Ok((sol.comm_cost_bytes_hops(), placed, moved))
+            }
+            Err(e) => {
+                nocmap::perf::record_rejection();
+                Err(format!("unroutable: {e}"))
+            }
+        }
+    }
+
+    /// The running spec plus one more use-case, as singleton groups.
+    fn soc_with(&self, uc: &UseCase) -> (SocSpec, UseCaseGroups) {
+        let mut soc = SocSpec::new("nocd");
+        for (_, existing) in &self.ucs {
+            soc.add_use_case(existing.clone());
+        }
+        soc.add_use_case(uc.clone());
+        let groups = UseCaseGroups::singletons(soc.use_case_count());
+        (soc, groups)
+    }
+
+    fn index_of(&self, id: &str) -> Option<usize> {
+        self.ucs.iter().position(|(uid, _)| uid == id)
+    }
+
+    /// Drops placement entries for cores of `removed` that no remaining
+    /// use-case references; returns how many were freed.
+    fn prune_placement(&mut self, removed: &UseCase) -> usize {
+        let live: BTreeSet<CoreId> = self.ucs.iter().flat_map(|(_, uc)| uc.cores()).collect();
+        let mut freed = 0;
+        for core in removed.cores() {
+            if !live.contains(&core) && self.placement.remove(&core).is_some() {
+                freed += 1;
+            }
+        }
+        freed
+    }
+}
+
+/// Builds a [`UseCase`] named `id` from protocol flow specs.
+fn build_use_case(id: &str, flows: &[FlowSpec]) -> Result<UseCase, String> {
+    let mut b = UseCaseBuilder::new(id);
+    for f in flows {
+        let latency = match f.lat_us {
+            Some(us) => Latency::from_us(us),
+            None => Latency::UNCONSTRAINED,
+        };
+        b = b
+            .flow(
+                CoreId::new(f.src),
+                CoreId::new(f.dst),
+                Bandwidth::from_mbps(f.mbps),
+                latency,
+            )
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(b.build())
+}

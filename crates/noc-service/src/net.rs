@@ -1,0 +1,131 @@
+//! The socket layer: a `std::net` TCP daemon and line-protocol client.
+//!
+//! Deliberately thin: every received line goes straight through
+//! [`Engine::submit_line`] — the same entry point the deterministic
+//! replay drives — and the framed response (terminated by a lone `.`)
+//! is written back verbatim. The daemon serves one connection at a
+//! time (admissions mutate one engine; parallelism lives inside the
+//! mapper via `noc-par`, not across requests) and returns from
+//! [`Server::run`] once a `shutdown` command is applied.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+
+use crate::engine::{Engine, EngineConfig};
+use crate::protocol::TERMINATOR;
+
+/// The `nocd` daemon: a bound listener plus the admission engine.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    engine: Engine,
+}
+
+impl Server {
+    /// Binds to `127.0.0.1:port` (`0` = OS-assigned; read it back with
+    /// [`Self::port`]).
+    ///
+    /// # Errors
+    ///
+    /// Bind failures, or an invalid engine configuration (reported as
+    /// [`std::io::ErrorKind::InvalidInput`]).
+    pub fn bind(cfg: EngineConfig, port: u16) -> std::io::Result<Server> {
+        let engine = Engine::new(cfg)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        Ok(Server { listener, engine })
+    }
+
+    /// The bound port.
+    ///
+    /// # Errors
+    ///
+    /// As [`TcpListener::local_addr`].
+    pub fn port(&self) -> std::io::Result<u16> {
+        Ok(self.listener.local_addr()?.port())
+    }
+
+    /// Serves connections until a `shutdown` command is applied. Each
+    /// request line is answered with its full framed response; a client
+    /// disconnect just moves on to the next `accept`.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener failures (per-connection I/O errors only drop
+    /// that connection).
+    pub fn run(mut self) -> std::io::Result<()> {
+        loop {
+            let (stream, _) = self.listener.accept()?;
+            if self.serve_connection(stream).is_err() {
+                continue;
+            }
+            if self.engine.is_shutdown() {
+                return Ok(());
+            }
+        }
+    }
+
+    fn serve_connection(&mut self, stream: TcpStream) -> std::io::Result<()> {
+        let mut writer = stream.try_clone()?;
+        let reader = BufReader::new(stream);
+        for line in reader.lines() {
+            let line = line?;
+            let response = self.engine.submit_line(&line);
+            writer.write_all(response.as_bytes())?;
+            writer.flush()?;
+            if self.engine.is_shutdown() {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A blocking line-protocol client.
+#[derive(Debug)]
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { writer, reader })
+    }
+
+    /// Sends one request line and reads the full framed response
+    /// (including the `.` terminator line), exactly as the engine
+    /// produced it.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or [`std::io::ErrorKind::UnexpectedEof`] when the
+    /// daemon closes before the terminator.
+    pub fn send(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        loop {
+            let mut chunk = String::new();
+            if self.reader.read_line(&mut chunk)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "daemon closed before response terminator",
+                ));
+            }
+            let done = chunk.trim_end_matches('\n') == TERMINATOR;
+            response.push_str(&chunk);
+            if done {
+                return Ok(response);
+            }
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! The `nocd` line protocol: request grammar and parsing.
+//!
+//! One request per line, in the same keyword-led style as the
+//! `ExperimentSpec` grammar (`noc-flow`). Blank lines and `#` comments
+//! are ignored. Every response is a status line (`ok …` / `err …`),
+//! zero or more detail lines, and a lone `.` terminator — so clients
+//! frame responses without length prefixes.
+//!
+//! ```text
+//! add <id> flow <src> <dst> <mbps> [<lat_us>] [; flow ...]
+//! modify <id> flow <src> <dst> <mbps> [<lat_us>] [; flow ...]
+//! remove <id>
+//! flush
+//! stats
+//! snapshot
+//! shutdown
+//! ```
+//!
+//! `src` / `dst` are core indices from the shared core pool, `mbps` the
+//! flow bandwidth in MB/s, `lat_us` an optional worst-case latency
+//! bound in µs (unconstrained when absent). `add`/`modify`/`remove`
+//! are queued and applied together at the next reconfiguration point
+//! (batch full, explicit `flush`, or any of `stats` / `snapshot` /
+//! `shutdown`) — see [`crate::engine`].
+
+use std::fmt;
+
+/// One requested flow of a use-case (`flow <src> <dst> <mbps>
+/// [<lat_us>]`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowSpec {
+    /// Source core index in the shared pool.
+    pub src: u32,
+    /// Destination core index.
+    pub dst: u32,
+    /// Bandwidth in MB/s.
+    pub mbps: u64,
+    /// Worst-case latency bound in µs; `None` = unconstrained.
+    pub lat_us: Option<u64>,
+}
+
+impl fmt::Display for FlowSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flow {} {} {}", self.src, self.dst, self.mbps)?;
+        if let Some(lat) = self.lat_us {
+            write!(f, " {lat}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Admit a new use-case under the given id.
+    Add {
+        /// Client-chosen use-case id (must be new).
+        id: String,
+        /// The use-case's flows (at least one).
+        flows: Vec<FlowSpec>,
+    },
+    /// Replace an admitted use-case's flows (re-admitted atomically;
+    /// the old version stays if the new one is rejected).
+    Modify {
+        /// Id of an admitted use-case.
+        id: String,
+        /// The replacement flows (at least one).
+        flows: Vec<FlowSpec>,
+    },
+    /// Evict an admitted use-case and free its exclusive cores.
+    Remove {
+        /// Id of an admitted use-case.
+        id: String,
+    },
+    /// Apply all queued mutations now (an explicit reconfiguration
+    /// point).
+    Flush,
+    /// Admission-control metrics (flushes first).
+    Stats,
+    /// The current core → NI placement per use-case (flushes first).
+    Snapshot,
+    /// Flush, respond, and stop serving.
+    Shutdown,
+}
+
+fn parse_flows(tokens: &[&str]) -> Result<Vec<FlowSpec>, String> {
+    let mut flows = Vec::new();
+    for chunk in tokens.split(|&t| t == ";") {
+        match chunk {
+            ["flow", src, dst, mbps, rest @ ..] => {
+                let num = |name: &str, tok: &str| {
+                    tok.parse::<u64>()
+                        .map_err(|_| format!("bad {name} '{tok}'"))
+                };
+                let lat_us = match rest {
+                    [] => None,
+                    [lat] => Some(num("latency", lat)?),
+                    more => return Err(format!("trailing tokens {more:?}")),
+                };
+                flows.push(FlowSpec {
+                    src: u32::try_from(num("source core", src)?)
+                        .map_err(|_| format!("bad source core '{src}'"))?,
+                    dst: u32::try_from(num("destination core", dst)?)
+                        .map_err(|_| format!("bad destination core '{dst}'"))?,
+                    mbps: num("bandwidth", mbps)?,
+                    lat_us,
+                });
+            }
+            [] => return Err("empty flow clause".to_string()),
+            other => {
+                return Err(format!(
+                    "expected 'flow SRC DST MBPS [LAT_US]', got {other:?}"
+                ))
+            }
+        }
+    }
+    if flows.is_empty() {
+        return Err("a use-case needs at least one flow".to_string());
+    }
+    Ok(flows)
+}
+
+/// Parses one request line. `Ok(None)` for blank lines and `#`
+/// comments; `Err` describes the first grammar violation.
+///
+/// # Errors
+///
+/// A human-readable parse message (the engine prefixes it with
+/// `err parse:`).
+pub fn parse_command(line: &str) -> Result<Option<Command>, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let cmd = match tokens.as_slice() {
+        ["add", id, rest @ ..] => Command::Add {
+            id: (*id).to_string(),
+            flows: parse_flows(rest)?,
+        },
+        ["modify", id, rest @ ..] => Command::Modify {
+            id: (*id).to_string(),
+            flows: parse_flows(rest)?,
+        },
+        ["remove", id] => Command::Remove {
+            id: (*id).to_string(),
+        },
+        ["flush"] => Command::Flush,
+        ["stats"] => Command::Stats,
+        ["snapshot"] => Command::Snapshot,
+        ["shutdown"] => Command::Shutdown,
+        [verb, ..] => return Err(format!("unknown command '{verb}'")),
+        [] => unreachable!("blank lines returned above"),
+    };
+    Ok(Some(cmd))
+}
+
+/// The response terminator line clients frame on.
+pub const TERMINATOR: &str = ".";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_grammar() {
+        assert_eq!(parse_command("").unwrap(), None);
+        assert_eq!(parse_command("# comment").unwrap(), None);
+        assert_eq!(parse_command("stats").unwrap(), Some(Command::Stats));
+        assert_eq!(parse_command("snapshot").unwrap(), Some(Command::Snapshot));
+        assert_eq!(parse_command("flush").unwrap(), Some(Command::Flush));
+        assert_eq!(parse_command("shutdown").unwrap(), Some(Command::Shutdown));
+        assert_eq!(
+            parse_command("remove u3").unwrap(),
+            Some(Command::Remove {
+                id: "u3".to_string()
+            })
+        );
+        assert_eq!(
+            parse_command("add u0 flow 1 2 250 30 ; flow 2 3 100").unwrap(),
+            Some(Command::Add {
+                id: "u0".to_string(),
+                flows: vec![
+                    FlowSpec {
+                        src: 1,
+                        dst: 2,
+                        mbps: 250,
+                        lat_us: Some(30)
+                    },
+                    FlowSpec {
+                        src: 2,
+                        dst: 3,
+                        mbps: 100,
+                        lat_us: None
+                    },
+                ],
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_grammar_violations() {
+        assert!(parse_command("add u0").is_err());
+        assert!(parse_command("add u0 flow 1 2").is_err());
+        assert!(parse_command("add u0 flow 1 2 x").is_err());
+        assert!(parse_command("add u0 flow 1 2 100 5 9").is_err());
+        assert!(parse_command("remove").is_err());
+        assert!(parse_command("frobnicate u0").is_err());
+        assert!(parse_command("modify u0 flow 1 2 100 ;").is_err());
+    }
+
+    #[test]
+    fn flow_specs_round_trip_through_display() {
+        for line in ["add u0 flow 1 2 250 30", "add u0 flow 9 4 77"] {
+            let Some(Command::Add { flows, .. }) = parse_command(line).unwrap() else {
+                panic!("parsed {line}");
+            };
+            assert_eq!(format!("add u0 {}", flows[0]), line);
+        }
+    }
+}

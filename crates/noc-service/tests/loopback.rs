@@ -1,0 +1,40 @@
+//! Socket smoke test: the daemon is a thin transport over the
+//! replay-tested engine, so every framed response read back over TCP
+//! must match what an in-process engine produces for the same lines —
+//! byte for byte.
+
+use noc_service::{Client, Engine, EngineConfig, Server};
+
+#[test]
+fn daemon_responses_match_the_in_process_engine_verbatim() {
+    let cfg = EngineConfig::default();
+    let server = Server::bind(cfg.clone(), 0).expect("bind on an OS-assigned port");
+    let port = server.port().expect("bound port");
+    let daemon = std::thread::spawn(move || server.run());
+
+    let mut reference = Engine::new(cfg).expect("valid default config");
+    let mut client = Client::connect(("127.0.0.1", port)).expect("connect to daemon");
+
+    let lines = [
+        "add u0 flow 0 1 400 ; flow 1 2 250",
+        "add u1 flow 3 4 150 30",
+        "add u1 flow 5 6 100", // duplicate id -> error event at flush
+        "modify u0 flow 0 2 300",
+        "remove missing",
+        "flush",
+        "stats",
+        "snapshot",
+        "bogus command",
+        "shutdown",
+    ];
+    for line in lines {
+        let over_socket = client.send(line).expect("framed response");
+        let in_process = reference.submit_line(line);
+        assert_eq!(over_socket, in_process, "divergent response for {line:?}");
+    }
+
+    daemon
+        .join()
+        .expect("daemon thread")
+        .expect("clean shutdown");
+}

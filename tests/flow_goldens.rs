@@ -13,9 +13,10 @@ use noc_multiusecase::flow::{registry, render, run_spec};
 use noc_multiusecase::par::with_threads;
 
 /// `(registry name, golden file)` for every deterministic suite.
-/// `frontier` post-dates the redesign: its golden was captured from the
-/// PR-8 strategy portfolio (every cell deterministic, no wall-clock).
-const GOLDENS: [(&str, &str); 13] = [
+/// `frontier` and `service` post-date the redesign: their goldens were
+/// captured from the PR-8 strategy portfolio and the PR-9 online
+/// admission service (every cell deterministic, no wall-clock).
+const GOLDENS: [(&str, &str); 14] = [
     ("fig6a", include_str!("goldens/fig6a.txt")),
     ("fig6b", include_str!("goldens/fig6b.txt")),
     ("fig6b+", include_str!("goldens/fig6bx.txt")),
@@ -29,6 +30,7 @@ const GOLDENS: [(&str, &str); 13] = [
     ("be_burst", include_str!("goldens/be_burst.txt")),
     ("headline", include_str!("goldens/headline.txt")),
     ("frontier", include_str!("goldens/frontier.txt")),
+    ("service", include_str!("goldens/service.txt")),
 ];
 
 /// What the `experiments` binary prints for one name: the rendering on

@@ -1,0 +1,41 @@
+//! Determinism contract of the online mapping service (`nocd`).
+//!
+//! The in-process replay transcript is specified to be a pure function
+//! of `(config, requests, seed)` — byte-identical at any `noc-par`
+//! worker count (see `docs/SERVICE.md`). This test drives the standard
+//! 200-request seed-2006 trace through a fresh engine at 1, 2, and 8
+//! workers and byte-compares every transcript against the pinned golden
+//! (`tests/goldens/service_replay.txt`, captured from
+//! `nocmap_cli replay --transcript` at the default engine
+//! configuration). The golden pins the full request/response stream
+//! *and* the final admission report — any drift in admission decisions,
+//! displacement choices, batching, or report formatting fails the
+//! byte-compare.
+
+use noc_multiusecase::par::with_threads;
+use noc_multiusecase::service::{replay, EngineConfig};
+
+const GOLDEN: &str = include_str!("goldens/service_replay.txt");
+const REQUESTS: u64 = 200;
+const SEED: u64 = 2006;
+
+#[test]
+fn replay_transcript_is_byte_identical_at_any_worker_count() {
+    for workers in [1usize, 2, 8] {
+        let out = with_threads(workers, || {
+            replay(EngineConfig::default(), REQUESTS, SEED).expect("default config is valid")
+        });
+        assert_eq!(
+            out.transcript, GOLDEN,
+            "replay transcript diverged from the golden at {workers} workers"
+        );
+        // The final report in the transcript and the struct agree.
+        assert_eq!(out.stats.admitted, 89, "{:?}", out.stats);
+        assert_eq!(out.stats.rejected, 29, "{:?}", out.stats);
+        assert!(
+            out.transcript
+                .contains("admitted=89 rejected=29 blocking=0.2458"),
+            "admission report drifted"
+        );
+    }
+}

@@ -10,8 +10,9 @@ that the *deterministic* fields of the two files' latest run records are
 identical — CI passes records produced at ``--threads 1`` and ``4``, so
 any divergence is a determinism-contract violation. Wall-time fields
 (``map_ms`` / ``anneal_ms`` / ``trace_ms``) are machine-dependent and
-excluded. Frontier records (``"frontier"`` instead of ``"suites"``)
-carry no wall-clock at all, so every field of their rows is compared.
+excluded. Frontier records (``"frontier"`` instead of ``"suites"``) and
+service records (``"service"``) carry no wall-clock at all, so every
+field of their rows is compared.
 
 See docs/PERFORMANCE.md for the schema.
 """
@@ -38,13 +39,34 @@ OP_KEYS_V2 = OP_KEYS_V1 | {"conflict_word_tests", "legacy_slot_probes"}
 OP_KEYS_V3 = OP_KEYS_V2 | {"trace_spans"}
 # PR 8 added the route-cache hit/miss pair (strategy portfolio).
 OP_KEYS_V4 = OP_KEYS_V3 | {"route_cache_hits", "route_cache_misses"}
-OP_KEY_SETS = (OP_KEYS_V1, OP_KEYS_V2, OP_KEYS_V3, OP_KEYS_V4)
+# PR 9 added the online-admission counters (nocd service).
+OP_KEYS_V5 = OP_KEYS_V4 | {
+    "admissions",
+    "rejections",
+    "displacement_evictions",
+    "batch_flushes",
+}
+OP_KEY_SETS = (OP_KEYS_V1, OP_KEYS_V2, OP_KEYS_V3, OP_KEYS_V4, OP_KEYS_V5)
 SUITE_KEYS = {"label", "switches", "map_ms", "anneal_ms", "map_ops", "anneal_ops"}
 SUITE_KEYS_V2 = SUITE_KEYS | {"trace_ms"}
 # PR 8 frontier records: one row per (benchmark, strategy), strategy-keyed
 # quality and op columns. Every field is deterministic (no wall-clock).
 FRONTIER_ROW_KEYS = {"bench", "strategy", "switches", "cost", "evictions", "nodes", "ops"}
 STRATEGIES = {"greedy", "displacement", "bnb"}
+# PR 9 service records: one row per (fabric, admission mode), admission
+# outcome + reconfiguration ops. Every field is deterministic (the
+# seeded trace replays byte-identically at any worker count).
+SERVICE_ROW_KEYS = {
+    "fabric",
+    "mode",
+    "admitted",
+    "rejected",
+    "displaced",
+    "evictions",
+    "flushes",
+    "ops",
+}
+MODES = {"incremental", "resolve"}
 
 
 def load(path):
@@ -68,6 +90,16 @@ def load(path):
                 assert row["strategy"] in STRATEGIES, f"{path}: bad strategy {row['strategy']}"
                 assert set(row["ops"]) in OP_KEY_SETS, f"{path}: bad ops keys {set(row['ops'])}"
             continue
+        if "service" in run:
+            assert set(run) == {"label", "threads", "service"}, (
+                f"{path}: bad service run keys {set(run)}"
+            )
+            assert run["service"], f"{path}: run '{run['label']}' has no rows"
+            for row in run["service"]:
+                assert set(row) == SERVICE_ROW_KEYS, f"{path}: bad row keys {set(row)}"
+                assert row["mode"] in MODES, f"{path}: bad mode {row['mode']}"
+                assert set(row["ops"]) in OP_KEY_SETS, f"{path}: bad ops keys {set(row['ops'])}"
+            continue
         assert set(run) == {"label", "threads", "suites"}, f"{path}: bad run keys {set(run)}"
         assert run["suites"], f"{path}: run '{run['label']}' has no suites"
         for suite in run["suites"]:
@@ -85,6 +117,9 @@ def deterministic(run):
     if "frontier" in run:
         # Frontier rows carry no wall-clock: every field must match.
         return run["frontier"]
+    if "service" in run:
+        # Service rows carry no wall-clock either.
+        return run["service"]
     return [
         {k: s[k] for k in ("label", "switches", "map_ops", "anneal_ops")}
         for s in run["suites"]
