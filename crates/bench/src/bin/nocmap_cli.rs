@@ -47,12 +47,19 @@
 //!   byte-identical at any `--threads` setting (see
 //!   `docs/STRATEGIES.md`).
 //! * `serve [--port P] [--rows R] [--cols C] [--nis N] [--batch B]
-//!   [--budget M] [--mode incremental|resolve]` — run the `nocd` online
-//!   mapping daemon: a TCP line-protocol server admitting streaming
-//!   use-case requests incrementally (see `docs/SERVICE.md`). Blocks
-//!   until a client sends `shutdown`.
-//! * `request --port P WORD...` — send one protocol line to a running
-//!   daemon and print the framed response.
+//!   [--budget M] [--mode incremental|resolve] [--journal FILE]` — run
+//!   the `nocd` online mapping daemon: a TCP line-protocol server
+//!   admitting streaming use-case requests incrementally (see
+//!   `docs/SERVICE.md`). With `--journal`, every request line is logged
+//!   to FILE before it is applied and the engine is rebuilt from FILE
+//!   on startup, so a restarted daemon resumes with the state it
+//!   crashed with (see `docs/RESILIENCE.md`). Blocks until a client
+//!   sends `shutdown`.
+//! * `request --port P [--timeout-ms T] [--retries R] WORD...` — send
+//!   one protocol line to a running daemon and print the framed
+//!   response. `--timeout-ms` bounds the connect and each response
+//!   read; `--retries` retries failed attempts with deterministic
+//!   linear backoff.
 //! * `replay [--requests N] [--seed S] [--rows R] [--cols C] [--nis N]
 //!   [--batch B] [--budget M] [--mode incremental|resolve]
 //!   [--transcript]` — the in-process deterministic replay: drive a
@@ -65,6 +72,11 @@
 //!   print the blocking/reconfiguration-cost table, and (with `--json`)
 //!   append a service record to the trajectory. Every cell is
 //!   deterministic (see `docs/SERVICE.md`).
+//! * `resilience [--json FILE] [--label L]` — the fault-injection
+//!   suite: weave a seeded fault schedule into the request trace,
+//!   replay it per fabric, print the degradation/self-healing table,
+//!   and (with `--json`) append a resilience record to the trajectory.
+//!   Every cell is deterministic (see `docs/RESILIENCE.md`).
 //!
 //! All subcommands accept a global `--threads N` to pin the `noc-par`
 //! worker count (equivalent to `NOC_PAR_THREADS=N`; results are
@@ -104,11 +116,12 @@ fn usage() -> ExitCode {
          nocmap_cli perf [--json FILE] [--label L]\n  \
          nocmap_cli frontier [--json FILE] [--label L]\n  \
          nocmap_cli serve [--port P] [--rows R] [--cols C] [--nis N] [--batch B] \
-         [--budget M] [--mode incremental|resolve]\n  \
-         nocmap_cli request --port P WORD...\n  \
+         [--budget M] [--mode incremental|resolve] [--journal FILE]\n  \
+         nocmap_cli request --port P [--timeout-ms T] [--retries R] WORD...\n  \
          nocmap_cli replay [--requests N] [--seed S] [--rows R] [--cols C] [--nis N] \
          [--batch B] [--budget M] [--mode incremental|resolve] [--transcript]\n  \
          nocmap_cli service [--json FILE] [--label L]\n  \
+         nocmap_cli resilience [--json FILE] [--label L]\n  \
          (global: --threads N — pin the noc-par worker count;\n  \
           --trace FILE [--trace-mode ops|wall] — record a span trace)"
     );
@@ -420,12 +433,20 @@ fn take_engine_config(args: &mut Vec<String>) -> Result<noc_service::EngineConfi
 
 fn cmd_serve(mut args: Vec<String>) -> Result<(), FlowError> {
     let port: u16 = take_num(&mut args, "--port", 0)?;
+    let journal = take_string(&mut args, "--journal")?;
     let cfg = take_engine_config(&mut args)?;
     let io_err = |e: std::io::Error| FlowError::Io {
         path: format!("port {port}"),
         message: format!("daemon failed: {e}"),
     };
-    let server = noc_service::Server::bind(cfg, port).map_err(io_err)?;
+    let server = match &journal {
+        Some(path) => {
+            let server = noc_service::Server::bind_with_journal(cfg, port, path).map_err(io_err)?;
+            eprintln!("nocd journaling to {path} (recovered on startup)");
+            server
+        }
+        None => noc_service::Server::bind(cfg, port).map_err(io_err)?,
+    };
     // Status on stderr so scripted stdout parsing stays clean.
     eprintln!(
         "nocd listening on 127.0.0.1:{} (send 'shutdown' to stop)",
@@ -436,6 +457,8 @@ fn cmd_serve(mut args: Vec<String>) -> Result<(), FlowError> {
 
 fn cmd_request(mut args: Vec<String>) -> Result<(), FlowError> {
     let port: u16 = take_num(&mut args, "--port", 0)?;
+    let timeout_ms: Option<u64> = take_opt(&mut args, "--timeout-ms")?;
+    let retries: u32 = take_num(&mut args, "--retries", 0)?;
     if port == 0 {
         return Err(FlowError::Usage("request needs --port P".into()));
     }
@@ -445,12 +468,16 @@ fn cmd_request(mut args: Vec<String>) -> Result<(), FlowError> {
         ));
     }
     let line = args.join(" ");
-    let response = noc_service::Client::connect(("127.0.0.1", port))
-        .and_then(|mut client| client.send(&line))
-        .map_err(|e| FlowError::Io {
-            path: format!("127.0.0.1:{port}"),
-            message: format!("request failed: {e}"),
-        })?;
+    let policy = noc_service::RetryPolicy {
+        timeout: timeout_ms.map(std::time::Duration::from_millis),
+        retries,
+        ..noc_service::RetryPolicy::default()
+    };
+    let addr = std::net::SocketAddr::from(([127, 0, 0, 1], port));
+    let response = noc_service::request(addr, &line, &policy).map_err(|e| FlowError::Io {
+        path: format!("127.0.0.1:{port}"),
+        message: format!("request failed: {e}"),
+    })?;
     print!("{response}");
     Ok(())
 }
@@ -502,6 +529,25 @@ fn cmd_service(mut args: Vec<String>) -> Result<(), FlowError> {
     Ok(())
 }
 
+fn cmd_resilience(mut args: Vec<String>) -> Result<(), FlowError> {
+    let json_path = take_string(&mut args, "--json")?;
+    let label = take_string(&mut args, "--label")?.unwrap_or_else(|| "local".to_string());
+    let points = noc_bench::resilience()?;
+    print!("{}", noc_bench::format_resilience(&points));
+    if let Some(path) = json_path {
+        let record =
+            noc_bench::perf_json::resilience_record(&label, noc_par::current_threads(), &points);
+        noc_bench::perf_json::append_run(std::path::Path::new(&path), &record).map_err(|e| {
+            FlowError::Io {
+                path: path.clone(),
+                message: format!("cannot write trajectory: {e}"),
+            }
+        })?;
+        println!("resilience record '{label}' appended to {path}");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let threads = match take_threads(&mut args) {
@@ -539,6 +585,7 @@ fn main() -> ExitCode {
         "request" => Some(cmd_request(args)),
         "replay" => Some(cmd_replay(args)),
         "service" => Some(cmd_service(args)),
+        "resilience" => Some(cmd_resilience(args)),
         _ => None,
     };
     let result = match threads {

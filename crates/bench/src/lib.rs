@@ -29,7 +29,8 @@ use noc_flow::{registry, run_spec, ExperimentOutput, FlowError};
 pub use noc_flow::registry::{MAX_SWITCHES, SEED};
 pub use noc_flow::runner::{
     AblationPoint, AreaPoint, BeBurstPoint, Comparison, DvsPoint, FrontierPoint, Headline,
-    ParallelPoint, PerfPoint, PerfSnapshot, RuntimePoint, ServicePoint, SpeedupPoint, VerifyPoint,
+    ParallelPoint, PerfPoint, PerfSnapshot, ResiliencePoint, RuntimePoint, ServicePoint,
+    SpeedupPoint, VerifyPoint,
 };
 
 /// Runs a registry entry that cannot fail (its failures are recorded
@@ -215,6 +216,29 @@ pub fn service() -> Result<Vec<ServicePoint>, FlowError> {
 pub fn format_service(points: &[ServicePoint]) -> String {
     let spec = registry::find("service").expect("registered experiment");
     noc_flow::render::render_service(&spec.title, points)
+}
+
+/// The fault-injection resilience suite: the `resilience` registry
+/// entry's seeded fault schedule woven into a request trace and
+/// replayed per fabric, with degradation and self-healing repair cost
+/// per row (see `docs/RESILIENCE.md`).
+///
+/// # Errors
+///
+/// Propagates an engine-configuration failure (as [`FlowError`]).
+pub fn resilience() -> Result<Vec<ResiliencePoint>, FlowError> {
+    match run_spec(&registry::find("resilience")?)? {
+        ExperimentOutput::Resilience { points, .. } => Ok(points),
+        _ => unreachable!("resilience is a fault-injection study"),
+    }
+}
+
+/// Renders the [`resilience`] points as the fixed-width table both CLIs
+/// print. Every cell is deterministic, so this rendering is pinned as
+/// a golden (`tests/goldens/resilience.txt`).
+pub fn format_resilience(points: &[ResiliencePoint]) -> String {
+    let spec = registry::find("resilience").expect("registered experiment");
+    noc_flow::render::render_resilience(&spec.title, points)
 }
 
 /// Computes the headline numbers from the Figure 6(a) and 7(b) data.

@@ -17,7 +17,7 @@
 //! 4 workers and diffs the deterministic fields
 //! (`tools/check_bench_json.py`).
 
-use noc_flow::runner::{FrontierPoint, PerfPoint, PerfSnapshot, ServicePoint};
+use noc_flow::runner::{FrontierPoint, PerfPoint, PerfSnapshot, ResiliencePoint, ServicePoint};
 
 /// Schema version of the document (bump when fields change meaning).
 pub const SCHEMA_VERSION: u32 = 1;
@@ -47,7 +47,9 @@ fn ops_json(ops: &PerfSnapshot) -> String {
          \"route_cache_hits\":{},\"route_cache_misses\":{},\
          \"conflict_word_tests\":{},\"legacy_slot_probes\":{},\
          \"trace_spans\":{},\"admissions\":{},\"rejections\":{},\
-         \"displacement_evictions\":{},\"batch_flushes\":{}}}",
+         \"displacement_evictions\":{},\"batch_flushes\":{},\
+         \"faults_injected\":{},\"heals_attempted\":{},\
+         \"heal_reroutes\":{},\"heal_evictions\":{}}}",
         ops.path_queries,
         ops.dijkstra_pops,
         ops.scratch_allocs,
@@ -66,6 +68,10 @@ fn ops_json(ops: &PerfSnapshot) -> String {
         ops.rejections,
         ops.displacement_evictions,
         ops.batch_flushes,
+        ops.faults_injected,
+        ops.heals_attempted,
+        ops.heal_reroutes,
+        ops.heal_evictions,
     )
 }
 
@@ -162,6 +168,43 @@ pub fn service_record(label: &str, threads: usize, points: &[ServicePoint]) -> S
         .collect();
     format!(
         "{{\"label\":\"{}\",\"threads\":{},\"service\":[{}]}}",
+        escape(label),
+        threads,
+        rows.join(",")
+    )
+}
+
+/// One resilience run record as a single JSON line: the run label, the
+/// worker count, and one row object per [`ResiliencePoint`]
+/// (fault-injection outcome + self-healing repair ops per fabric — see
+/// `docs/RESILIENCE.md`). Like [`service_record`], **every** field is
+/// deterministic: the fault schedule is a pure function of
+/// `(config, seed)`, so the record regenerated at any `noc-par` worker
+/// count is byte-identical, which is what CI diffs. The
+/// repair-is-incremental claim lives in the `ops` object
+/// (`heal_reroutes` / `heal_evictions` vs `full_maps`).
+pub fn resilience_record(label: &str, threads: usize, points: &[ResiliencePoint]) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"fabric\":\"{}\",\"faults\":{},\"admitted\":{},\
+                 \"rejected\":{},\"links_failed\":{},\"nis_failed\":{},\
+                 \"degraded\":{},\"healed\":{},\"ops\":{}}}",
+                escape(&p.fabric),
+                p.faults,
+                p.stats.admitted,
+                p.stats.rejected,
+                p.stats.links_failed,
+                p.stats.nis_failed,
+                p.stats.degraded,
+                p.stats.healed,
+                ops_json(&p.ops),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"label\":\"{}\",\"threads\":{},\"resilience\":[{}]}}",
         escape(label),
         threads,
         rows.join(",")

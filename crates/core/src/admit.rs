@@ -180,12 +180,16 @@ pub fn admit_group(
         .collect();
     new_cores.sort_by_key(|&c| (Reverse(weights.get(&c).copied().unwrap_or(0)), c));
 
+    // Failed NIs are never placement targets, and partner distances are
+    // measured over the surviving links only (with an empty fault set
+    // both reduce to the plain topology).
+    let degraded = topo.degraded(&options.faults);
     let occupied: BTreeSet<NodeId> = base.core_mapping().values().copied().collect();
     let mut free: Vec<NodeId> = topo
         .nis()
         .iter()
         .copied()
-        .filter(|ni| !occupied.contains(ni))
+        .filter(|&ni| !occupied.contains(&ni) && !options.faults.ni_failed(ni))
         .collect();
     if new_cores.len() > free.len() {
         perf::record_rejection();
@@ -212,7 +216,7 @@ pub fn admit_group(
                     continue;
                 };
                 if let Some(&pni) = placement.get(&partner) {
-                    let hops = topo.hop_distance(ni, pni).unwrap_or(usize::MAX) as u128;
+                    let hops = degraded.hop_distance(ni, pni).unwrap_or(usize::MAX) as u128;
                     cost += flow.bandwidth.as_bytes_per_sec() as u128 * hops;
                 }
             }
@@ -280,9 +284,16 @@ pub fn admit_group(
                     .filter(|c| group_cores.contains(c))
                     .collect();
                 movers.sort_by_key(|&c| (Reverse(weights.get(&c).copied().unwrap_or(0)), c));
-                let Some(step) =
-                    displacement_step(topo, base, &placement, &relocated, &tried, &movers, budget)
-                else {
+                let Some(step) = displacement_step(
+                    topo,
+                    &options.faults,
+                    base,
+                    &placement,
+                    &relocated,
+                    &tried,
+                    &movers,
+                    budget,
+                ) else {
                     break;
                 };
                 let (mover, target) = step;
@@ -313,10 +324,13 @@ pub fn admit_group(
 }
 
 /// Picks the next untried `(mover, target NI)` displacement within the
-/// eviction budget: movers in the given order, targets by hop distance
-/// from the mover's current NI (nearer re-seats first), then NI index.
+/// eviction budget: movers in the given order, targets by (surviving)
+/// hop distance from the mover's current NI (nearer re-seats first),
+/// then NI index. Failed NIs are never targets.
+#[allow(clippy::too_many_arguments)]
 fn displacement_step(
     topo: &noc_topology::Topology,
+    faults: &noc_topology::FaultSet,
     base: &MappingSolution,
     placement: &BTreeMap<CoreId, NodeId>,
     relocated: &BTreeSet<CoreId>,
@@ -324,6 +338,7 @@ fn displacement_step(
     movers: &[CoreId],
     budget: u64,
 ) -> Option<(CoreId, NodeId)> {
+    let degraded = topo.degraded(faults);
     let ni_of_core = |ni: NodeId| placement.iter().find(|&(_, &n)| n == ni).map(|(&c, _)| c);
     // Evictions already spent: pre-existing cores whose NI has changed.
     let spent = relocated
@@ -340,9 +355,9 @@ fn displacement_step(
             .nis()
             .iter()
             .copied()
-            .filter(|&ni| ni != from)
+            .filter(|&ni| ni != from && !faults.ni_failed(ni))
             .collect();
-        targets.sort_by_key(|&ni| (topo.hop_distance(from, ni).unwrap_or(usize::MAX), ni));
+        targets.sort_by_key(|&ni| (degraded.hop_distance(from, ni).unwrap_or(usize::MAX), ni));
         for target in targets {
             if tried.contains(&(mover, target)) {
                 continue;

@@ -1,6 +1,7 @@
 use std::error::Error;
 use std::fmt;
 
+use noc_topology::NodeId;
 use noc_usecase::spec::CoreId;
 
 use crate::verify::VerifyError;
@@ -54,6 +55,14 @@ pub enum MapError {
         /// Use-cases covered by the partition.
         group_use_cases: usize,
     },
+    /// A preset placement seats a core on an NI that has failed
+    /// (`MapperOptions::faults`); the caller must move or degrade it.
+    NiFailed {
+        /// The core whose seat is gone.
+        core: CoreId,
+        /// The failed NI.
+        ni: NodeId,
+    },
     /// A produced solution failed verification (internal error).
     Inconsistent(VerifyError),
 }
@@ -82,6 +91,9 @@ impl fmt::Display for MapError {
                 f,
                 "group partition covers {group_use_cases} use-cases but the spec has {spec_use_cases}"
             ),
+            MapError::NiFailed { core, ni } => {
+                write!(f, "core {core} is preset onto failed NI {ni}")
+            }
             MapError::Inconsistent(e) => write!(f, "produced solution fails verification: {e}"),
         }
     }

@@ -59,6 +59,7 @@ pub mod anneal;
 pub mod design;
 pub mod dvs;
 pub mod emit;
+pub mod heal;
 pub mod mapper;
 pub mod merge;
 pub mod path;
@@ -74,6 +75,7 @@ mod error;
 
 pub use admit::{admit_group, Admission, RejectReason};
 pub use error::MapError;
+pub use heal::{heal, HealOutcome};
 pub use mapper::{
     map_multi_usecase, reroute_preset_groups, reroute_preset_groups_cached, MapperOptions,
     Placement, RouteCache,

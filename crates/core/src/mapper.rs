@@ -6,7 +6,7 @@ use std::sync::Mutex;
 
 use noc_tdma::{ConnId, NetworkSlots, SlotPolicy, TdmaSpec};
 use noc_topology::units::{Bandwidth, Latency};
-use noc_topology::{NodeId, Topology};
+use noc_topology::{FaultSet, LinkId, NodeId, Topology};
 use noc_usecase::spec::{CoreId, SocSpec};
 use noc_usecase::UseCaseGroups;
 
@@ -58,6 +58,12 @@ pub struct MapperOptions {
     /// only proposes meshes whose switches respect this, which is what
     /// keeps a single huge switch from trivially "solving" every design.
     pub max_switch_ports: usize,
+    /// Failed links / NIs the mapper must route around (empty by
+    /// default). Failed links (and links incident to failed NIs) are
+    /// banned from every path search; failed NIs are never offered as
+    /// placement targets, and presetting a core onto one is a typed
+    /// [`MapError::NiFailed`]. The `heal` entry point drives this.
+    pub faults: FaultSet,
 }
 
 impl Default for MapperOptions {
@@ -70,6 +76,7 @@ impl Default for MapperOptions {
             path_retries: 4,
             placement: Placement::Unified,
             max_switch_ports: 10,
+            faults: FaultSet::default(),
         }
     }
 }
@@ -116,9 +123,14 @@ struct MapState<'a> {
     group_states: Vec<Mutex<Option<GroupState>>>,
     core_to_ni: BTreeMap<CoreId, NodeId>,
     /// Occupancy flags indexed by node id (only NI entries are used).
+    /// Failed NIs are pre-marked occupied so no placement lands on one.
     ni_occupied: Vec<bool>,
-    /// All NI ids, cached.
+    /// All usable NI ids, cached.
     free_nis: Vec<NodeId>,
+    /// Links unusable under `options.faults`, pre-expanded once (failed
+    /// links plus links incident to failed NIs); every path search
+    /// starts from this ban set.
+    banned_base: BTreeSet<LinkId>,
 }
 
 impl<'a> MapState<'a> {
@@ -161,7 +173,7 @@ impl<'a> MapState<'a> {
         debug_assert!(needed >= 1);
         let max_hops = self.max_hops_for(demand.latency);
         let topo = self.topo;
-        let mut banned: BTreeSet<noc_topology::LinkId> = BTreeSet::new();
+        let mut banned: BTreeSet<LinkId> = self.banned_base.clone();
 
         for _attempt in 0..=self.options.path_retries {
             let query = PathQuery::new(
@@ -382,6 +394,22 @@ fn run_mapping(
     }
 
     let is_active = |g: usize| active.is_none_or(|a| a[g]);
+    // Failed NIs are taken out of play up front: marked occupied (so
+    // `Target::AnyFreeNi` skips them) and dropped from the free list.
+    let mut ni_occupied = vec![false; topo.node_count()];
+    let mut free_nis = Vec::with_capacity(topo.ni_count());
+    for &ni in topo.nis() {
+        if options.faults.ni_failed(ni) {
+            ni_occupied[ni.index()] = true;
+        } else {
+            free_nis.push(ni);
+        }
+    }
+    let banned_base = if options.faults.is_empty() {
+        BTreeSet::new()
+    } else {
+        options.faults.banned_links(topo)
+    };
     let mut state = MapState {
         topo,
         spec,
@@ -399,20 +427,24 @@ fn run_mapping(
             })
             .collect(),
         core_to_ni: BTreeMap::new(),
-        ni_occupied: vec![false; topo.node_count()],
-        free_nis: topo.nis().to_vec(),
+        ni_occupied,
+        free_nis,
+        banned_base,
     };
 
     match placement {
         EffectivePlacement::Unified => {}
         EffectivePlacement::RoundRobin => {
-            let nis = topo.nis().to_vec();
+            let nis = state.free_nis.clone();
             for (core, ni) in cores.iter().zip(nis) {
                 state.place(*core, ni);
             }
         }
         EffectivePlacement::Preset(assignment) => {
             for (&core, &ni) in assignment {
+                if options.faults.ni_failed(ni) {
+                    return Err(MapError::NiFailed { core, ni });
+                }
                 if !topo.node(ni).is_ni() || state.ni_occupied[ni.index()] {
                     return Err(MapError::TooManyCores {
                         cores: cores.len(),

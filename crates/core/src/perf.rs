@@ -129,6 +129,18 @@ counters! {
         /// Non-empty request batches flushed at a reconfiguration point
         /// by the online mapping service.
         batch_flushes => BATCH_FLUSHES,
+        /// Link/NI failures injected into a running mapping (the online
+        /// service's `fault` verb and the resilience sweeps).
+        faults_injected => FAULTS_INJECTED,
+        /// [`crate::heal()`] invocations (initial auto-heals plus explicit
+        /// re-heal attempts).
+        heals_attempted => HEALS_ATTEMPTED,
+        /// Groups re-routed by heal around failed resources — the
+        /// incremental repair unit; stays ≪ `full_maps` would be.
+        heal_reroutes => HEAL_REROUTES,
+        /// Stranded cores re-placed off failed NIs by heal, charged
+        /// against the `RemapConfig` move budget.
+        heal_evictions => HEAL_EVICTIONS,
     }
     external {
         resets { noc_tdma::stats::reset, noc_obs::reset_span_count }
@@ -178,6 +190,34 @@ pub fn record_displacement_evictions(n: u64) {
 /// Records one non-empty batch flushed at a reconfiguration point.
 pub fn record_batch_flush() {
     inc(&BATCH_FLUSHES);
+}
+
+/// Records `n` injected resource failures (the service's `fault` verb
+/// applies a whole request's links/NIs in one reconfiguration step).
+pub fn record_fault_injections(n: u64) {
+    if n > 0 {
+        add(&FAULTS_INJECTED, n);
+    }
+}
+
+/// Records one heal attempt ([`crate::heal::heal`], or the service
+/// re-attempting a degraded use-case on an explicit `heal` request).
+pub fn record_heal_attempt() {
+    inc(&HEALS_ATTEMPTED);
+}
+
+/// Records `n` groups re-routed around failed resources by a heal.
+pub fn record_heal_reroutes(n: u64) {
+    if n > 0 {
+        add(&HEAL_REROUTES, n);
+    }
+}
+
+/// Records `n` stranded cores re-seated off failed NIs by a heal.
+pub fn record_heal_evictions(n: u64) {
+    if n > 0 {
+        add(&HEAL_EVICTIONS, n);
+    }
 }
 
 #[cfg(test)]

@@ -292,6 +292,22 @@ pub enum ExperimentKind {
         /// Displacement eviction budget per admission.
         budget: u64,
     },
+    /// Fault-injection resilience study: replay a seeded request trace
+    /// with a woven-in fault schedule (`fault` / `heal` lines) through
+    /// `noc-service` per fabric, reporting degradation and repair cost
+    /// (see `docs/RESILIENCE.md`).
+    Resilience {
+        /// Requests in the generated trace.
+        requests: u64,
+        /// Trace seed (also salts the fault schedule).
+        seed: u64,
+        /// Mutations batched between reconfiguration points.
+        batch: u64,
+        /// Displacement eviction budget per admission.
+        budget: u64,
+        /// Fault events woven into the trace.
+        faults: u64,
+    },
 }
 
 /// A named, titled, executable experiment description.
@@ -631,6 +647,20 @@ pub fn experiment_to_text(spec: &ExperimentSpec) -> String {
             let _ = writeln!(out, "batch {batch}");
             let _ = writeln!(out, "budget {budget}");
         }
+        ExperimentKind::Resilience {
+            requests,
+            seed,
+            batch,
+            budget,
+            faults,
+        } => {
+            let _ = writeln!(out, "kind resilience");
+            let _ = writeln!(out, "requests {requests}");
+            let _ = writeln!(out, "seed {seed}");
+            let _ = writeln!(out, "batch {batch}");
+            let _ = writeln!(out, "budget {budget}");
+            let _ = writeln!(out, "faults {faults}");
+        }
     }
     out
 }
@@ -913,7 +943,7 @@ fn experiment_body(name: String, lines: &mut Lines<'_>) -> Result<ExperimentSpec
     let mut parallel = Vec::new();
     let mut scalars: std::collections::BTreeMap<&'static str, u64> =
         std::collections::BTreeMap::new();
-    const SCALARS: [&str; 14] = [
+    const SCALARS: [&str; 15] = [
         "floor_mhz",
         "lo_mhz",
         "hi_mhz",
@@ -928,6 +958,7 @@ fn experiment_body(name: String, lines: &mut Lines<'_>) -> Result<ExperimentSpec
         "seed",
         "batch",
         "budget",
+        "faults",
     ];
 
     while let Some((line, toks, _)) = lines.next().cloned() {
@@ -1071,6 +1102,13 @@ fn experiment_body(name: String, lines: &mut Lines<'_>) -> Result<ExperimentSpec
             seed: scalar("seed", Some(2006))?,
             batch: scalar("batch", Some(4))?,
             budget: scalar("budget", Some(6))?,
+        },
+        "resilience" => ExperimentKind::Resilience {
+            requests: scalar("requests", Some(150))?,
+            seed: scalar("seed", Some(2006))?,
+            batch: scalar("batch", Some(4))?,
+            budget: scalar("budget", Some(6))?,
+            faults: scalar("faults", Some(5))?,
         },
         other => {
             return Err(FlowError::parse(
@@ -1268,6 +1306,35 @@ mod tests {
                 seed: 2006,
                 batch: 4,
                 budget: 6,
+            }
+        ));
+    }
+
+    #[test]
+    fn resilience_experiment_round_trips() {
+        let spec = ExperimentSpec {
+            name: "resilience".into(),
+            title: "Fault injection".into(),
+            kind: ExperimentKind::Resilience {
+                requests: 150,
+                seed: 2006,
+                batch: 4,
+                budget: 6,
+                faults: 5,
+            },
+        };
+        let text = experiment_to_text(&spec);
+        assert_eq!(experiment_from_text(&text).unwrap(), spec);
+        // Scalars default when omitted.
+        let spec = experiment_from_text("experiment r\ntitle t\nkind resilience\n").unwrap();
+        assert!(matches!(
+            spec.kind,
+            ExperimentKind::Resilience {
+                requests: 150,
+                seed: 2006,
+                batch: 4,
+                budget: 6,
+                faults: 5,
             }
         ));
     }

@@ -272,6 +272,17 @@ pub fn registry() -> Vec<ExperimentSpec> {
             budget: 6,
         },
     ));
+    specs.push(spec(
+        "resilience",
+        "Fault injection and self-healing: service degradation and incremental repair cost",
+        ExperimentKind::Resilience {
+            requests: 150,
+            seed: SEED,
+            batch: 4,
+            budget: 6,
+            faults: 5,
+        },
+    ));
     specs
 }
 

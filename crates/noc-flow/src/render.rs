@@ -10,7 +10,8 @@ use std::fmt::Write as _;
 
 use crate::runner::{
     AblationPoint, AreaPoint, BeBurstPoint, Comparison, DvsPoint, ExperimentOutput, FrontierPoint,
-    Headline, ParallelPoint, PerfPoint, RuntimePoint, ServicePoint, SpeedupPoint, VerifyPoint,
+    Headline, ParallelPoint, PerfPoint, ResiliencePoint, RuntimePoint, ServicePoint, SpeedupPoint,
+    VerifyPoint,
 };
 
 /// Renders a comparison table (Figures 6(a)–(c)).
@@ -318,6 +319,50 @@ pub fn render_service(title: &str, points: &[ServicePoint]) -> String {
     out
 }
 
+/// Renders the fault-injection resilience table. The `maps` column is
+/// the load-bearing cell: healing is incremental repair
+/// (`hreroute` group re-routes, `hevict` displacements), so full maps
+/// stay at the admission baseline even under the fault schedule.
+pub fn render_resilience(title: &str, points: &[ResiliencePoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== {title} ==");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>6} {:>8} {:>8} {:>9} {:>5} {:>5} {:>6} {:>6} {:>8} {:>6} {:>6}",
+        "fabric",
+        "faults",
+        "admitted",
+        "rejected",
+        "blocking",
+        "lfail",
+        "nfail",
+        "degr",
+        "healed",
+        "hreroute",
+        "hevict",
+        "maps"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>6} {:>8} {:>8} {:>9.4} {:>5} {:>5} {:>6} {:>6} {:>8} {:>6} {:>6}",
+            p.fabric,
+            p.faults,
+            p.stats.admitted,
+            p.stats.rejected,
+            p.stats.blocking(),
+            p.stats.links_failed,
+            p.stats.nis_failed,
+            p.stats.degraded,
+            p.stats.healed,
+            p.ops.heal_reroutes,
+            p.ops.heal_evictions,
+            p.ops.full_maps,
+        );
+    }
+    out
+}
+
 fn render_headline(title: &str, h: &Headline) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "\n== {title} ==");
@@ -353,6 +398,7 @@ pub fn render(output: &ExperimentOutput) -> String {
         ExperimentOutput::Perf { title, points } => render_perf(title, points),
         ExperimentOutput::Frontier { title, points } => render_frontier(title, points),
         ExperimentOutput::Service { title, points } => render_service(title, points),
+        ExperimentOutput::Resilience { title, points } => render_resilience(title, points),
     }
 }
 

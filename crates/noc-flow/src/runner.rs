@@ -265,6 +265,28 @@ pub struct ServicePoint {
     pub ops: PerfSnapshot,
 }
 
+/// One row of the fault-injection resilience study: one seeded trace
+/// with a woven-in fault schedule ([`noc_service::generate_fault_trace`])
+/// replayed in-process on one fabric in incremental mode.
+///
+/// The interesting cells contrast repair cost against the from-scratch
+/// alternative: `heal_reroutes` counts groups re-routed around failed
+/// resources, and `full_maps` must stay at the resolve-free baseline —
+/// healing is incremental, never a re-solve. Degradation (`degraded` /
+/// `healed`) measures how much service the fault schedule actually
+/// costs on each fabric.
+#[derive(Debug, Clone)]
+pub struct ResiliencePoint {
+    /// Fabric label (`mesh-4x4`, `bneck-2x1x8`).
+    pub fabric: String,
+    /// Fault events in the schedule.
+    pub faults: u64,
+    /// Final cumulative engine metrics of the replay.
+    pub stats: noc_service::ServiceStats,
+    /// Op-counter delta of the replay.
+    pub ops: PerfSnapshot,
+}
+
 /// The typed result of executing one [`ExperimentSpec`]: the spec's
 /// title plus the points of its family. [`crate::render::render`]
 /// turns any output into the fixed-width table both CLIs print.
@@ -356,6 +378,13 @@ pub enum ExperimentOutput {
         title: String,
         /// Rows (fabric-major, incremental before resolve).
         points: Vec<ServicePoint>,
+    },
+    /// Fault-injection resilience rows.
+    Resilience {
+        /// Table title.
+        title: String,
+        /// Rows (one per fabric, incremental mode).
+        points: Vec<ResiliencePoint>,
     },
 }
 
@@ -891,6 +920,44 @@ fn run_service(
     Ok(points)
 }
 
+/// Replays the seeded fault schedule once per fabric (incremental
+/// admission only — healing is defined as incremental repair),
+/// bracketing each replay with op-counter snapshots, exactly like
+/// [`run_service`].
+fn run_resilience(
+    requests: u64,
+    seed: u64,
+    batch: u64,
+    budget: u64,
+    faults: u64,
+) -> Result<Vec<ResiliencePoint>, FlowError> {
+    use noc_service::{generate_fault_trace, replay_lines, AdmitMode, EngineConfig};
+    let mut points = Vec::new();
+    for (fabric, rows, cols, nis) in SERVICE_FABRICS {
+        let cfg = EngineConfig {
+            rows,
+            cols,
+            nis_per_switch: nis,
+            batch: batch as usize,
+            budget,
+            mode: AdmitMode::Incremental,
+            ..EngineConfig::default()
+        };
+        let lines = generate_fault_trace(&cfg, requests, seed, faults)
+            .map_err(|m| FlowError::parse(0, m))?;
+        let before = nocmap::perf::snapshot();
+        let replayed = replay_lines(cfg, &lines).map_err(|m| FlowError::parse(0, m))?;
+        let ops = nocmap::perf::snapshot().since(&before);
+        points.push(ResiliencePoint {
+            fabric: fabric.to_string(),
+            faults,
+            stats: replayed.stats,
+            ops,
+        });
+    }
+    Ok(points)
+}
+
 fn run_headline(
     area_benches: &[LabeledBench],
     dvs_benches: &[LabeledBench],
@@ -1006,6 +1073,16 @@ pub fn run_spec(spec: &ExperimentSpec) -> Result<ExperimentOutput, FlowError> {
         } => ExperimentOutput::Service {
             title,
             points: run_service(*requests, *seed, *batch, *budget)?,
+        },
+        ExperimentKind::Resilience {
+            requests,
+            seed,
+            batch,
+            budget,
+            faults,
+        } => ExperimentOutput::Resilience {
+            title,
+            points: run_resilience(*requests, *seed, *batch, *budget, *faults)?,
         },
     })
 }

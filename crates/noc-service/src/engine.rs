@@ -20,6 +20,28 @@
 //! add/modify re-runs the full batch mapper over all admitted use-cases
 //! — the `pr9` perf record contrasts the two on identical traces.
 //!
+//! # Faults and self-healing
+//!
+//! `fault link|ni <idx>…` requests are queued like mutations; at the
+//! reconfiguration point that applies one, the engine adds the named
+//! resources to [`MapperOptions::faults`], drops its route store (those
+//! configs were routed on the pre-fault fabric and must not be spliced
+//! or cache-seeded again), and runs [`nocmap::heal()`] over the running
+//! solution. Groups the heal cannot service are *parked*: their
+//! configs are emptied, their exclusive cores unplaced, and their ids
+//! reported `degraded` by `health` until an explicit `heal` request
+//! re-admits them through the normal admission path (now fault-aware,
+//! so re-placement avoids failed NIs and re-routes avoid failed
+//! links).
+//!
+//! # Flush-then-read contract
+//!
+//! Every read (`stats` / `snapshot` / `heal` / `health` / `shutdown`)
+//! flushes the pending batch *first* and reports the post-flush state:
+//! a read never observes a half-applied batch, and interleaving reads
+//! with queued mutations changes *when* reconfiguration points occur
+//! but never the state a read reports for a given request prefix.
+//!
 //! Everything is a pure function of the request stream — responses
 //! (and therefore replay transcripts) are byte-identical at any
 //! `noc-par` width.
@@ -29,16 +51,17 @@ use std::fmt::Write as _;
 
 use noc_tdma::TdmaSpec;
 use noc_topology::units::{Bandwidth, Frequency, Latency, LinkWidth};
-use noc_topology::{MeshBuilder, NodeId, Topology};
+use noc_topology::{FaultSet, MeshBuilder, NodeId, Topology};
 use noc_usecase::spec::{CoreId, SocSpec, UseCase, UseCaseBuilder};
 use noc_usecase::UseCaseGroups;
+use nocmap::remap::RemapConfig;
 use nocmap::strategy::displacement_eviction_budget;
 use nocmap::{
-    admit_group, map_multi_usecase, merged_group_flows, GroupConfig, MapperOptions,
+    admit_group, map_multi_usecase, merged_group_flows, GroupConfig, HealOutcome, MapperOptions,
     MappingSolution, RouteCache,
 };
 
-use crate::protocol::{parse_command, Command, FlowSpec, TERMINATOR};
+use crate::protocol::{parse_command, Command, FaultTarget, FlowSpec, TERMINATOR};
 
 /// How applied mutations reach a new mapping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -134,6 +157,19 @@ pub struct ServiceStats {
     pub evictions: u64,
     /// Non-empty batches applied at reconfiguration points.
     pub flushes: u64,
+    /// `fault` requests queued.
+    pub faults: u64,
+    /// Links newly failed by applied `fault` requests.
+    pub links_failed: u64,
+    /// NIs newly failed by applied `fault` requests.
+    pub nis_failed: u64,
+    /// Explicit `heal` requests served.
+    pub heals: u64,
+    /// Degraded use-cases revived by explicit `heal` requests.
+    pub healed: u64,
+    /// Use-cases parked as degraded (cumulative; a use-case degraded
+    /// twice counts twice).
+    pub degraded: u64,
 }
 
 impl ServiceStats {
@@ -167,6 +203,9 @@ pub struct Engine {
     /// Per use-case id: every `signature → config` routed while the
     /// use-case's flows were live (invalidated on modify/remove).
     store: BTreeMap<String, BTreeMap<Vec<NodeId>, GroupConfig>>,
+    /// Ids of parked (degraded) use-cases: admitted but unserviced
+    /// until an explicit `heal` re-admits them.
+    parked: BTreeSet<String>,
     pending: VecDeque<(u64, Command)>,
     seq: u64,
     stats: ServiceStats,
@@ -199,6 +238,7 @@ impl Engine {
             configs: Vec::new(),
             placement: BTreeMap::new(),
             store: BTreeMap::new(),
+            parked: BTreeSet::new(),
             pending: VecDeque::new(),
             seq: 0,
             stats: ServiceStats::default(),
@@ -230,16 +270,26 @@ impl Engine {
         self.ucs.len()
     }
 
+    /// The active fault set.
+    pub fn faults(&self) -> &FaultSet {
+        &self.options.faults
+    }
+
+    /// Currently degraded (parked) use-case count.
+    pub fn degraded_count(&self) -> usize {
+        self.parked.len()
+    }
+
     /// Handles one request line and returns the full framed response
     /// (status line, detail lines, `.` terminator).
     pub fn submit_line(&mut self, line: &str) -> String {
         match parse_command(line) {
             Ok(None) => format!("ok\n{TERMINATOR}\n"),
             Ok(Some(cmd)) => self.submit(cmd),
-            Err(msg) => {
+            Err(e) => {
                 self.stats.requests += 1;
                 self.stats.errors += 1;
-                format!("err parse: {msg}\n{TERMINATOR}\n")
+                format!("err {}: {e}\n{TERMINATOR}\n", e.kind())
             }
         }
     }
@@ -248,11 +298,15 @@ impl Engine {
         self.stats.requests += 1;
         let mut out = String::new();
         match cmd {
-            cmd @ (Command::Add { .. } | Command::Modify { .. } | Command::Remove { .. }) => {
+            cmd @ (Command::Add { .. }
+            | Command::Modify { .. }
+            | Command::Remove { .. }
+            | Command::Fault { .. }) => {
                 self.seq += 1;
                 match &cmd {
                     Command::Add { .. } => self.stats.adds += 1,
                     Command::Modify { .. } => self.stats.modifies += 1,
+                    Command::Fault { .. } => self.stats.faults += 1,
                     _ => self.stats.removes += 1,
                 }
                 self.pending.push_back((self.seq, cmd));
@@ -299,9 +353,25 @@ impl Engine {
                     "use_cases={} cores={} free_nis={} comm_cost={}",
                     self.ucs.len(),
                     self.placement.len(),
-                    self.topo.ni_count() - self.placement.len(),
+                    self.free_ni_count(),
                     self.comm_cost()
                 );
+                // The fault line only appears once a fault exists, so
+                // fault-free transcripts are byte-identical to the
+                // pre-fault protocol.
+                if !self.options.faults.is_empty() {
+                    let s = &self.stats;
+                    let _ = writeln!(
+                        out,
+                        "faults={} links_failed={} nis_failed={} heals={} healed={} degraded={}",
+                        s.faults,
+                        s.links_failed,
+                        s.nis_failed,
+                        s.heals,
+                        s.healed,
+                        self.parked.len()
+                    );
+                }
             }
             Command::Snapshot => {
                 let events = self.flush();
@@ -316,12 +386,66 @@ impl Engine {
                     out.push('\n');
                 }
                 for (id, uc) in &self.ucs {
+                    // `.get()`, not indexing: a parked use-case's cores
+                    // are legitimately unplaced.
                     let seats: Vec<String> = uc
                         .cores()
                         .iter()
-                        .map(|c| format!("{c}->{}", self.placement[c]))
+                        .map(|c| match self.placement.get(c) {
+                            Some(ni) => format!("{c}->{ni}"),
+                            None => format!("{c}->?"),
+                        })
                         .collect();
-                    let _ = writeln!(out, "uc {id}: {}", seats.join(" "));
+                    let mark = if self.parked.contains(id) {
+                        " [degraded]"
+                    } else {
+                        ""
+                    };
+                    let _ = writeln!(out, "uc {id}: {}{mark}", seats.join(" "));
+                }
+            }
+            Command::Heal => {
+                let events = self.flush();
+                self.stats.heals += 1;
+                let (lines, revived) = self.reheal();
+                let _ = writeln!(
+                    out,
+                    "ok heal attempted={} healed={} degraded={}",
+                    lines.len(),
+                    revived,
+                    self.parked.len()
+                );
+                for e in &events {
+                    out.push_str(e);
+                    out.push('\n');
+                }
+                for l in &lines {
+                    out.push_str(l);
+                    out.push('\n');
+                }
+            }
+            Command::Health => {
+                let events = self.flush();
+                let f = &self.options.faults;
+                let _ = writeln!(
+                    out,
+                    "ok health use_cases={} degraded={} links_failed={} nis_failed={}",
+                    self.ucs.len(),
+                    self.parked.len(),
+                    f.failed_link_count(),
+                    f.failed_ni_count()
+                );
+                for e in &events {
+                    out.push_str(e);
+                    out.push('\n');
+                }
+                for (id, _) in &self.ucs {
+                    let state = if self.parked.contains(id) {
+                        "degraded"
+                    } else {
+                        "healthy"
+                    };
+                    let _ = writeln!(out, "uc {id}: {state}");
                 }
             }
             Command::Shutdown => {
@@ -387,11 +511,184 @@ impl Engine {
                 let (_, uc) = self.ucs.remove(at);
                 self.configs.remove(at);
                 self.store.remove(&id);
+                self.parked.remove(&id);
                 let freed = self.prune_placement(&uc);
                 format!("#{seq} remove {id}: removed freed={freed}")
             }
+            Command::Fault { target, indices } => self.apply_fault(seq, target, &indices),
             _ => unreachable!("only mutations are queued"),
         }
+    }
+
+    /// Applies one `fault` request: injects the named failures, then
+    /// auto-heals the running mapping around them.
+    fn apply_fault(&mut self, seq: u64, target: FaultTarget, indices: &[usize]) -> String {
+        let available = match target {
+            FaultTarget::Link => self.topo.link_count(),
+            FaultTarget::Ni => self.topo.ni_count(),
+        };
+        // Atomic: one out-of-range index rejects the whole request.
+        if let Some(&bad) = indices.iter().find(|&&i| i >= available) {
+            self.stats.errors += 1;
+            return format!(
+                "#{seq} fault {}: error index {bad} out of range (fabric has {available})",
+                target.token()
+            );
+        }
+        let mut injected = 0u64;
+        for &i in indices {
+            let newly = match target {
+                FaultTarget::Link => self.options.faults.fail_link(self.topo.links()[i].id()),
+                FaultTarget::Ni => self.options.faults.fail_ni(self.topo.nis()[i]),
+            };
+            if newly {
+                injected += 1;
+                match target {
+                    FaultTarget::Link => self.stats.links_failed += 1,
+                    FaultTarget::Ni => self.stats.nis_failed += 1,
+                }
+            }
+        }
+        nocmap::perf::record_fault_injections(injected);
+        let head = format!(
+            "#{seq} fault {}: injected={injected} links_failed={} nis_failed={}",
+            target.token(),
+            self.options.faults.failed_link_count(),
+            self.options.faults.failed_ni_count()
+        );
+        if injected == 0 {
+            return format!("{head} (already failed)");
+        }
+        // Every stored config was routed on the pre-fault fabric; none
+        // may be spliced or cache-seeded again.
+        self.store.clear();
+        if self.ucs.is_empty() {
+            return head;
+        }
+        let (soc, groups) = self.soc_current();
+        let base = MappingSolution::new(
+            self.topo.clone(),
+            format!("{}sw", self.topo.switch_count()),
+            self.spec,
+            self.placement.clone(),
+            self.configs.clone(),
+        );
+        match nocmap::heal(&soc, &groups, &base, &self.options, &RemapConfig::default()) {
+            HealOutcome::Healed {
+                solution,
+                rerouted,
+                moved,
+            } => {
+                self.placement = solution.core_mapping().clone();
+                self.configs = solution.group_configs().to_vec();
+                format!("{head} healed rerouted={rerouted} moved={}", moved.len())
+            }
+            HealOutcome::Degraded {
+                solution,
+                groups: dead,
+                rerouted,
+                moved,
+            } => {
+                self.placement = solution.core_mapping().clone();
+                self.configs = solution.group_configs().to_vec();
+                let ids: Vec<String> = dead.iter().map(|&g| self.ucs[g].0.clone()).collect();
+                for id in &ids {
+                    self.park(id);
+                }
+                format!(
+                    "{head} degraded={} rerouted={rerouted} moved={} [{}]",
+                    ids.len(),
+                    moved.len(),
+                    ids.join(" ")
+                )
+            }
+            HealOutcome::Infeasible { error } => {
+                // No repaired solution exists: park everything rather
+                // than keep routes that may cross failed resources.
+                let ids: Vec<String> = self.ucs.iter().map(|(id, _)| id.clone()).collect();
+                for id in &ids {
+                    self.park(id);
+                }
+                format!("{head} infeasible: {error} parked={}", ids.len())
+            }
+        }
+    }
+
+    /// Parks a use-case as degraded: empties its config and unplaces
+    /// the cores no live (non-parked) use-case still references.
+    fn park(&mut self, id: &str) {
+        if !self.parked.insert(id.to_string()) {
+            return;
+        }
+        self.stats.degraded += 1;
+        let Some(at) = self.index_of(id) else {
+            return;
+        };
+        self.configs[at] = GroupConfig::new();
+        let uc = self.ucs[at].1.clone();
+        let live: BTreeSet<CoreId> = self
+            .ucs
+            .iter()
+            .filter(|(uid, _)| !self.parked.contains(uid))
+            .flat_map(|(_, u)| u.cores())
+            .collect();
+        for core in uc.cores() {
+            if !live.contains(&core) {
+                self.placement.remove(&core);
+            }
+        }
+    }
+
+    /// Re-attempts admission of every parked use-case (ascending id
+    /// order) through the fault-aware admission path. Returns the
+    /// per-use-case event lines and how many were revived.
+    fn reheal(&mut self) -> (Vec<String>, u64) {
+        let ids: Vec<String> = self.parked.iter().cloned().collect();
+        let mut lines = Vec::with_capacity(ids.len());
+        let mut revived = 0u64;
+        for id in ids {
+            nocmap::perf::record_heal_attempt();
+            let Some(at) = self.index_of(&id) else {
+                continue;
+            };
+            let (_, uc) = self.ucs.remove(at);
+            let cfg = self.configs.remove(at);
+            let saved_placement = self.placement.clone();
+            self.prune_placement(&uc);
+            match self.admit_incremental(&id, &uc) {
+                Ok((cost, placed, moved)) => {
+                    self.parked.remove(&id);
+                    self.stats.healed += 1;
+                    revived += 1;
+                    lines.push(format!(
+                        "uc {id}: healed cost={cost} placed={placed} moved={moved}"
+                    ));
+                }
+                Err(reason) => {
+                    self.placement = saved_placement;
+                    self.ucs.insert(at, (id.clone(), uc));
+                    self.configs.insert(at, cfg);
+                    lines.push(format!("uc {id}: degraded {reason}"));
+                }
+            }
+        }
+        (lines, revived)
+    }
+
+    /// NIs that are neither occupied nor failed.
+    fn free_ni_count(&self) -> usize {
+        let usable = self.topo.ni_count() - self.options.faults.failed_ni_count();
+        usable.saturating_sub(self.placement.len())
+    }
+
+    /// The running spec as singleton groups (no extra use-case).
+    fn soc_current(&self) -> (SocSpec, UseCaseGroups) {
+        let mut soc = SocSpec::new("nocd");
+        for (_, existing) in &self.ucs {
+            soc.add_use_case(existing.clone());
+        }
+        let groups = UseCaseGroups::singletons(soc.use_case_count());
+        (soc, groups)
     }
 
     /// Admits (or, with `replace_at`, atomically re-admits) a use-case.
@@ -442,6 +739,8 @@ impl Engine {
         match outcome {
             Ok((cost, placed, moved)) => {
                 self.stats.admitted += 1;
+                // A re-admitted (modified) use-case is serviced again.
+                self.parked.remove(&id);
                 if moved > 0 {
                     self.stats.displaced += 1;
                     self.stats.evictions += moved;

@@ -1,0 +1,173 @@
+//! Crash-consistency journal: a line-oriented request log the daemon
+//! can rebuild its state from.
+//!
+//! The engine is a pure function of its request stream, so durability
+//! needs no snapshot format: journal every request line verbatim
+//! *before* handing it to the engine, and recovery is replaying the
+//! journal through a fresh engine. A rebuilt engine answers `snapshot`
+//! byte-identically to the one that wrote the journal (pinned by the
+//! recovery test below), because both saw exactly the same line
+//! sequence — including its pending (not yet flushed) tail.
+//!
+//! `shutdown` lines are never journaled: replaying one on recovery
+//! would stop the rebuilt daemon before it served a request. Recovery
+//! also skips any `shutdown` found in a hand-edited journal, for the
+//! same reason.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use crate::engine::{Engine, EngineConfig};
+use crate::protocol::{parse_command, Command};
+
+/// An append-only request journal (one request line per journal line).
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal at `path` for appending.
+    ///
+    /// # Errors
+    ///
+    /// File-system failures.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Journal> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Journal { path, file })
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Whether `line` belongs in the journal: anything except
+    /// `shutdown` (see the module docs). Unparsable lines *are*
+    /// journaled — the engine's error response is part of its state
+    /// (the `errors` counter), so recovery must replay them too.
+    pub fn should_record(line: &str) -> bool {
+        !matches!(parse_command(line), Ok(Some(Command::Shutdown)))
+    }
+
+    /// Appends one request line and flushes it to the OS before
+    /// returning, so a request is durable before it is applied.
+    ///
+    /// # Errors
+    ///
+    /// File-system failures.
+    pub fn record(&mut self, line: &str) -> std::io::Result<()> {
+        if !Journal::should_record(line) {
+            return Ok(());
+        }
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.flush()
+    }
+}
+
+/// Rebuilds an engine by replaying the journal at `path` (a missing
+/// journal file yields a fresh engine). Responses are discarded — only
+/// the resulting engine state matters — and `shutdown` lines are
+/// skipped.
+///
+/// # Errors
+///
+/// A message for an invalid engine configuration or an unreadable
+/// journal.
+pub fn recover(cfg: EngineConfig, path: impl AsRef<Path>) -> Result<Engine, String> {
+    let mut engine = Engine::new(cfg)?;
+    let path = path.as_ref();
+    if !path.exists() {
+        return Ok(engine);
+    }
+    let file = File::open(path).map_err(|e| format!("open journal {}: {e}", path.display()))?;
+    for line in BufReader::new(file).lines() {
+        let line = line.map_err(|e| format!("read journal {}: {e}", path.display()))?;
+        if !Journal::should_record(&line) {
+            continue;
+        }
+        let _ = engine.submit_line(&line);
+    }
+    Ok(engine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::generate_trace;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("nocd-journal-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn recovery_rebuilds_a_byte_identical_snapshot() {
+        let path = temp_path("recover");
+        let _ = std::fs::remove_file(&path);
+        let cfg = EngineConfig::default();
+        let mut live = Engine::new(cfg.clone()).unwrap();
+        let mut journal = Journal::open(&path).unwrap();
+        let mut lines = generate_trace(37, 2006);
+        // Interleave faults and a heal so the rebuilt state includes
+        // the fault set and parked use-cases, plus a shutdown that the
+        // journal must *not* record.
+        lines.insert(20, "fault link 5 6".to_string());
+        lines.insert(28, "fault ni 2".to_string());
+        lines.insert(33, "heal".to_string());
+        lines.push("shutdown".to_string());
+        for line in &lines {
+            journal.record(line).unwrap();
+            if line != "shutdown" {
+                let _ = live.submit_line(line);
+            }
+        }
+
+        let mut rebuilt = recover(cfg, &path).unwrap();
+        assert!(!rebuilt.is_shutdown(), "shutdown must not be journaled");
+        assert_eq!(
+            live.submit_line("snapshot"),
+            rebuilt.submit_line("snapshot")
+        );
+        assert_eq!(live.submit_line("stats"), rebuilt.submit_line("stats"));
+        assert_eq!(live.submit_line("health"), rebuilt.submit_line("health"));
+        assert_eq!(live.stats(), rebuilt.stats());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_journal_recovers_to_a_fresh_engine() {
+        let path = temp_path("missing");
+        let _ = std::fs::remove_file(&path);
+        let rebuilt = recover(EngineConfig::default(), &path).unwrap();
+        assert_eq!(rebuilt.use_case_count(), 0);
+        assert_eq!(rebuilt.stats().requests, 0);
+    }
+
+    #[test]
+    fn journal_appends_across_reopens() {
+        let path = temp_path("reopen");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = Journal::open(&path).unwrap();
+            j.record("add u0 flow 0 1 100").unwrap();
+        }
+        {
+            let mut j = Journal::open(&path).unwrap();
+            j.record("add u1 flow 2 3 100").unwrap();
+            j.record("shutdown").unwrap(); // filtered
+            assert_eq!(j.path(), path.as_path());
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "add u0 flow 0 1 100\nadd u1 flow 2 3 100\n");
+        let mut rebuilt = recover(EngineConfig::default(), &path).unwrap();
+        let _ = rebuilt.submit_line("flush");
+        assert_eq!(rebuilt.use_case_count(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+}

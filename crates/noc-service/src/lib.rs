@@ -20,6 +20,14 @@
 //! same `submit_line` entry point, so the socket path inherits the
 //! replay-tested behavior verbatim (pinned by the loopback test).
 //!
+//! Resilience (PR 10): `fault link|ni` / `heal` / `health` verbs
+//! inject deterministic link/NI failures and self-heal the live
+//! mapping incrementally ([`nocmap::heal()`]); a crash-consistency
+//! journal ([`mod@journal`], `serve --journal`) rebuilds byte-identical
+//! engine state on restart; the client side is hardened with connect/
+//! read timeouts and bounded deterministic retry ([`net::request`]).
+//! See `docs/RESILIENCE.md`.
+//!
 //! # Quick example
 //!
 //! ```
@@ -36,13 +44,15 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod journal;
 pub mod net;
 pub mod protocol;
 pub mod replay;
 pub mod trace;
 
 pub use engine::{AdmitMode, Engine, EngineConfig, ServiceStats};
-pub use net::{Client, Server};
-pub use protocol::{parse_command, Command, FlowSpec};
-pub use replay::{replay, Replay};
-pub use trace::generate_trace;
+pub use journal::{recover, Journal};
+pub use net::{request, Client, RetryPolicy, Server};
+pub use protocol::{parse_command, Command, FaultTarget, FlowSpec, ProtocolError};
+pub use replay::{replay, replay_lines, Replay};
+pub use trace::{generate_fault_trace, generate_trace};

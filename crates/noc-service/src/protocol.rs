@@ -1,4 +1,4 @@
-//! The `nocd` line protocol: request grammar and parsing.
+//! The `nocd` line protocol: request grammar, input caps and parsing.
 //!
 //! One request per line, in the same keyword-led style as the
 //! `ExperimentSpec` grammar (`noc-flow`). Blank lines and `#` comments
@@ -10,6 +10,10 @@
 //! add <id> flow <src> <dst> <mbps> [<lat_us>] [; flow ...]
 //! modify <id> flow <src> <dst> <mbps> [<lat_us>] [; flow ...]
 //! remove <id>
+//! fault link <idx> [<idx> ...]
+//! fault ni <idx> [<idx> ...]
+//! heal
+//! health
 //! flush
 //! stats
 //! snapshot
@@ -18,12 +22,82 @@
 //!
 //! `src` / `dst` are core indices from the shared core pool, `mbps` the
 //! flow bandwidth in MB/s, `lat_us` an optional worst-case latency
-//! bound in µs (unconstrained when absent). `add`/`modify`/`remove`
-//! are queued and applied together at the next reconfiguration point
-//! (batch full, explicit `flush`, or any of `stats` / `snapshot` /
-//! `shutdown`) — see [`crate::engine`].
+//! bound in µs (unconstrained when absent). `add`/`modify`/`remove`/
+//! `fault` are queued and applied together at the next reconfiguration
+//! point (batch full, explicit `flush`, or any of `stats` / `snapshot` /
+//! `heal` / `health` / `shutdown`) — see [`crate::engine`]. `fault`
+//! indices are positions into the fabric's link list (`fault link`) or
+//! NI list (`fault ni`).
+//!
+//! # Hardened edge
+//!
+//! The parser is the daemon's untrusted-input boundary, so every limit
+//! is explicit and typed: a request line longer than [`MAX_LINE_BYTES`],
+//! more than [`MAX_FLOWS`] flow clauses, or more than
+//! [`MAX_FAULT_INDICES`] fault indices is rejected with
+//! [`ProtocolError::Overflow`] *before* any allocation proportional to
+//! the oversized input. Grammar violations are
+//! [`ProtocolError::Syntax`]. Every malformed input maps to an `err …`
+//! response — never a panic (pinned by a seeded byte-salad property
+//! test in the engine).
 
+use std::error::Error;
 use std::fmt;
+
+/// Hard cap on one request line, in bytes (before parsing).
+pub const MAX_LINE_BYTES: usize = 4096;
+
+/// Hard cap on flow clauses per `add` / `modify`.
+pub const MAX_FLOWS: usize = 64;
+
+/// Hard cap on indices per `fault` request.
+pub const MAX_FAULT_INDICES: usize = 64;
+
+/// A rejected request line: either an input-cap overflow or a grammar
+/// violation. The engine renders these as `err overflow: …` /
+/// `err parse: …` status lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// The request exceeded a hard input cap.
+    Overflow {
+        /// What overflowed (`"line bytes"`, `"flow clauses"`, …).
+        what: &'static str,
+        /// The cap.
+        limit: usize,
+        /// The offending size.
+        got: usize,
+    },
+    /// The request violated the grammar.
+    Syntax(String),
+}
+
+impl ProtocolError {
+    /// The `err <kind>:` token the engine prefixes responses with.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ProtocolError::Overflow { .. } => "overflow",
+            ProtocolError::Syntax(_) => "parse",
+        }
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Overflow { what, limit, got } => {
+                write!(f, "{what} {got} exceeds cap {limit}")
+            }
+            ProtocolError::Syntax(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl Error for ProtocolError {}
+
+fn syntax(msg: impl Into<String>) -> ProtocolError {
+    ProtocolError::Syntax(msg.into())
+}
 
 /// One requested flow of a use-case (`flow <src> <dst> <mbps>
 /// [<lat_us>]`).
@@ -46,6 +120,25 @@ impl fmt::Display for FlowSpec {
             write!(f, " {lat}")?;
         }
         Ok(())
+    }
+}
+
+/// Which resource class a `fault` request fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// Directed links, by index into the fabric's link list.
+    Link,
+    /// NIs, by index into the fabric's NI list.
+    Ni,
+}
+
+impl FaultTarget {
+    /// The grammar token (`link` / `ni`).
+    pub fn token(self) -> &'static str {
+        match self {
+            FaultTarget::Link => "link",
+            FaultTarget::Ni => "ni",
+        }
     }
 }
 
@@ -72,6 +165,20 @@ pub enum Command {
         /// Id of an admitted use-case.
         id: String,
     },
+    /// Fail fabric resources (queued like a mutation; the engine
+    /// injects the faults and auto-heals at the next reconfiguration
+    /// point).
+    Fault {
+        /// Resource class the indices address.
+        target: FaultTarget,
+        /// Indices into the fabric's link or NI list (at least one).
+        indices: Vec<usize>,
+    },
+    /// Re-attempt admission of every degraded use-case (flushes
+    /// first).
+    Heal,
+    /// Per-use-case health plus the active fault set (flushes first).
+    Health,
     /// Apply all queued mutations now (an explicit reconfiguration
     /// point).
     Flush,
@@ -83,51 +190,96 @@ pub enum Command {
     Shutdown,
 }
 
-fn parse_flows(tokens: &[&str]) -> Result<Vec<FlowSpec>, String> {
+fn parse_flows(tokens: &[&str]) -> Result<Vec<FlowSpec>, ProtocolError> {
+    let clauses = tokens.split(|&t| t == ";").count();
+    if clauses > MAX_FLOWS {
+        return Err(ProtocolError::Overflow {
+            what: "flow clauses",
+            limit: MAX_FLOWS,
+            got: clauses,
+        });
+    }
     let mut flows = Vec::new();
     for chunk in tokens.split(|&t| t == ";") {
         match chunk {
             ["flow", src, dst, mbps, rest @ ..] => {
                 let num = |name: &str, tok: &str| {
                     tok.parse::<u64>()
-                        .map_err(|_| format!("bad {name} '{tok}'"))
+                        .map_err(|_| syntax(format!("bad {name} '{tok}'")))
                 };
                 let lat_us = match rest {
                     [] => None,
                     [lat] => Some(num("latency", lat)?),
-                    more => return Err(format!("trailing tokens {more:?}")),
+                    more => return Err(syntax(format!("trailing tokens {more:?}"))),
                 };
                 flows.push(FlowSpec {
                     src: u32::try_from(num("source core", src)?)
-                        .map_err(|_| format!("bad source core '{src}'"))?,
+                        .map_err(|_| syntax(format!("bad source core '{src}'")))?,
                     dst: u32::try_from(num("destination core", dst)?)
-                        .map_err(|_| format!("bad destination core '{dst}'"))?,
+                        .map_err(|_| syntax(format!("bad destination core '{dst}'")))?,
                     mbps: num("bandwidth", mbps)?,
                     lat_us,
                 });
             }
-            [] => return Err("empty flow clause".to_string()),
+            [] => return Err(syntax("empty flow clause")),
             other => {
-                return Err(format!(
+                return Err(syntax(format!(
                     "expected 'flow SRC DST MBPS [LAT_US]', got {other:?}"
-                ))
+                )))
             }
         }
     }
     if flows.is_empty() {
-        return Err("a use-case needs at least one flow".to_string());
+        return Err(syntax("a use-case needs at least one flow"));
     }
     Ok(flows)
 }
 
+fn parse_fault(tokens: &[&str]) -> Result<Command, ProtocolError> {
+    let [kind, rest @ ..] = tokens else {
+        return Err(syntax("expected 'fault <link|ni> IDX [IDX ...]'"));
+    };
+    let target = match *kind {
+        "link" => FaultTarget::Link,
+        "ni" => FaultTarget::Ni,
+        other => return Err(syntax(format!("unknown fault target '{other}'"))),
+    };
+    if rest.is_empty() {
+        return Err(syntax("a fault needs at least one index"));
+    }
+    if rest.len() > MAX_FAULT_INDICES {
+        return Err(ProtocolError::Overflow {
+            what: "fault indices",
+            limit: MAX_FAULT_INDICES,
+            got: rest.len(),
+        });
+    }
+    let indices = rest
+        .iter()
+        .map(|tok| {
+            tok.parse::<usize>()
+                .map_err(|_| syntax(format!("bad fault index '{tok}'")))
+        })
+        .collect::<Result<Vec<usize>, ProtocolError>>()?;
+    Ok(Command::Fault { target, indices })
+}
+
 /// Parses one request line. `Ok(None)` for blank lines and `#`
-/// comments; `Err` describes the first grammar violation.
+/// comments; `Err` is the first input-cap or grammar violation.
 ///
 /// # Errors
 ///
-/// A human-readable parse message (the engine prefixes it with
-/// `err parse:`).
-pub fn parse_command(line: &str) -> Result<Option<Command>, String> {
+/// [`ProtocolError::Overflow`] when an input cap is exceeded (checked
+/// before any grammar work), [`ProtocolError::Syntax`] for grammar
+/// violations.
+pub fn parse_command(line: &str) -> Result<Option<Command>, ProtocolError> {
+    if line.len() > MAX_LINE_BYTES {
+        return Err(ProtocolError::Overflow {
+            what: "line bytes",
+            limit: MAX_LINE_BYTES,
+            got: line.len(),
+        });
+    }
     let line = line.trim();
     if line.is_empty() || line.starts_with('#') {
         return Ok(None);
@@ -145,11 +297,14 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, String> {
         ["remove", id] => Command::Remove {
             id: (*id).to_string(),
         },
+        ["fault", rest @ ..] => parse_fault(rest)?,
+        ["heal"] => Command::Heal,
+        ["health"] => Command::Health,
         ["flush"] => Command::Flush,
         ["stats"] => Command::Stats,
         ["snapshot"] => Command::Snapshot,
         ["shutdown"] => Command::Shutdown,
-        [verb, ..] => return Err(format!("unknown command '{verb}'")),
+        [verb, ..] => return Err(syntax(format!("unknown command '{verb}'"))),
         [] => unreachable!("blank lines returned above"),
     };
     Ok(Some(cmd))
@@ -170,10 +325,26 @@ mod tests {
         assert_eq!(parse_command("snapshot").unwrap(), Some(Command::Snapshot));
         assert_eq!(parse_command("flush").unwrap(), Some(Command::Flush));
         assert_eq!(parse_command("shutdown").unwrap(), Some(Command::Shutdown));
+        assert_eq!(parse_command("heal").unwrap(), Some(Command::Heal));
+        assert_eq!(parse_command("health").unwrap(), Some(Command::Health));
         assert_eq!(
             parse_command("remove u3").unwrap(),
             Some(Command::Remove {
                 id: "u3".to_string()
+            })
+        );
+        assert_eq!(
+            parse_command("fault link 3 17").unwrap(),
+            Some(Command::Fault {
+                target: FaultTarget::Link,
+                indices: vec![3, 17],
+            })
+        );
+        assert_eq!(
+            parse_command("fault ni 0").unwrap(),
+            Some(Command::Fault {
+                target: FaultTarget::Ni,
+                indices: vec![0],
             })
         );
         assert_eq!(
@@ -207,6 +378,60 @@ mod tests {
         assert!(parse_command("remove").is_err());
         assert!(parse_command("frobnicate u0").is_err());
         assert!(parse_command("modify u0 flow 1 2 100 ;").is_err());
+        assert!(parse_command("fault").is_err());
+        assert!(parse_command("fault link").is_err());
+        assert!(parse_command("fault switch 3").is_err());
+        assert!(parse_command("fault link x").is_err());
+        assert!(parse_command("heal now").is_err());
+        assert!(parse_command("health check").is_err());
+    }
+
+    #[test]
+    fn overflows_are_typed_and_checked_first() {
+        let long = format!("add u0 flow 1 2 {}", "9".repeat(MAX_LINE_BYTES));
+        let err = parse_command(&long).unwrap_err();
+        assert_eq!(err.kind(), "overflow");
+        assert!(matches!(
+            err,
+            ProtocolError::Overflow {
+                what: "line bytes",
+                ..
+            }
+        ));
+
+        let many_flows = format!("add u0 {}", vec!["flow 1 2 10"; MAX_FLOWS + 1].join(" ; "));
+        assert!(
+            many_flows.len() <= MAX_LINE_BYTES,
+            "cap ordering assumption"
+        );
+        let err = parse_command(&many_flows).unwrap_err();
+        assert!(matches!(
+            err,
+            ProtocolError::Overflow {
+                what: "flow clauses",
+                limit: MAX_FLOWS,
+                ..
+            }
+        ));
+
+        let many_faults = format!(
+            "fault link {}",
+            (0..=MAX_FAULT_INDICES)
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        let err = parse_command(&many_faults).unwrap_err();
+        assert!(matches!(
+            err,
+            ProtocolError::Overflow {
+                what: "fault indices",
+                ..
+            }
+        ));
+
+        // Syntax errors keep the parse kind.
+        assert_eq!(parse_command("frobnicate").unwrap_err().kind(), "parse");
     }
 
     #[test]

@@ -33,6 +33,20 @@ pub struct Replay {
 ///
 /// A message when the engine configuration is invalid.
 pub fn replay(cfg: EngineConfig, requests: u64, seed: u64) -> Result<Replay, String> {
+    let lines = generate_trace(requests, seed);
+    replay_lines(cfg, &lines)
+}
+
+/// Replays an explicit request-line sequence through a fresh engine,
+/// appending the `stats` / `snapshot` / `shutdown` epilogue. This is
+/// the primitive behind [`replay`] and the resilience sweeps (which
+/// weave `fault` / `heal` lines into a seeded trace via
+/// [`crate::trace::generate_fault_trace`]).
+///
+/// # Errors
+///
+/// A message when the engine configuration is invalid.
+pub fn replay_lines(cfg: EngineConfig, lines: &[String]) -> Result<Replay, String> {
     let mut engine = Engine::new(cfg)?;
     let mut transcript = String::new();
     let mut drive = |engine: &mut Engine, line: &str| {
@@ -41,8 +55,8 @@ pub fn replay(cfg: EngineConfig, requests: u64, seed: u64) -> Result<Replay, Str
         transcript.push('\n');
         transcript.push_str(&engine.submit_line(line));
     };
-    for line in generate_trace(requests, seed) {
-        drive(&mut engine, &line);
+    for line in lines {
+        drive(&mut engine, line);
     }
     for line in ["stats", "snapshot", "shutdown"] {
         drive(&mut engine, line);

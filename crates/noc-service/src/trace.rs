@@ -10,9 +10,14 @@
 //! engine may reject them, so the stream also produces `unknown-id`
 //! error events — all deterministic under the seed.
 
+use std::collections::BTreeMap;
+
+use noc_topology::MeshBuilder;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+
+use crate::engine::EngineConfig;
 
 /// Cores the generated use-cases draw from (> default NI count).
 pub const CORE_POOL: u32 = 24;
@@ -110,6 +115,78 @@ pub fn generate_trace(requests: u64, seed: u64) -> Vec<String> {
     lines
 }
 
+/// Seed salt separating the fault schedule's RNG stream from the
+/// request stream's, so adding faults never perturbs the base trace.
+const FAULT_SEED_SALT: u64 = 0x666c_7461;
+
+/// Generates a request trace with `faults` seeded fault events woven
+/// in: [`generate_trace`]`(requests, seed)` plus, spread evenly after a
+/// warm-up quarter, `fault link|ni …` lines with indices valid for
+/// `cfg`'s fabric, a `heal` re-attempt between consecutive faults, and
+/// a final `heal` / `health` epilogue.
+///
+/// Pure: the same `(cfg, requests, seed, faults)` always produce the
+/// same lines, and the embedded base trace is byte-identical to
+/// `generate_trace(requests, seed)` — the fault schedule draws from
+/// its own salted RNG stream.
+///
+/// # Errors
+///
+/// A message when `cfg`'s mesh dimensions are invalid.
+pub fn generate_fault_trace(
+    cfg: &EngineConfig,
+    requests: u64,
+    seed: u64,
+    faults: u64,
+) -> Result<Vec<String>, String> {
+    let topo = MeshBuilder::new(cfg.rows, cfg.cols)
+        .nis_per_switch(cfg.nis_per_switch)
+        .build()
+        .map_err(|e| e.to_string())?
+        .into_topology();
+    let link_count = topo.link_count();
+    let ni_count = topo.ni_count();
+    let base = generate_trace(requests, seed);
+    let mut rng = SmallRng::seed_from_u64(seed ^ FAULT_SEED_SALT);
+    let last = requests.max(1) - 1;
+    let warmup = requests / 4;
+    let span = requests.saturating_sub(warmup).max(1);
+    let stride = (span / (faults + 1)).max(1);
+    // After which base-line index each extra line is emitted.
+    let mut extras: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    for f in 0..faults {
+        let pos = (warmup + f * stride).min(last);
+        let line = if rng.gen_bool(0.3) {
+            format!("fault ni {}", rng.gen_range(0..ni_count))
+        } else if rng.gen_bool(0.5) {
+            let (a, b) = (rng.gen_range(0..link_count), rng.gen_range(0..link_count));
+            format!("fault link {a} {b}")
+        } else {
+            format!("fault link {}", rng.gen_range(0..link_count))
+        };
+        extras.entry(pos).or_default().push(line);
+        // A repair attempt midway to the next fault.
+        extras
+            .entry((pos + stride / 2).min(last))
+            .or_default()
+            .push("heal".to_string());
+    }
+    let mut lines = Vec::with_capacity(base.len() + 2 * faults as usize + 2);
+    for (i, line) in base.into_iter().enumerate() {
+        lines.push(line);
+        if let Some(ex) = extras.remove(&(i as u64)) {
+            lines.extend(ex);
+        }
+    }
+    // Anything scheduled past an empty/short base trace still runs.
+    for (_, ex) in extras {
+        lines.extend(ex);
+    }
+    lines.push("heal".to_string());
+    lines.push("health".to_string());
+    Ok(lines)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,5 +205,29 @@ mod tests {
         assert_ne!(a, generate_trace(200, 7));
         // The forced over-capacity adds are present.
         assert!(a.iter().any(|l| l.contains(" 5000")));
+    }
+
+    #[test]
+    fn fault_traces_are_deterministic_and_embed_the_base_trace() {
+        let cfg = EngineConfig::default();
+        let a = generate_fault_trace(&cfg, 100, 2006, 4).unwrap();
+        let b = generate_fault_trace(&cfg, 100, 2006, 4).unwrap();
+        assert_eq!(a, b);
+        for line in &a {
+            assert!(parse_command(line).unwrap().is_some(), "unparsable {line}");
+        }
+        assert_eq!(a.iter().filter(|l| l.starts_with("fault ")).count(), 4);
+        assert!(a.iter().filter(|l| l.as_str() == "heal").count() >= 1);
+        assert_eq!(a.last().unwrap(), "health");
+        // Removing the fault/heal/health weave recovers the base trace.
+        let stripped: Vec<String> = a
+            .iter()
+            .filter(|l| !l.starts_with("fault ") && l.as_str() != "heal" && l.as_str() != "health")
+            .cloned()
+            .collect();
+        assert_eq!(stripped, generate_trace(100, 2006));
+        // Zero faults still appends the repair epilogue.
+        let none = generate_fault_trace(&cfg, 10, 2006, 0).unwrap();
+        assert_eq!(none.len(), 12);
     }
 }

@@ -13,7 +13,10 @@
 //!   (Figure 7(a) of the paper),
 //! * [`PowerModel`] and [`DvsModel`] — activity-based power with the
 //!   conservative `V² ∝ f` voltage-scaling rule the paper adopts from
-//!   Rabaey et al. (Figure 7(b)).
+//!   Rabaey et al. (Figure 7(b)),
+//! * [`FaultSet`] — failed links / NIs composed onto any topology as a
+//!   [`DegradedView`] that routing queries answer over the surviving
+//!   resources only ([`fault`]).
 //!
 //! # Example
 //!
@@ -38,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod area;
+pub mod fault;
 pub mod graph;
 pub mod mesh;
 pub mod power;
@@ -47,6 +51,7 @@ mod error;
 
 pub use area::AreaModel;
 pub use error::TopologyError;
+pub use fault::{DegradedView, FaultSet, PathError};
 pub use graph::{Link, LinkId, Node, NodeId, NodeKind, Topology, TopologyBuilder};
 pub use mesh::{Mesh, MeshBuilder};
 pub use power::{DvsModel, OperatingPoint, PowerModel};

@@ -13,10 +13,11 @@ use noc_multiusecase::flow::{registry, render, run_spec};
 use noc_multiusecase::par::with_threads;
 
 /// `(registry name, golden file)` for every deterministic suite.
-/// `frontier` and `service` post-date the redesign: their goldens were
-/// captured from the PR-8 strategy portfolio and the PR-9 online
-/// admission service (every cell deterministic, no wall-clock).
-const GOLDENS: [(&str, &str); 14] = [
+/// `frontier`, `service` and `resilience` post-date the redesign:
+/// their goldens were captured from the PR-8 strategy portfolio, the
+/// PR-9 online admission service, and the PR-10 fault-injection study
+/// (every cell deterministic, no wall-clock).
+const GOLDENS: [(&str, &str); 15] = [
     ("fig6a", include_str!("goldens/fig6a.txt")),
     ("fig6b", include_str!("goldens/fig6b.txt")),
     ("fig6b+", include_str!("goldens/fig6bx.txt")),
@@ -31,6 +32,7 @@ const GOLDENS: [(&str, &str); 14] = [
     ("headline", include_str!("goldens/headline.txt")),
     ("frontier", include_str!("goldens/frontier.txt")),
     ("service", include_str!("goldens/service.txt")),
+    ("resilience", include_str!("goldens/resilience.txt")),
 ];
 
 /// What the `experiments` binary prints for one name: the rendering on

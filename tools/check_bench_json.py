@@ -10,9 +10,10 @@ that the *deterministic* fields of the two files' latest run records are
 identical — CI passes records produced at ``--threads 1`` and ``4``, so
 any divergence is a determinism-contract violation. Wall-time fields
 (``map_ms`` / ``anneal_ms`` / ``trace_ms``) are machine-dependent and
-excluded. Frontier records (``"frontier"`` instead of ``"suites"``) and
-service records (``"service"``) carry no wall-clock at all, so every
-field of their rows is compared.
+excluded. Frontier records (``"frontier"`` instead of ``"suites"``),
+service records (``"service"``) and resilience records
+(``"resilience"``) carry no wall-clock at all, so every field of their
+rows is compared.
 
 See docs/PERFORMANCE.md for the schema.
 """
@@ -46,7 +47,14 @@ OP_KEYS_V5 = OP_KEYS_V4 | {
     "displacement_evictions",
     "batch_flushes",
 }
-OP_KEY_SETS = (OP_KEYS_V1, OP_KEYS_V2, OP_KEYS_V3, OP_KEYS_V4, OP_KEYS_V5)
+# PR 10 added the fault-injection / self-healing counters.
+OP_KEYS_V6 = OP_KEYS_V5 | {
+    "faults_injected",
+    "heals_attempted",
+    "heal_reroutes",
+    "heal_evictions",
+}
+OP_KEY_SETS = (OP_KEYS_V1, OP_KEYS_V2, OP_KEYS_V3, OP_KEYS_V4, OP_KEYS_V5, OP_KEYS_V6)
 SUITE_KEYS = {"label", "switches", "map_ms", "anneal_ms", "map_ops", "anneal_ops"}
 SUITE_KEYS_V2 = SUITE_KEYS | {"trace_ms"}
 # PR 8 frontier records: one row per (benchmark, strategy), strategy-keyed
@@ -67,6 +75,20 @@ SERVICE_ROW_KEYS = {
     "ops",
 }
 MODES = {"incremental", "resolve"}
+# PR 10 resilience records: one row per fabric, fault-injection outcome
+# + self-healing repair ops. Every field is deterministic (the fault
+# schedule is a pure function of the config and seed).
+RESILIENCE_ROW_KEYS = {
+    "fabric",
+    "faults",
+    "admitted",
+    "rejected",
+    "links_failed",
+    "nis_failed",
+    "degraded",
+    "healed",
+    "ops",
+}
 
 
 def load(path):
@@ -88,6 +110,15 @@ def load(path):
             for row in run["frontier"]:
                 assert set(row) == FRONTIER_ROW_KEYS, f"{path}: bad row keys {set(row)}"
                 assert row["strategy"] in STRATEGIES, f"{path}: bad strategy {row['strategy']}"
+                assert set(row["ops"]) in OP_KEY_SETS, f"{path}: bad ops keys {set(row['ops'])}"
+            continue
+        if "resilience" in run:
+            assert set(run) == {"label", "threads", "resilience"}, (
+                f"{path}: bad resilience run keys {set(run)}"
+            )
+            assert run["resilience"], f"{path}: run '{run['label']}' has no rows"
+            for row in run["resilience"]:
+                assert set(row) == RESILIENCE_ROW_KEYS, f"{path}: bad row keys {set(row)}"
                 assert set(row["ops"]) in OP_KEY_SETS, f"{path}: bad ops keys {set(row['ops'])}"
             continue
         if "service" in run:
@@ -120,6 +151,9 @@ def deterministic(run):
     if "service" in run:
         # Service rows carry no wall-clock either.
         return run["service"]
+    if "resilience" in run:
+        # Resilience rows carry no wall-clock either.
+        return run["resilience"]
     return [
         {k: s[k] for k in ("label", "switches", "map_ops", "anneal_ops")}
         for s in run["suites"]
